@@ -1,0 +1,77 @@
+package intellinoc
+
+import (
+	"math"
+	"testing"
+)
+
+// The public API surface: everything README's quickstart snippet uses.
+func TestPublicAPIEndToEnd(t *testing.T) {
+	sim := SimConfig{Width: 4, Height: 4, TimeStepCycles: 500, Seed: 2}
+	policy, err := Pretrain(sim, 1, 500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gen, err := ParsecWorkload("vips", sim, 600)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(TechIntelliNoC, sim, gen, policy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.PacketsDelivered+res.PacketsFailed != 600 {
+		t.Fatalf("lost packets: %+v", res)
+	}
+	if res.EnergyEfficiency() <= 0 || math.IsInf(res.EnergyEfficiency(), 0) {
+		t.Fatal("degenerate energy efficiency")
+	}
+}
+
+func TestPublicAPISynthetic(t *testing.T) {
+	gen, err := SyntheticWorkload(SyntheticConfig{
+		Width: 4, Height: 4, Pattern: Tornado,
+		InjectionRate: 0.1, PacketFlits: 4, Packets: 400, Seed: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(TechCP, SimConfig{Width: 4, Height: 4, Seed: 1}, gen, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.PacketsDelivered != 400 {
+		t.Fatalf("delivered %d/400", res.PacketsDelivered)
+	}
+}
+
+func TestPublicAPITechniquesAndBenchmarks(t *testing.T) {
+	if len(Techniques()) != 5 {
+		t.Fatal("five techniques expected")
+	}
+	if len(ParsecBenchmarks()) != 10 {
+		t.Fatal("ten benchmarks expected")
+	}
+	tech, err := ParseTechnique("IntelliNoC")
+	if err != nil || tech != TechIntelliNoC {
+		t.Fatal("ParseTechnique broken")
+	}
+}
+
+func TestPublicAPIRouterArea(t *testing.T) {
+	base := RouterArea(TechSECDED).Total()
+	intelli := RouterArea(TechIntelliNoC).Total()
+	change := (intelli - base) / base * 100
+	if math.Abs(change-(-25.4)) > 0.2 {
+		t.Fatalf("IntelliNoC area change = %.1f%%, paper reports -25.4%%", change)
+	}
+}
+
+func TestModeConstants(t *testing.T) {
+	modes := []Mode{ModeBypass, ModeCRC, ModeSECDED, ModeDECTED, ModeRelaxed}
+	for i, m := range modes {
+		if int(m) != i {
+			t.Fatalf("mode %v has ordinal %d, want %d", m, int(m), i)
+		}
+	}
+}

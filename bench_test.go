@@ -1,0 +1,235 @@
+package intellinoc
+
+// Benchmark targets, one per table/figure of the paper's evaluation
+// (Section 7). Each iteration regenerates a reduced version of its
+// figure — a 4×4 mesh and a subset of benchmarks — and reports the
+// figure's headline shape metric via b.ReportMetric so `go test -bench`
+// output doubles as a compact reproduction report:
+//
+//	go test -bench=Fig13 -benchmem          # energy-efficiency figure
+//	go test -bench=. -benchmem              # everything
+//
+// The full-scale 8×8 / ten-benchmark versions are produced by
+// cmd/experiments, which writes EXPERIMENTS.md.
+
+import (
+	"sync"
+	"testing"
+
+	"intellinoc/internal/core"
+	"intellinoc/internal/experiments"
+)
+
+func benchSim() core.SimConfig {
+	return core.SimConfig{Width: 4, Height: 4, TimeStepCycles: 500, Seed: 1}
+}
+
+var benchSubset = []string{"ferret", "swaptions"}
+
+// comparison memoizes one reduced comparison per bench process so the
+// eight figure benches measure figure construction against live results
+// without re-running the 2×5 simulation matrix eight times per bench.
+var comparison = sync.OnceValues(func() (*experiments.Comparison, error) {
+	return experiments.RunComparisonSubset(benchSim(), 2500, 0, benchSubset, core.Techniques())
+})
+
+func mustComparison(b *testing.B) *experiments.Comparison {
+	b.Helper()
+	cmp, err := comparison()
+	if err != nil {
+		b.Fatal(err)
+	}
+	return cmp
+}
+
+// intelliColumn returns the IntelliNoC "average" cell of a figure.
+func intelliColumn(fig experiments.Figure) float64 {
+	col := len(fig.Columns) - 1 // IntelliNoC is the last column
+	return fig.Rows[len(fig.Rows)-1].Values[col]
+}
+
+func BenchmarkFig9Speedup(b *testing.B) {
+	cmp := mustComparison(b)
+	var fig experiments.Figure
+	for i := 0; i < b.N; i++ {
+		fig = cmp.Fig9Speedup()
+	}
+	b.ReportMetric(intelliColumn(fig), "speedup_x")
+}
+
+func BenchmarkFig10Latency(b *testing.B) {
+	cmp := mustComparison(b)
+	var fig experiments.Figure
+	for i := 0; i < b.N; i++ {
+		fig = cmp.Fig10Latency()
+	}
+	b.ReportMetric(intelliColumn(fig), "latency_ratio")
+}
+
+func BenchmarkFig11StaticPower(b *testing.B) {
+	cmp := mustComparison(b)
+	var fig experiments.Figure
+	for i := 0; i < b.N; i++ {
+		fig = cmp.Fig11StaticPower()
+	}
+	b.ReportMetric(intelliColumn(fig), "static_ratio")
+}
+
+func BenchmarkFig12DynamicPower(b *testing.B) {
+	cmp := mustComparison(b)
+	var fig experiments.Figure
+	for i := 0; i < b.N; i++ {
+		fig = cmp.Fig12DynamicPower()
+	}
+	b.ReportMetric(intelliColumn(fig), "dynamic_ratio")
+}
+
+func BenchmarkFig13EnergyEfficiency(b *testing.B) {
+	cmp := mustComparison(b)
+	var fig experiments.Figure
+	for i := 0; i < b.N; i++ {
+		fig = cmp.Fig13EnergyEfficiency()
+	}
+	b.ReportMetric(intelliColumn(fig), "efficiency_x")
+}
+
+func BenchmarkFig14ModeBreakdown(b *testing.B) {
+	cmp := mustComparison(b)
+	var fig experiments.Figure
+	for i := 0; i < b.N; i++ {
+		fig = cmp.Fig14ModeBreakdown()
+	}
+	avg := fig.Rows[len(fig.Rows)-1]
+	b.ReportMetric(avg.Values[0], "mode0_frac")
+	b.ReportMetric(avg.Values[1], "mode1_frac")
+}
+
+func BenchmarkFig15Retransmissions(b *testing.B) {
+	cmp := mustComparison(b)
+	var fig experiments.Figure
+	for i := 0; i < b.N; i++ {
+		fig = cmp.Fig15Retransmissions()
+	}
+	b.ReportMetric(intelliColumn(fig), "retrans_ratio")
+}
+
+func BenchmarkFig16MTTF(b *testing.B) {
+	cmp := mustComparison(b)
+	var fig experiments.Figure
+	for i := 0; i < b.N; i++ {
+		fig = cmp.Fig16MTTF()
+	}
+	b.ReportMetric(intelliColumn(fig), "mttf_x")
+}
+
+func BenchmarkFig17aTimeStep(b *testing.B) {
+	var fig experiments.Figure
+	var err error
+	for i := 0; i < b.N; i++ {
+		fig, err = experiments.Fig17aTimeStep(benchSim(), 1200, []string{"swaptions"})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	// Report the 1k-cycle (paper-tuned) row's execution-time ratio.
+	b.ReportMetric(fig.Rows[2].Values[0], "exec_ratio_1k")
+}
+
+func BenchmarkFig17bErrorRate(b *testing.B) {
+	var fig experiments.Figure
+	var err error
+	for i := 0; i < b.N; i++ {
+		fig, err = experiments.Fig17bErrorRate(benchSim(), 1200, []string{"swaptions"})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(fig.Rows[0].Values[0], "latency_ratio_1e-7")
+}
+
+func BenchmarkFig18aGamma(b *testing.B) {
+	var fig experiments.Figure
+	var err error
+	for i := 0; i < b.N; i++ {
+		fig, err = experiments.Fig18aGamma(benchSim(), 1200)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	// γ=0.9 row (index 4) should carry the best (lowest) EDP.
+	b.ReportMetric(fig.Rows[4].Values[0], "edp_gamma0.9")
+}
+
+func BenchmarkFig18bEpsilon(b *testing.B) {
+	var fig experiments.Figure
+	var err error
+	for i := 0; i < b.N; i++ {
+		fig, err = experiments.Fig18bEpsilon(benchSim(), 1200)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	// ε=0.05 row (index 2) is the paper's tuned point.
+	b.ReportMetric(fig.Rows[2].Values[0], "edp_eps0.05")
+}
+
+func BenchmarkTable2Area(b *testing.B) {
+	var fig experiments.Figure
+	for i := 0; i < b.N; i++ {
+		fig = experiments.Table2Area()
+	}
+	// IntelliNoC's %change cell: paper reports -25.4%.
+	last := fig.Rows[len(fig.Rows)-1]
+	b.ReportMetric(last.Values[len(last.Values)-1], "area_pct_change")
+}
+
+// BenchmarkAblation runs the design-choice ablation study (DESIGN.md):
+// full IntelliNoC vs each technique removed.
+func BenchmarkAblation(b *testing.B) {
+	var fig experiments.Figure
+	var err error
+	for i := 0; i < b.N; i++ {
+		fig, err = experiments.AblationStudy(benchSim(), 1500, []string{"ferret"})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	// Report the full design's energy-efficiency gain for orientation.
+	b.ReportMetric(fig.Rows[0].Values[3], "full_efficiency_x")
+}
+
+// BenchmarkLoadLatencySweep runs the classic uniform-random load-latency
+// validation curve across all five designs.
+func BenchmarkLoadLatencySweep(b *testing.B) {
+	var fig experiments.Figure
+	var err error
+	for i := 0; i < b.N; i++ {
+		fig, err = experiments.LoadLatencySweep(benchSim(), 1200, []float64{0.05, 0.2})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(fig.Rows[0].Values[0], "secded_lat_low_load")
+}
+
+// BenchmarkSimulatorThroughput measures the raw simulator speed
+// (cycles/second) on the baseline configuration — the "how fast is the
+// substrate" number rather than a paper figure.
+func BenchmarkSimulatorThroughput(b *testing.B) {
+	sim := benchSim()
+	totalCycles := int64(0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		gen, err := core.ParsecWorkload("ferret", sim, 2000)
+		if err != nil {
+			b.Fatal(err)
+		}
+		res, err := core.Run(core.TechSECDED, sim, gen, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		totalCycles += res.Cycles
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(totalCycles)/b.Elapsed().Seconds(), "sim_cycles/s")
+}

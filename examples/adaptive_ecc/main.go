@@ -1,0 +1,63 @@
+// Adaptive ECC demo: sweep the injected bit-error rate and watch the
+// error-control trade-off play out — static SECDED pays per-hop latency
+// and power at every rate, CRC-only pays end-to-end retransmissions when
+// errors appear, and IntelliNoC's adaptive policy tracks the better of
+// the two (escalating to DECTED/relaxed when errors are heavy).
+//
+// This example runs with -verify-payloads semantics: every protected hop
+// goes through the real Hamming SECDED(72,64) / BCH DECTED(79,64)
+// codecs, so corrections and miscorrections are bit-exact.
+//
+//	go run ./examples/adaptive_ecc
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"intellinoc"
+)
+
+func main() {
+	// Per-bit upset rates, forced directly (bypassing the thermal
+	// model) the way the paper's Fig. 17(b) sweep injects errors.
+	rates := []float64{1e-8, 1e-6, 1e-5, 1e-4}
+	const packets = 5000
+
+	fmt.Printf("%-10s %-12s %9s %9s %9s %9s\n",
+		"bit-error", "design", "latency", "hop-rtx", "e2e-rtx", "failed")
+	for _, rate := range rates {
+		for _, tech := range []intellinoc.Technique{intellinoc.TechSECDED, intellinoc.TechCPD, intellinoc.TechIntelliNoC} {
+			sim := intellinoc.SimConfig{
+				Width: 4, Height: 4, Seed: 3,
+				ForcedErrorRate: rate,
+				VerifyPayloads:  true,
+			}
+			var policy *intellinoc.Policy
+			if tech == intellinoc.TechIntelliNoC {
+				var err error
+				policy, err = intellinoc.Pretrain(sim, 1, packets)
+				if err != nil {
+					log.Fatal(err)
+				}
+			}
+			gen, err := intellinoc.SyntheticWorkload(intellinoc.SyntheticConfig{
+				Width: 4, Height: 4, Pattern: intellinoc.Uniform,
+				InjectionRate: 0.1, PacketFlits: 4, Packets: packets, Seed: 9,
+			})
+			if err != nil {
+				log.Fatal(err)
+			}
+			res, err := intellinoc.Run(tech, sim, gen, policy)
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("%-10.0e %-12s %9.1f %9d %9d %9d\n",
+				rate, tech, res.AvgLatency, res.HopRetransmits, res.E2ERetransmits, res.PacketsFailed)
+		}
+		fmt.Println()
+	}
+	fmt.Println("hop-rtx: per-hop NACK retransmissions (SECDED/DECTED detections)")
+	fmt.Println("e2e-rtx: end-to-end CRC retransmissions (flits)")
+	fmt.Println("failed : packets still corrupt after the retry budget")
+}

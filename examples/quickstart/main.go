@@ -1,0 +1,46 @@
+// Quickstart: simulate IntelliNoC on one PARSEC workload model and print
+// the headline metrics against the static SECDED baseline.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"intellinoc"
+)
+
+func main() {
+	// The zero SimConfig is the paper's Table 1 setup: an 8x8 mesh of
+	// 4-stage wormhole routers at 32 nm / 1.0 V / 2.0 GHz, 1000-cycle
+	// control time steps. We shrink the mesh for a fast first run.
+	sim := intellinoc.SimConfig{Width: 4, Height: 4, Seed: 42}
+	const packets = 8000
+
+	// Pre-train the per-router Q-learning policy on blackscholes, the
+	// paper's tuning benchmark.
+	policy, err := intellinoc.Pretrain(sim, 2, packets)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("pre-trained policy: max Q-table %d entries\n\n", policy.MaxTableSize())
+
+	fmt.Printf("%-12s %10s %10s %10s %10s\n", "design", "cycles", "latency", "power(W)", "MTTF(s)")
+	for _, tech := range []intellinoc.Technique{intellinoc.TechSECDED, intellinoc.TechIntelliNoC} {
+		gen, err := intellinoc.ParsecWorkload("ferret", sim, packets)
+		if err != nil {
+			log.Fatal(err)
+		}
+		res, err := intellinoc.Run(tech, sim, gen, policy)
+		if err != nil {
+			log.Fatal(err)
+		}
+		seconds := float64(res.Cycles) / 2e9
+		fmt.Printf("%-12s %10d %10.1f %10.3f %10.3g\n",
+			tech, res.Cycles, res.AvgLatency, res.TotalJoules()/seconds, res.MTTFSeconds)
+		if tech == intellinoc.TechIntelliNoC {
+			fmt.Printf("%-12s operation modes: %s\n", "", res.ModeBreakdown.String())
+		}
+	}
+}

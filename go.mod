@@ -1,0 +1,3 @@
+module intellinoc
+
+go 1.22

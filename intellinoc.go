@@ -1,0 +1,137 @@
+// Package intellinoc is a from-scratch reproduction of "IntelliNoC: A
+// Holistic Design Framework for Energy-Efficient and Reliable On-Chip
+// Communication for Manycores" (Wang, Louri, Karanth, Bunescu — ISCA
+// 2019). It bundles a cycle-level 2D-mesh NoC simulator, the paper's
+// three architectural techniques (multi-function adaptive channels,
+// per-router adaptive ECC, stress-relaxing bypass), the five operation
+// modes, per-router Q-learning control, and the comparison designs
+// (static SECDED, Elastic Buffers, iDEAL+power-gating, CPD).
+//
+// Quick start:
+//
+//	gen, _ := intellinoc.ParsecWorkload("canneal", intellinoc.SimConfig{}, 20000)
+//	res, err := intellinoc.Run(intellinoc.TechIntelliNoC, intellinoc.SimConfig{}, gen, nil)
+//	fmt.Println(res.AvgLatency, res.EnergyEfficiency())
+//
+// The experiment harness that regenerates every table and figure of the
+// paper's evaluation lives in internal/experiments and is exposed through
+// cmd/experiments and the bench_test.go targets.
+package intellinoc
+
+import (
+	"io"
+
+	"intellinoc/internal/core"
+	"intellinoc/internal/noc"
+	"intellinoc/internal/power"
+	"intellinoc/internal/traffic"
+)
+
+// Technique identifies one of the five compared NoC designs.
+type Technique = core.Technique
+
+// The five designs of the paper's evaluation (Section 6.3).
+const (
+	TechSECDED     = core.TechSECDED
+	TechEB         = core.TechEB
+	TechCP         = core.TechCP
+	TechCPD        = core.TechCPD
+	TechIntelliNoC = core.TechIntelliNoC
+)
+
+// Techniques lists all designs in the paper's figure order.
+func Techniques() []Technique { return core.Techniques() }
+
+// ParseTechnique resolves a printed technique name.
+func ParseTechnique(s string) (Technique, error) { return core.ParseTechnique(s) }
+
+// SimConfig is the experiment-level configuration (mesh size, RL time
+// step, error rates, RL hyper-parameters). The zero value selects the
+// paper's Table 1 setup on an 8×8 mesh.
+type SimConfig = core.SimConfig
+
+// Result carries every metric a run produces: execution time, latency,
+// energy, retransmissions, operation-mode breakdown, MTTF, temperatures.
+type Result = noc.Result
+
+// Mode is one of the five proactive operation modes of Section 4.
+type Mode = noc.Mode
+
+// The operation modes.
+const (
+	ModeBypass  = noc.ModeBypass
+	ModeCRC     = noc.ModeCRC
+	ModeSECDED  = noc.ModeSECDED
+	ModeDECTED  = noc.ModeDECTED
+	ModeRelaxed = noc.ModeRelaxed
+)
+
+// Policy is a pre-trained per-router Q-learning policy.
+type Policy = core.Policy
+
+// Workload is a time-ordered packet stream.
+type Workload = traffic.Generator
+
+// Packet is one injection request of a workload.
+type Packet = traffic.Packet
+
+// Run simulates one technique over one workload. For TechIntelliNoC a
+// pre-trained policy may be supplied (nil trains online from scratch).
+func Run(tech Technique, sim SimConfig, gen Workload, policy *Policy) (Result, error) {
+	return core.Run(tech, sim, gen, policy)
+}
+
+// RouterSummary is one router's slice of a run: temperature, wear, MTTF,
+// energy and forwarded traffic.
+type RouterSummary = noc.RouterSummary
+
+// RunDetailed is Run plus per-router summaries for heatmaps and hotspot
+// analysis.
+func RunDetailed(tech Technique, sim SimConfig, gen Workload, policy *Policy) (Result, []RouterSummary, error) {
+	return core.RunDetailed(tech, sim, gen, policy)
+}
+
+// Pretrain trains an IntelliNoC policy on the blackscholes workload model
+// (the paper's pre-training benchmark).
+func Pretrain(sim SimConfig, epochs, packetsPerEpoch int) (*Policy, error) {
+	return core.Pretrain(sim, epochs, packetsPerEpoch)
+}
+
+// LoadPolicy reads a pre-trained policy previously written with
+// Policy.Save, so expensive training runs can be reused across sessions.
+func LoadPolicy(r io.Reader) (*Policy, error) { return core.LoadPolicy(r) }
+
+// ParsecBenchmarks returns the ten evaluation benchmark names.
+func ParsecBenchmarks() []string { return traffic.ParsecBenchmarks() }
+
+// ParsecWorkload builds the Netrace-substitute workload model for one
+// PARSEC benchmark (see DESIGN.md for the substitution rationale).
+func ParsecWorkload(name string, sim SimConfig, packets int) (Workload, error) {
+	return core.ParsecWorkload(name, sim, packets)
+}
+
+// SyntheticConfig configures a classic synthetic traffic pattern.
+type SyntheticConfig = traffic.SyntheticConfig
+
+// Synthetic traffic patterns.
+const (
+	Uniform       = traffic.Uniform
+	Transpose     = traffic.Transpose
+	BitComplement = traffic.BitComplement
+	BitReverse    = traffic.BitReverse
+	Shuffle       = traffic.Shuffle
+	Tornado       = traffic.Tornado
+	Neighbor      = traffic.Neighbor
+	Hotspot       = traffic.Hotspot
+)
+
+// SyntheticWorkload builds a synthetic pattern workload.
+func SyntheticWorkload(cfg SyntheticConfig) (Workload, error) {
+	return traffic.NewSynthetic(cfg)
+}
+
+// RouterArea returns the per-router silicon area breakdown of a technique
+// (the paper's Table 2).
+func RouterArea(tech Technique) power.AreaBreakdown {
+	return power.Area(tech.AreaConfig())
+}

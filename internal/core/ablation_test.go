@@ -1,0 +1,90 @@
+package core
+
+import (
+	"testing"
+
+	"intellinoc/internal/noc"
+)
+
+func TestAblationNames(t *testing.T) {
+	seen := map[string]bool{}
+	for _, ab := range Ablations() {
+		s := ab.String()
+		if s == "unknown" || seen[s] {
+			t.Fatalf("bad or duplicate ablation name %q", s)
+		}
+		seen[s] = true
+	}
+	if !seen["full"] {
+		t.Fatal("full design must be included")
+	}
+}
+
+func TestAblationsRunToCompletion(t *testing.T) {
+	sim := smallSim()
+	policy, err := Pretrain(sim, 1, 400)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, ab := range Ablations() {
+		res, err := RunAblation(ab, sim, smallWorkload(t, 500), policy)
+		if err != nil {
+			t.Fatalf("%v: %v", ab, err)
+		}
+		if res.PacketsDelivered+res.PacketsFailed != 500 {
+			t.Fatalf("%v: lost packets (%d+%d)", ab, res.PacketsDelivered, res.PacketsFailed)
+		}
+	}
+}
+
+func TestAblationNoBypassNeverGatesViaMode0(t *testing.T) {
+	sim := smallSim()
+	res, err := RunAblation(AblationNoBypass, sim, smallWorkload(t, 500), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ModeBreakdown[0] != 0 {
+		t.Fatal("-bypass variant must never apply mode 0")
+	}
+}
+
+func TestAblationNoAdaptiveECCPinsSECDED(t *testing.T) {
+	sim := smallSim()
+	res, err := RunAblation(AblationNoAdaptiveECC, sim, smallWorkload(t, 500), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ModeBreakdown[1] != 0 || res.ModeBreakdown[3] != 0 || res.ModeBreakdown[4] != 0 {
+		t.Fatalf("-adaptiveECC must only apply modes 0 and 2: %v", res.ModeBreakdown)
+	}
+}
+
+func TestAblationNoRelaxedDegradesToDECTED(t *testing.T) {
+	sim := smallSim()
+	res, err := RunAblation(AblationNoRelaxed, sim, smallWorkload(t, 500), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ModeBreakdown[4] != 0 {
+		t.Fatal("-relaxed variant must never apply mode 4")
+	}
+}
+
+func TestModeFilterPreservesInnerObservations(t *testing.T) {
+	inner := &recordingCtrl{}
+	f := modeFilter{inner: inner, remap: func(noc.Mode) noc.Mode { return noc.ModeSECDED }}
+	obs := noc.Observation{Router: 3}
+	if got := f.NextMode(obs); got != noc.ModeSECDED {
+		t.Fatalf("remap not applied: %v", got)
+	}
+	if len(inner.seen) != 1 || inner.seen[0].Router != 3 {
+		t.Fatal("inner controller must receive the observation")
+	}
+}
+
+type recordingCtrl struct{ seen []noc.Observation }
+
+func (c *recordingCtrl) NextMode(obs noc.Observation) noc.Mode {
+	c.seen = append(c.seen, obs)
+	return noc.ModeRelaxed
+}

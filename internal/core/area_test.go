@@ -1,0 +1,32 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"intellinoc/internal/power"
+)
+
+func areaTotal(cfg power.AreaConfig) float64 { return power.Area(cfg).Total() }
+
+// The per-technique area presets must reproduce Table 2's totals.
+func TestTechniqueAreasReproduceTable2(t *testing.T) {
+	want := map[Technique]float64{
+		TechSECDED:     119807.0,
+		TechEB:         80612.6,
+		TechCP:         83953.1,
+		TechIntelliNoC: 89313.7,
+	}
+	for tech, w := range want {
+		got := areaTotal(tech.AreaConfig())
+		if math.Abs(got-w)/w > 0.001 {
+			t.Errorf("%v area = %.1f, want ~%.1f", tech, got, w)
+		}
+	}
+	// CPD = CP plus the adaptive ECC bank.
+	cpd := areaTotal(TechCPD.AreaConfig())
+	cp := areaTotal(TechCP.AreaConfig())
+	if cpd <= cp {
+		t.Error("CPD must pay for its adaptive ECC hardware")
+	}
+}

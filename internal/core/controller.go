@@ -1,0 +1,151 @@
+package core
+
+import (
+	"math/rand"
+
+	"intellinoc/internal/noc"
+	"intellinoc/internal/rl"
+)
+
+// CPDController implements the comparison design's heuristic (Section
+// 6.3): "at each time step, the selection of ECC hardware is based on the
+// error level of the previous time step. The agent calculates which error
+// type is most common (no errors in a flit, 1-bit error per flit, 2-bit
+// errors per flit, or more than 3-bit errors per flit)."
+type CPDController struct{}
+
+// NextMode implements noc.Controller.
+func (CPDController) NextMode(obs noc.Observation) noc.Mode {
+	h := obs.ErrorHistogram
+	errored := h[1] + h[2] + h[3]
+	if errored == 0 {
+		// Error-free window: basic CRC suffices.
+		return noc.ModeCRC
+	}
+	switch {
+	case h[1] >= h[2] && h[1] >= h[3]:
+		return noc.ModeSECDED
+	default:
+		// Multi-bit errors dominate; CPD's strongest hardware is
+		// DECTED (it has no relaxed-transmission channels).
+		return noc.ModeDECTED
+	}
+}
+
+// RLController runs one tabular Q-learning agent per router (Section 5):
+// each agent observes its router's 16-feature state, receives the eq. 1
+// reward, applies the eq. 2 temporal-difference update, and ε-greedily
+// picks one of the five operation modes for the next time step.
+type RLController struct {
+	disc   *rl.Discretizer
+	agents []*rl.Agent
+	last   []struct {
+		state  rl.State
+		action int
+		valid  bool
+	}
+	// Frozen disables learning updates (pure exploitation), used when
+	// measuring a pre-trained policy without online adaptation. The
+	// paper keeps online updates on; experiments follow suit.
+	Frozen bool
+
+	// OnPolicy switches the learning rule from the paper's Q-learning
+	// (off-policy, eq. 2) to SARSA (on-policy) — the ext-sarsa
+	// experiment compares the two.
+	OnPolicy bool
+
+	// QTableFaultRate injects soft errors into the state-action tables
+	// (the paper's stated future work): at every decision, each
+	// router's Q-table suffers a random bit flip with this probability.
+	// Online learning is the recovery mechanism — corrupted entries are
+	// overwritten by subsequent TD updates.
+	QTableFaultRate float64
+	faultRNG        *rand.Rand
+}
+
+var _ noc.Controller = (*RLController)(nil)
+
+// NewRLController creates fresh (zero-Q) agents for a routers-node mesh.
+func NewRLController(routers int, cfg rl.Config) *RLController {
+	c := &RLController{
+		disc:   rl.DefaultDiscretizer(),
+		agents: make([]*rl.Agent, routers),
+		last: make([]struct {
+			state  rl.State
+			action int
+			valid  bool
+		}, routers),
+	}
+	for i := range c.agents {
+		agentCfg := cfg
+		agentCfg.Seed = cfg.Seed + int64(i)*7919
+		c.agents[i] = rl.NewAgent(agentCfg)
+	}
+	return c
+}
+
+// NextMode implements noc.Controller: update-then-act per router.
+func (c *RLController) NextMode(obs noc.Observation) noc.Mode {
+	i := obs.Router
+	agent := c.agents[i]
+	if c.QTableFaultRate > 0 {
+		if c.faultRNG == nil {
+			c.faultRNG = rand.New(rand.NewSource(9173))
+		}
+		if c.faultRNG.Float64() < c.QTableFaultRate {
+			agent.FlipRandomBit(c.faultRNG)
+		}
+	}
+	state := c.disc.Discretize(obs.Features[:])
+	action := agent.SelectAction(state)
+	if !c.Frozen && c.last[i].valid {
+		reward := rl.Reward(obs.AvgLatencyCycles, obs.PowerMilliwatts, obs.AgingFactor)
+		if c.OnPolicy {
+			agent.UpdateOnPolicy(c.last[i].state, c.last[i].action, reward, state, action)
+		} else {
+			agent.Update(c.last[i].state, c.last[i].action, reward, state)
+		}
+	}
+	c.last[i].state, c.last[i].action, c.last[i].valid = state, action, true
+	return noc.Mode(action)
+}
+
+// Clone derives a controller with copies of the learned tables and fresh
+// exploration streams — how a pre-trained policy is deployed to each
+// evaluation run.
+func (c *RLController) Clone(seed int64) *RLController {
+	out := &RLController{
+		disc:            c.disc,
+		OnPolicy:        c.OnPolicy,
+		QTableFaultRate: c.QTableFaultRate,
+		agents:          make([]*rl.Agent, len(c.agents)),
+		last: make([]struct {
+			state  rl.State
+			action int
+			valid  bool
+		}, len(c.agents)),
+	}
+	for i, a := range c.agents {
+		out.agents[i] = a.Clone(seed + int64(i)*104729)
+	}
+	return out
+}
+
+// SetEpsilon adjusts every agent's exploration probability.
+func (c *RLController) SetEpsilon(eps float64) {
+	for _, a := range c.agents {
+		a.SetEpsilon(eps)
+	}
+}
+
+// MaxTableSize returns the largest per-router Q-table, the quantity the
+// paper bounds at 350 entries (Section 7.4).
+func (c *RLController) MaxTableSize() int {
+	m := 0
+	for _, a := range c.agents {
+		if s := a.TableSize(); s > m {
+			m = s
+		}
+	}
+	return m
+}

@@ -1,0 +1,218 @@
+package core
+
+import (
+	"testing"
+
+	"intellinoc/internal/noc"
+	"intellinoc/internal/rl"
+	"intellinoc/internal/traffic"
+)
+
+func smallSim() SimConfig {
+	return SimConfig{Width: 4, Height: 4, TimeStepCycles: 500, Seed: 3}
+}
+
+func smallWorkload(t *testing.T, packets int) traffic.Generator {
+	t.Helper()
+	g, err := traffic.NewSynthetic(traffic.SyntheticConfig{
+		Width: 4, Height: 4, Pattern: traffic.Uniform,
+		InjectionRate: 0.08, PacketFlits: 4, Packets: packets, Seed: 5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestTechniqueNamesRoundTrip(t *testing.T) {
+	for _, tech := range Techniques() {
+		got, err := ParseTechnique(tech.String())
+		if err != nil || got != tech {
+			t.Fatalf("round trip failed for %v", tech)
+		}
+	}
+	if _, err := ParseTechnique("bogus"); err == nil {
+		t.Fatal("bogus technique must error")
+	}
+}
+
+func TestTechniqueConfigsMatchTable1(t *testing.T) {
+	base := TechSECDED.NetworkConfig(8, 8)
+	if base.VCs != 4 || base.BufDepth != 4 || base.ChannelStages != 0 {
+		t.Fatalf("baseline must be 4RB-4VC-0CB: %+v", base)
+	}
+	eb := TechEB.NetworkConfig(8, 8)
+	if eb.ChannelStages != 16 || eb.HasVAStage {
+		t.Fatalf("EB must have 8CBx2 subnets and no VA stage: %+v", eb)
+	}
+	cp := TechCP.NetworkConfig(8, 8)
+	if cp.VCs != 4 || cp.BufDepth != 2 || cp.ChannelStages != 8 || !cp.PowerGating || cp.Bypass {
+		t.Fatalf("CP must be 2RB-4VC-8CB with gating, no bypass: %+v", cp)
+	}
+	in := TechIntelliNoC.NetworkConfig(8, 8)
+	if !in.Bypass || !in.MFAC || !in.RLTable || in.BufDepth != 2 || in.ChannelStages != 8 {
+		t.Fatalf("IntelliNoC misconfigured: %+v", in)
+	}
+	for _, tech := range Techniques() {
+		cfg := tech.NetworkConfig(8, 8)
+		if err := cfg.Validate(); err != nil {
+			t.Fatalf("%v config invalid: %v", tech, err)
+		}
+	}
+}
+
+func TestAllTechniquesRunToCompletion(t *testing.T) {
+	for _, tech := range Techniques() {
+		res, err := Run(tech, smallSim(), smallWorkload(t, 600), nil)
+		if err != nil {
+			t.Fatalf("%v: %v", tech, err)
+		}
+		if res.PacketsDelivered+res.PacketsFailed != 600 {
+			t.Fatalf("%v: %d+%d packets of 600", tech, res.PacketsDelivered, res.PacketsFailed)
+		}
+		if res.AvgLatency <= 0 || res.TotalJoules() <= 0 {
+			t.Fatalf("%v: degenerate metrics %+v", tech, res)
+		}
+	}
+}
+
+func TestCPDControllerHeuristic(t *testing.T) {
+	c := CPDController{}
+	// No errors → CRC.
+	if m := c.NextMode(noc.Observation{}); m != noc.ModeCRC {
+		t.Fatalf("error-free window should pick CRC, got %v", m)
+	}
+	// Mostly single-bit → SECDED.
+	obs := noc.Observation{ErrorHistogram: [4]uint64{100, 8, 2, 0}}
+	if m := c.NextMode(obs); m != noc.ModeSECDED {
+		t.Fatalf("1-bit dominated window should pick SECDED, got %v", m)
+	}
+	// Mostly double-bit → DECTED.
+	obs = noc.Observation{ErrorHistogram: [4]uint64{100, 2, 9, 1}}
+	if m := c.NextMode(obs); m != noc.ModeDECTED {
+		t.Fatalf("2-bit dominated window should pick DECTED, got %v", m)
+	}
+	// Heavy multi-bit → DECTED (CPD's strongest option).
+	obs = noc.Observation{ErrorHistogram: [4]uint64{100, 1, 2, 9}}
+	if m := c.NextMode(obs); m != noc.ModeDECTED {
+		t.Fatalf("multi-bit window should pick DECTED, got %v", m)
+	}
+}
+
+func TestRLControllerLearnsAndActsPerRouter(t *testing.T) {
+	ctrl := NewRLController(4, rl.Config{Actions: noc.NumModes, Alpha: 0.5, Gamma: 0.9, Epsilon: 0, Seed: 1})
+	obs := noc.Observation{Router: 2, AvgLatencyCycles: 20, PowerMilliwatts: 10, AgingFactor: 1.01}
+	obs.Features[15] = 60
+	m1 := ctrl.NextMode(obs)
+	if int(m1) < 0 || int(m1) >= noc.NumModes {
+		t.Fatalf("mode out of range: %v", m1)
+	}
+	// A second call for the same router triggers a Q update.
+	m2 := ctrl.NextMode(obs)
+	_ = m2
+	if ctrl.agents[2].TableSize() == 0 {
+		t.Fatal("agent table should have entries after updates")
+	}
+	// Other routers untouched.
+	if ctrl.agents[0].TableSize() != 0 {
+		t.Fatal("router 0's agent should be untouched")
+	}
+}
+
+func TestRLControllerCloneIndependence(t *testing.T) {
+	ctrl := NewRLController(2, rl.Config{Actions: noc.NumModes, Alpha: 0.5, Gamma: 0.9, Epsilon: 0.05, Seed: 1})
+	obs := noc.Observation{Router: 0, AvgLatencyCycles: 5, PowerMilliwatts: 5, AgingFactor: 1}
+	ctrl.NextMode(obs)
+	ctrl.NextMode(obs)
+	clone := ctrl.Clone(99)
+	if clone.MaxTableSize() != ctrl.MaxTableSize() {
+		t.Fatal("clone must copy tables")
+	}
+	for i := 0; i < 50; i++ {
+		clone.NextMode(obs)
+	}
+	if clone.MaxTableSize() < ctrl.MaxTableSize() {
+		t.Fatal("clone diverged incorrectly")
+	}
+}
+
+func TestIntelliNoCWithPretrainedPolicy(t *testing.T) {
+	sim := smallSim()
+	policy, err := Pretrain(sim, 1, 400)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if policy.MaxTableSize() == 0 {
+		t.Fatal("pre-training must populate Q-tables")
+	}
+	// The paper observes <=300 distinct states and provisions 350.
+	if policy.MaxTableSize() > 350 {
+		t.Fatalf("Q-table grew to %d entries, paper budget is 350", policy.MaxTableSize())
+	}
+	res, err := Run(TechIntelliNoC, sim, smallWorkload(t, 600), policy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.PacketsDelivered+res.PacketsFailed != 600 {
+		t.Fatalf("delivered %d+%d of 600", res.PacketsDelivered, res.PacketsFailed)
+	}
+	if res.ModeBreakdown.Total() == 0 {
+		t.Fatal("mode breakdown must be populated")
+	}
+}
+
+func TestParsecWorkloadHelper(t *testing.T) {
+	gen, err := ParsecWorkload("ferret", smallSim(), 300)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(TechCP, smallSim(), gen, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.PacketsDelivered+res.PacketsFailed != 300 {
+		t.Fatalf("parsec run lost packets: %+v", res)
+	}
+	if _, err := ParsecWorkload("nope", smallSim(), 10); err == nil {
+		t.Fatal("unknown benchmark must error")
+	}
+}
+
+func TestDefaultsFilledIn(t *testing.T) {
+	c := SimConfig{}.withDefaults()
+	if c.Width != 8 || c.Height != 8 || c.TimeStepCycles != 1000 {
+		t.Fatalf("defaults wrong: %+v", c)
+	}
+	if c.Alpha != 0.1 || c.Gamma != 0.9 || c.Epsilon != 0.05 {
+		t.Fatalf("paper-tuned RL defaults wrong: %+v", c)
+	}
+}
+
+func TestAreaConfigsDifferPerTechnique(t *testing.T) {
+	seen := map[float64]Technique{}
+	for _, tech := range []Technique{TechSECDED, TechEB, TechCP, TechIntelliNoC} {
+		total := 0.0
+		a := tech.AreaConfig()
+		total = areaTotal(a)
+		if prev, dup := seen[total]; dup {
+			t.Fatalf("%v and %v have identical area", prev, tech)
+		}
+		seen[total] = tech
+	}
+}
+
+func TestSARSAControlRuns(t *testing.T) {
+	sim := smallSim()
+	sim.OnPolicySARSA = true
+	policy, err := Pretrain(sim, 1, 400)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(TechIntelliNoC, sim, smallWorkload(t, 500), policy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.PacketsDelivered+res.PacketsFailed != 500 {
+		t.Fatalf("SARSA run lost packets: %+v", res)
+	}
+}

@@ -1,0 +1,91 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"intellinoc/internal/rl"
+)
+
+func TestControlFaultsSlowButDontBreak(t *testing.T) {
+	sim := smallSim()
+	clean, err := Run(TechSECDED, sim, smallWorkload(t, 800), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	faulty := sim
+	faulty.ControlFaultRate = 0.05 // 5% of route computations hit
+	res, err := Run(TechSECDED, faulty, smallWorkload(t, 800), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.PacketsDelivered != 800 {
+		t.Fatalf("control faults must never lose packets: %d/800", res.PacketsDelivered)
+	}
+	if res.ControlFaults == 0 {
+		t.Fatal("faults were not injected")
+	}
+	if res.AvgLatency <= clean.AvgLatency {
+		t.Fatalf("parity-recovery penalties must cost latency: %.1f vs %.1f",
+			res.AvgLatency, clean.AvgLatency)
+	}
+	if clean.ControlFaults != 0 {
+		t.Fatal("fault-free run must report zero control faults")
+	}
+}
+
+func TestQTableFaultsDegradeGracefully(t *testing.T) {
+	sim := smallSim()
+	policy, err := Pretrain(sim, 1, 500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	faulty := sim
+	faulty.QTableFaultRate = 0.2
+	res, err := Run(TechIntelliNoC, faulty, smallWorkload(t, 600), policy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.PacketsDelivered+res.PacketsFailed != 600 {
+		t.Fatalf("Q-table faults must never lose packets: %+v", res)
+	}
+}
+
+func TestFlipRandomBitChangesTable(t *testing.T) {
+	a := rl.NewAgent(rl.DefaultConfig())
+	rng := rand.New(rand.NewSource(1))
+	if a.FlipRandomBit(rng) {
+		t.Fatal("empty table cannot be corrupted")
+	}
+	a.Update(5, 1, -3, 5)
+	before := a.Q(5, 1)
+	changed := false
+	for i := 0; i < 64 && !changed; i++ {
+		if !a.FlipRandomBit(rng) {
+			t.Fatal("non-empty table must accept injection")
+		}
+		for act := 0; act < 5; act++ {
+			if a.Q(5, act) != before && act == 1 {
+				changed = true
+			}
+			v := a.Q(5, act)
+			if v != v { // NaN check
+				t.Fatal("flip produced NaN")
+			}
+		}
+	}
+	// With 64 injections over a 5-entry row, at least one must land.
+	if !changed {
+		// Not strictly guaranteed for action 1 specifically; accept
+		// any entry change.
+		anyChanged := false
+		for act := 0; act < 5; act++ {
+			if a.Q(5, act) != -3 && a.Q(5, act) != before {
+				anyChanged = true
+			}
+		}
+		if !anyChanged {
+			t.Fatal("64 bit flips changed nothing")
+		}
+	}
+}

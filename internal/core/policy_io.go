@@ -1,0 +1,75 @@
+package core
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+
+	"intellinoc/internal/rl"
+)
+
+// policyFile is the on-disk representation of a pre-trained policy.
+type policyFile struct {
+	Magic   string
+	Version int
+	Agents  []rl.AgentSnapshot
+}
+
+const (
+	policyMagic   = "intellinoc-policy"
+	policyVersion = 1
+)
+
+// Save serializes the policy (every router's Q-table) to w, so an
+// expensive pre-training run can be reused across sessions:
+//
+//	intellinoc -pretrain 5 -save-policy policy.gob ...
+//	intellinoc -load-policy policy.gob ...
+func (p *Policy) Save(w io.Writer) error {
+	file := policyFile{Magic: policyMagic, Version: policyVersion}
+	for _, a := range p.ctrl.agents {
+		file.Agents = append(file.Agents, a.Snapshot())
+	}
+	if err := gob.NewEncoder(w).Encode(file); err != nil {
+		return fmt.Errorf("core: encoding policy: %w", err)
+	}
+	return nil
+}
+
+// LoadPolicy reads a policy previously written by Save. The agent count
+// must match the mesh it is deployed on (64 for the default 8×8).
+func LoadPolicy(r io.Reader) (*Policy, error) {
+	var file policyFile
+	if err := gob.NewDecoder(r).Decode(&file); err != nil {
+		return nil, fmt.Errorf("core: decoding policy: %w", err)
+	}
+	if file.Magic != policyMagic {
+		return nil, fmt.Errorf("core: not an intellinoc policy file")
+	}
+	if file.Version != policyVersion {
+		return nil, fmt.Errorf("core: unsupported policy version %d", file.Version)
+	}
+	if len(file.Agents) == 0 {
+		return nil, fmt.Errorf("core: policy file has no agents")
+	}
+	ctrl := &RLController{
+		disc:   rl.DefaultDiscretizer(),
+		agents: make([]*rl.Agent, len(file.Agents)),
+		last: make([]struct {
+			state  rl.State
+			action int
+			valid  bool
+		}, len(file.Agents)),
+	}
+	for i, snap := range file.Agents {
+		a, err := rl.RestoreAgent(snap)
+		if err != nil {
+			return nil, fmt.Errorf("core: agent %d: %w", i, err)
+		}
+		ctrl.agents[i] = a
+	}
+	return &Policy{ctrl: ctrl}, nil
+}
+
+// Routers returns the number of per-router agents in the policy.
+func (p *Policy) Routers() int { return len(p.ctrl.agents) }

@@ -1,0 +1,79 @@
+package core
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestPolicySaveLoadRoundTrip(t *testing.T) {
+	sim := smallSim()
+	policy, err := Pretrain(sim, 1, 500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := policy.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadPolicy(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.Routers() != policy.Routers() {
+		t.Fatalf("agent count changed: %d vs %d", loaded.Routers(), policy.Routers())
+	}
+	if loaded.MaxTableSize() != policy.MaxTableSize() {
+		t.Fatalf("table size changed: %d vs %d", loaded.MaxTableSize(), policy.MaxTableSize())
+	}
+	// A run driven by the loaded policy must reproduce the run driven
+	// by the original (same seeds, same greedy tables).
+	a, err := Run(TechIntelliNoC, sim, smallWorkload(t, 500), policy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(TechIntelliNoC, sim, smallWorkload(t, 500), loaded)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Cycles != b.Cycles || a.AvgLatency != b.AvgLatency {
+		t.Fatalf("loaded policy diverges: %d/%.2f vs %d/%.2f",
+			a.Cycles, a.AvgLatency, b.Cycles, b.AvgLatency)
+	}
+}
+
+func TestLoadPolicyRejectsGarbage(t *testing.T) {
+	if _, err := LoadPolicy(bytes.NewReader([]byte("not a policy"))); err == nil {
+		t.Fatal("garbage must be rejected")
+	}
+	// A structurally valid gob with the wrong magic must be rejected.
+	var buf bytes.Buffer
+	p, err := Pretrain(smallSim(), 1, 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+	// Corrupt the magic string in place.
+	idx := bytes.Index(data, []byte("intellinoc-policy"))
+	if idx < 0 {
+		t.Fatal("magic not found in encoding")
+	}
+	data[idx] = 'X'
+	if _, err := LoadPolicy(bytes.NewReader(data)); err == nil {
+		t.Fatal("bad magic must be rejected")
+	}
+}
+
+func TestLoadPolicyRejectsEmpty(t *testing.T) {
+	var buf bytes.Buffer
+	// Hand-encode an empty policy file.
+	p := &Policy{ctrl: &RLController{}}
+	if err := p.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadPolicy(&buf); err == nil {
+		t.Fatal("agentless policy must be rejected")
+	}
+}

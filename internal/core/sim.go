@@ -1,0 +1,200 @@
+package core
+
+import (
+	"fmt"
+
+	"intellinoc/internal/noc"
+	"intellinoc/internal/rl"
+	"intellinoc/internal/traffic"
+)
+
+// SimConfig is the experiment-level configuration shared across
+// techniques. Zero fields take the Table 1 defaults.
+type SimConfig struct {
+	Width, Height int
+	// TimeStepCycles is the controller decision interval (paper default
+	// 1000; Fig. 17a sweeps it).
+	TimeStepCycles int
+	// BaseErrorRate is the thermally-coupled per-bit rate at the
+	// reference operating point. The default, 4e-5, is the paper's
+	// regime scaled up so that error statistics remain meaningful over
+	// our much shorter trace lengths (see DESIGN.md).
+	BaseErrorRate float64
+	// ForcedErrorRate, when > 0, injects at exactly this rate
+	// regardless of temperature (Fig. 17b).
+	ForcedErrorRate float64
+	Seed            int64
+	// MaxCycles bounds a run (default 20M).
+	MaxCycles int64
+	// VerifyPayloads routes every protected hop through the bit-exact
+	// ECC codecs.
+	VerifyPayloads bool
+	// ControlFaultRate and QTableFaultRate extend fault injection to
+	// the control circuitry and RL state-action tables — the paper's
+	// stated future work (Section 6). Control faults are
+	// parity-detected routing-table upsets per route computation;
+	// Q-table faults are soft bit flips per controller decision.
+	ControlFaultRate float64
+	QTableFaultRate  float64
+
+	// DependencyWindow controls Netrace-style closed-loop injection:
+	// each core may have at most this many packets outstanding, with
+	// trace gaps preserved as compute time. 0 selects the default of 1
+	// (serial per-core dependency chains, which is what makes execution
+	// time respond to network performance as in Fig. 9); -1 selects
+	// open-loop replay (used by injection-rate sweeps).
+	DependencyWindow int
+
+	// RL hyper-parameters (paper-tuned defaults: α=0.1, γ=0.9, ε=0.05).
+	Alpha, Gamma, Epsilon float64
+	// OnPolicySARSA swaps the paper's Q-learning for on-policy SARSA
+	// (ext-sarsa experiment).
+	OnPolicySARSA bool
+}
+
+// withDefaults fills in unset fields.
+func (c SimConfig) withDefaults() SimConfig {
+	if c.Width == 0 {
+		c.Width = 8
+	}
+	if c.Height == 0 {
+		c.Height = 8
+	}
+	if c.TimeStepCycles == 0 {
+		c.TimeStepCycles = 1000
+	}
+	if c.BaseErrorRate == 0 {
+		c.BaseErrorRate = 4e-5
+	}
+	if c.MaxCycles == 0 {
+		c.MaxCycles = 20_000_000
+	}
+	if c.Alpha == 0 {
+		c.Alpha = 0.1
+	}
+	if c.Gamma == 0 {
+		c.Gamma = 0.9
+	}
+	if c.Epsilon == 0 {
+		c.Epsilon = 0.05
+	}
+	switch {
+	case c.DependencyWindow == 0:
+		c.DependencyWindow = 1
+	case c.DependencyWindow < 0:
+		c.DependencyWindow = 0 // open loop
+	}
+	return c
+}
+
+// rlConfig derives the Q-learning configuration.
+func (c SimConfig) rlConfig() rl.Config {
+	return rl.Config{Actions: noc.NumModes, Alpha: c.Alpha, Gamma: c.Gamma,
+		Epsilon: c.Epsilon, Seed: c.Seed + 31,
+		DefaultAction: int(noc.ModeCRC)}
+}
+
+// Policy is a pre-trained per-router control policy (the paper pre-trains
+// on blackscholes before evaluating the other benchmarks).
+type Policy struct {
+	ctrl *RLController
+}
+
+// MaxTableSize exposes the largest learned Q-table.
+func (p *Policy) MaxTableSize() int { return p.ctrl.MaxTableSize() }
+
+// Run simulates one technique over one workload and returns the result.
+// For TechIntelliNoC, policy may carry a pre-trained policy; nil trains
+// from scratch during the run.
+func Run(tech Technique, sim SimConfig, gen traffic.Generator, policy *Policy) (noc.Result, error) {
+	res, _, err := RunDetailed(tech, sim, gen, policy)
+	return res, err
+}
+
+// RunDetailed is Run plus per-router summaries (temperatures, wear, MTTF,
+// energy, traffic) for heatmaps and hotspot analysis.
+func RunDetailed(tech Technique, sim SimConfig, gen traffic.Generator, policy *Policy) (noc.Result, []noc.RouterSummary, error) {
+	sim = sim.withDefaults()
+	cfg := tech.NetworkConfig(sim.Width, sim.Height)
+	cfg.TimeStepCycles = sim.TimeStepCycles
+	cfg.BaseErrorRate = sim.BaseErrorRate
+	cfg.ForcedErrorRate = sim.ForcedErrorRate
+	cfg.Seed = sim.Seed
+	cfg.VerifyPayloads = sim.VerifyPayloads
+	cfg.DependencyWindow = sim.DependencyWindow
+	cfg.ControlFaultRate = sim.ControlFaultRate
+
+	ctrl, initial := controllerFor(tech, sim, cfg, policy)
+	n, err := noc.New(cfg, gen, ctrl)
+	if err != nil {
+		return noc.Result{}, nil, fmt.Errorf("core: building %s network: %w", tech, err)
+	}
+	n.SetInitialMode(initial)
+	res, err := n.RunUntilDrained(sim.MaxCycles)
+	if err != nil {
+		return res, nil, fmt.Errorf("core: running %s: %w", tech, err)
+	}
+	return res, n.PerRouter(), nil
+}
+
+func controllerFor(tech Technique, sim SimConfig, cfg noc.Config, policy *Policy) (noc.Controller, noc.Mode) {
+	switch tech {
+	case TechCPD:
+		return CPDController{}, noc.ModeSECDED
+	case TechIntelliNoC:
+		var ctrl *RLController
+		if policy != nil {
+			ctrl = policy.ctrl.Clone(sim.Seed + 17)
+			ctrl.SetEpsilon(sim.withDefaults().Epsilon)
+		} else {
+			ctrl = NewRLController(cfg.Nodes(), sim.rlConfig())
+		}
+		ctrl.QTableFaultRate = sim.QTableFaultRate
+		ctrl.OnPolicy = sim.OnPolicySARSA
+		// Paper: "The operation modes of all routers are initialized
+		// to mode 1."
+		return ctrl, noc.ModeCRC
+	default:
+		return noc.StaticController(noc.ModeSECDED), noc.ModeSECDED
+	}
+}
+
+// Pretrain trains an IntelliNoC policy on the blackscholes workload model
+// (the paper's tuning/pre-training benchmark) for the given number of
+// epochs and returns it for reuse across evaluation runs.
+func Pretrain(sim SimConfig, epochs, packetsPerEpoch int) (*Policy, error) {
+	sim = sim.withDefaults()
+	cfg := TechIntelliNoC.NetworkConfig(sim.Width, sim.Height)
+	cfg.TimeStepCycles = sim.TimeStepCycles
+	cfg.BaseErrorRate = sim.BaseErrorRate
+	cfg.ForcedErrorRate = sim.ForcedErrorRate
+	cfg.Seed = sim.Seed
+	cfg.DependencyWindow = sim.DependencyWindow
+	cfg.ControlFaultRate = sim.ControlFaultRate
+
+	ctrl := NewRLController(cfg.Nodes(), sim.rlConfig())
+	ctrl.OnPolicy = sim.OnPolicySARSA
+	for e := 0; e < epochs; e++ {
+		gen, err := traffic.NewParsec("blackscholes", sim.Width, sim.Height,
+			packetsPerEpoch, sim.Seed+int64(e)*997)
+		if err != nil {
+			return nil, err
+		}
+		cfg.Seed = sim.Seed + int64(e)*13
+		n, err := noc.New(cfg, gen, ctrl)
+		if err != nil {
+			return nil, err
+		}
+		n.SetInitialMode(noc.ModeCRC)
+		if _, err := n.RunUntilDrained(sim.MaxCycles); err != nil {
+			return nil, fmt.Errorf("core: pre-training epoch %d: %w", e, err)
+		}
+	}
+	return &Policy{ctrl: ctrl}, nil
+}
+
+// ParsecWorkload builds the workload model for one PARSEC benchmark.
+func ParsecWorkload(name string, sim SimConfig, packets int) (traffic.Generator, error) {
+	sim = sim.withDefaults()
+	return traffic.NewParsec(name, sim.Width, sim.Height, packets, sim.Seed+271)
+}

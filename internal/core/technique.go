@@ -1,0 +1,125 @@
+// Package core assembles the paper's five evaluated designs out of the
+// simulator substrate: the static SECDED baseline, Elastic Buffers (EB),
+// iDEAL channel buffers with power gating (CP), CP with dynamic ECC (CPD),
+// and IntelliNoC itself (MFACs + adaptive ECC + stress-relaxing bypass +
+// RL control). It also provides the control policies: static, CPD's
+// error-level heuristic, and the per-router Q-learning agents.
+package core
+
+import (
+	"fmt"
+
+	"intellinoc/internal/noc"
+	"intellinoc/internal/power"
+)
+
+// Technique identifies one of the compared NoC designs (Section 6.3).
+type Technique int
+
+const (
+	// TechSECDED is the baseline: wormhole 4-stage routers, 4 router
+	// buffers × 4 VCs, no channel buffers, static per-hop SECDED.
+	TechSECDED Technique = iota
+	// TechEB is Elastic Buffers: zero router buffers, flip-flop channel
+	// storage in two sub-networks, VA stage eliminated.
+	TechEB
+	// TechCP is iDEAL channel buffers plus power gating: 2 router
+	// buffers, 4 VCs, 8 channel buffers.
+	TechCP
+	// TechCPD is CP extended with heuristically-selected dynamic ECC.
+	TechCPD
+	// TechIntelliNoC is the paper's full design.
+	TechIntelliNoC
+)
+
+// Techniques lists all designs in the paper's figure order.
+func Techniques() []Technique {
+	return []Technique{TechSECDED, TechEB, TechCP, TechCPD, TechIntelliNoC}
+}
+
+// String names the technique as the figures do.
+func (t Technique) String() string {
+	switch t {
+	case TechSECDED:
+		return "SECDED"
+	case TechEB:
+		return "EB"
+	case TechCP:
+		return "CP"
+	case TechCPD:
+		return "CPD"
+	case TechIntelliNoC:
+		return "IntelliNoC"
+	}
+	return "unknown"
+}
+
+// ParseTechnique resolves a name (as printed by String) to a Technique.
+func ParseTechnique(s string) (Technique, error) {
+	for _, t := range Techniques() {
+		if t.String() == s {
+			return t, nil
+		}
+	}
+	return 0, fmt.Errorf("core: unknown technique %q", s)
+}
+
+// NetworkConfig builds the noc.Config implementing Table 1 for this
+// technique on the given mesh.
+func (t Technique) NetworkConfig(width, height int) noc.Config {
+	cfg := noc.Config{
+		Width: width, Height: height,
+		FlitBits:              128,
+		TimeStepCycles:        1000,
+		ThermalIntervalCycles: 200,
+		MaxPacketRetries:      16,
+		HasVAStage:            true,
+	}
+	switch t {
+	case TechSECDED:
+		cfg.VCs, cfg.BufDepth = 4, 4 // 4RB-4VC-0CB
+	case TechEB:
+		cfg.VCs, cfg.BufDepth = 2, 1 // two sub-networks, latch only
+		cfg.ChannelStages = 16       // 8CB × 2 sub-networks
+		cfg.HasVAStage = false
+		cfg.ElasticChannel = true
+		// EB's sub-networks are physically independent channels; the
+		// per-VC order-preserving channel scan models exactly that.
+		cfg.DynamicChannelAlloc = true
+	case TechCP, TechCPD:
+		cfg.VCs, cfg.BufDepth = 4, 2 // 2RB-4VC-8CB
+		cfg.ChannelStages = 8
+		cfg.DynamicChannelAlloc = true
+		cfg.PowerGating = true
+		cfg.IdleGateCycles = 64
+		cfg.WakeupCycles = 8
+	case TechIntelliNoC:
+		cfg.VCs, cfg.BufDepth = 4, 2 // 2RB-4VC-8CB
+		cfg.ChannelStages = 8
+		cfg.DynamicChannelAlloc = true
+		cfg.PowerGating = true
+		cfg.Bypass = true
+		cfg.MFAC = true
+		cfg.RLTable = true
+		cfg.IdleGateCycles = 64
+		cfg.WakeupCycles = 8
+	}
+	return cfg
+}
+
+// AreaConfig builds the Table 2 area composition for this technique.
+func (t Technique) AreaConfig() power.AreaConfig {
+	switch t {
+	case TechSECDED:
+		return power.AreaConfig{BufSlotsPerPort: 16}
+	case TechEB:
+		return power.AreaConfig{ChanStages: 16, ElasticChannel: true, DualSubnet: true}
+	case TechCP, TechCPD:
+		return power.AreaConfig{BufSlotsPerPort: 8, ChanStages: 8, PowerGating: true,
+			AdaptiveECC: t == TechCPD}
+	case TechIntelliNoC:
+		return power.AreaConfig{BufSlotsPerPort: 8, ChanStages: 8, MFAC: true,
+			AdaptiveECC: true, PowerGating: true, RLTable: true}
+	}
+	return power.AreaConfig{}
+}

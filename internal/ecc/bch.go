@@ -1,0 +1,217 @@
+package ecc
+
+import "math/bits"
+
+// DECTED implements a double-error-correcting, triple-error-detecting
+// (79,64) code: a shortened binary BCH(127,113) code with designed distance
+// 5 (14 check bits from the generator g(x) = m1(x)·m3(x) over GF(2^7))
+// extended with one overall parity bit for triple-error detection. This is
+// the standard DEC-TED construction and matches the fully-activated
+// adaptive ECC hardware of Fig. 5.
+//
+// Codeword layout: bits 0..13 are the BCH remainder, bits 14..77 are the 64
+// data bits (systematic, shortened from 113 message bits), bit 78 is the
+// overall parity over bits 0..77.
+type DECTED struct {
+	gen       uint64 // generator polynomial bitmask, degree genDeg
+	genDeg    int
+	syndromes [dectedBCHBits][2]byte // per-position alpha^i, alpha^{3i}
+}
+
+const (
+	dectedData    = 64
+	dectedCheck   = 14
+	dectedBCHBits = dectedData + dectedCheck // 78
+	dectedTotal   = dectedBCHBits + 1        // 79, with overall parity
+)
+
+// NewDECTED returns the DECTED(79,64) codec.
+func NewDECTED() *DECTED {
+	m1 := minimalPoly(1)
+	m3 := minimalPoly(3)
+	gen := polyMulGF2(m1, m3)
+	d := &DECTED{gen: gen, genDeg: bits.Len64(gen) - 1}
+	if d.genDeg != dectedCheck {
+		panic("ecc: unexpected BCH generator degree")
+	}
+	for i := 0; i < dectedBCHBits; i++ {
+		d.syndromes[i][0] = gfExp[i%gfOrder]
+		d.syndromes[i][1] = gfExp[(3*i)%gfOrder]
+	}
+	return d
+}
+
+// Name implements Code.
+func (d *DECTED) Name() string { return "dected(79,64)" }
+
+// DataBits implements Code.
+func (d *DECTED) DataBits() int { return dectedData }
+
+// CodeBits implements Code.
+func (d *DECTED) CodeBits() int { return dectedTotal }
+
+// Encode implements Code.
+func (d *DECTED) Encode(data *BitVector) *BitVector {
+	if data.Len() != dectedData {
+		panic("ecc: dected encode expects 64 data bits")
+	}
+	w := NewBitVector(dectedTotal)
+	for i := 0; i < dectedData; i++ {
+		w.SetBit(dectedCheck+i, data.Bit(i))
+	}
+	// Systematic encoding: remainder of x^14·m(x) divided by g(x).
+	// m(x) fits in 64 bits; x^14·m(x) needs 78, so divide in two words.
+	var hi, lo uint64 // codeword polynomial, bit i of (hi<<64|lo) = x^i coeff
+	for i := 0; i < dectedData; i++ {
+		if data.Bit(i) == 1 {
+			p := dectedCheck + i
+			if p < 64 {
+				lo |= 1 << uint(p)
+			} else {
+				hi |= 1 << uint(p-64)
+			}
+		}
+	}
+	rem := polyMod128(hi, lo, d.gen, d.genDeg)
+	for i := 0; i < dectedCheck; i++ {
+		w.SetBit(i, int(rem>>uint(i))&1)
+	}
+	// Overall parity over bits 0..77.
+	p := 0
+	for i := 0; i < dectedBCHBits; i++ {
+		p ^= w.Bit(i)
+	}
+	w.SetBit(dectedBCHBits, p)
+	return w
+}
+
+// Decode implements Code. It corrects up to two bit errors anywhere in the
+// 79-bit word (including the parity bit) and detects three.
+func (d *DECTED) Decode(word *BitVector) (*BitVector, Result) {
+	if word.Len() != dectedTotal {
+		panic("ecc: dected decode expects 79-bit word")
+	}
+	w := word.Clone()
+
+	// Syndromes S1 = r(alpha), S3 = r(alpha^3) over the BCH bits, and
+	// overall parity P over the whole word (0 when clean).
+	var s1, s3 byte
+	parity := 0
+	for i := 0; i < dectedBCHBits; i++ {
+		if w.Bit(i) == 1 {
+			s1 ^= d.syndromes[i][0]
+			s3 ^= d.syndromes[i][1]
+			parity ^= 1
+		}
+	}
+	parity ^= w.Bit(dectedBCHBits)
+
+	switch {
+	case s1 == 0 && s3 == 0 && parity == 0:
+		return d.extract(w), ResultOK
+
+	case parity == 1:
+		// Odd error count. One error is correctable; S-consistency
+		// distinguishes 1 from >=3.
+		if s1 == 0 && s3 == 0 {
+			w.FlipBit(dectedBCHBits) // parity bit itself flipped
+			return d.extract(w), ResultCorrected
+		}
+		if s1 != 0 && s3 == gfPow(s1, 3) {
+			pos := gfLog[s1]
+			if pos < dectedBCHBits {
+				w.FlipBit(pos)
+				return d.extract(w), ResultCorrected
+			}
+		}
+		return d.extract(w), ResultDetected
+
+	default:
+		// Even error count >= 2.
+		if s1 == 0 {
+			// Two errors cannot both vanish from S1 unless they
+			// are at the same position; with s3 != 0 this is an
+			// uncorrectable (>=4) pattern.
+			return d.extract(w), ResultDetected
+		}
+		// Error locator x^2 + S1·x + (S3/S1 + S1^2) for errors at
+		// field elements X1, X2 (X1+X2 = S1, X1·X2 = S3/S1 + S1^2).
+		c := gfDiv(s3, s1) ^ gfMul(s1, s1)
+		if c == 0 {
+			// X1·X2 = 0: one root is the (non-field) parity bit —
+			// a BCH error at log(S1) plus a parity-bit error.
+			pos := gfLog[s1]
+			if pos < dectedBCHBits {
+				w.FlipBit(pos)
+				w.FlipBit(dectedBCHBits)
+				return d.extract(w), ResultCorrected
+			}
+			return d.extract(w), ResultDetected
+		}
+		// Chien search over the shortened positions.
+		p1, p2 := -1, -1
+		for i := 0; i < dectedBCHBits; i++ {
+			x := gfExp[i%gfOrder]
+			if gfMul(x, x)^gfMul(s1, x)^c == 0 {
+				if p1 < 0 {
+					p1 = i
+				} else {
+					p2 = i
+					break
+				}
+			}
+		}
+		if p1 >= 0 && p2 >= 0 {
+			w.FlipBit(p1)
+			w.FlipBit(p2)
+			return d.extract(w), ResultCorrected
+		}
+		return d.extract(w), ResultDetected
+	}
+}
+
+func (d *DECTED) extract(w *BitVector) *BitVector {
+	data := NewBitVector(dectedData)
+	for i := 0; i < dectedData; i++ {
+		data.SetBit(i, w.Bit(dectedCheck+i))
+	}
+	return data
+}
+
+// polyMulGF2 multiplies two GF(2) polynomials held as bitmasks.
+func polyMulGF2(a, b uint64) uint64 {
+	var r uint64
+	for i := 0; b != 0; i, b = i+1, b>>1 {
+		if b&1 == 1 {
+			r ^= a << uint(i)
+		}
+	}
+	return r
+}
+
+// polyMod128 reduces the 128-bit GF(2) polynomial (hi<<64 | lo) modulo gen
+// (degree deg) and returns the remainder.
+func polyMod128(hi, lo, gen uint64, deg int) uint64 {
+	for i := 127; i >= deg; i-- {
+		var bit uint64
+		if i >= 64 {
+			bit = hi >> uint(i-64) & 1
+		} else {
+			bit = lo >> uint(i) & 1
+		}
+		if bit == 0 {
+			continue
+		}
+		// Subtract gen << (i-deg).
+		sh := uint(i - deg)
+		if sh >= 64 {
+			hi ^= gen << (sh - 64)
+		} else {
+			lo ^= gen << sh
+			if sh > 0 {
+				hi ^= gen >> (64 - sh)
+			}
+		}
+	}
+	return lo & (1<<uint(deg) - 1)
+}

@@ -1,0 +1,236 @@
+package ecc
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestDECTEDRoundTrip(t *testing.T) {
+	c := NewDECTED()
+	f := func(raw [8]byte) bool {
+		data := FromBytes(raw[:])
+		word := c.Encode(data)
+		if word.Len() != 79 {
+			return false
+		}
+		got, res := c.Decode(word)
+		return res == ResultOK && got.Equal(data)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDECTEDCorrectsAllSingleErrors(t *testing.T) {
+	c := NewDECTED()
+	rng := rand.New(rand.NewSource(20))
+	for trial := 0; trial < 10; trial++ {
+		data := randomData(rng, 64)
+		word := c.Encode(data)
+		for pos := 0; pos < word.Len(); pos++ {
+			w := word.Clone()
+			w.FlipBit(pos)
+			got, res := c.Decode(w)
+			if res != ResultCorrected {
+				t.Fatalf("single error at %d: result %v", pos, res)
+			}
+			if !got.Equal(data) {
+				t.Fatalf("single error at %d: data not recovered", pos)
+			}
+		}
+	}
+}
+
+func TestDECTEDCorrectsAllDoubleErrors(t *testing.T) {
+	c := NewDECTED()
+	rng := rand.New(rand.NewSource(21))
+	data := randomData(rng, 64)
+	word := c.Encode(data)
+	n := word.Len()
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			w := word.Clone()
+			w.FlipBit(i)
+			w.FlipBit(j)
+			got, res := c.Decode(w)
+			if res != ResultCorrected {
+				t.Fatalf("double error at %d,%d: result %v", i, j, res)
+			}
+			if !got.Equal(data) {
+				t.Fatalf("double error at %d,%d: data not recovered", i, j)
+			}
+		}
+	}
+}
+
+func TestDECTEDDetectsAllTripleErrors(t *testing.T) {
+	c := NewDECTED()
+	rng := rand.New(rand.NewSource(22))
+	data := randomData(rng, 64)
+	word := c.Encode(data)
+	n := word.Len()
+	// Exhaustive triples are ~80k decodes; keep it exhaustive — this is
+	// the code's defining guarantee (designed distance 6 with parity).
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			for k := j + 1; k < n; k++ {
+				w := word.Clone()
+				w.FlipBit(i)
+				w.FlipBit(j)
+				w.FlipBit(k)
+				if _, res := c.Decode(w); res != ResultDetected {
+					t.Fatalf("triple error at %d,%d,%d: result %v, want detected", i, j, k, res)
+				}
+			}
+		}
+	}
+}
+
+func TestDECTEDQuadrupleErrorsWellBehaved(t *testing.T) {
+	c := NewDECTED()
+	rng := rand.New(rand.NewSource(23))
+	data := randomData(rng, 64)
+	word := c.Encode(data)
+	for trial := 0; trial < 3000; trial++ {
+		w := word.Clone()
+		seen := map[int]bool{}
+		for len(seen) < 4 {
+			p := rng.Intn(w.Len())
+			if !seen[p] {
+				seen[p] = true
+				w.FlipBit(p)
+			}
+		}
+		// Quadruples may miscorrect (distance 6 code) but must not
+		// be reported clean with modified data unless they alias a
+		// valid codeword, and must never panic.
+		got, res := c.Decode(w)
+		if res == ResultOK && !got.Equal(data) {
+			// A 4-error pattern landed on another codeword's
+			// decoding region; the weight-distribution of the
+			// code makes a clean verdict impossible at weight 4
+			// (minimum distance 6).
+			t.Fatalf("4 errors decoded as OK with wrong data")
+		}
+	}
+}
+
+func TestDECTEDGeneratorProperties(t *testing.T) {
+	c := NewDECTED()
+	if c.genDeg != 14 {
+		t.Fatalf("generator degree = %d, want 14", c.genDeg)
+	}
+	// g(x) must divide x^127 + 1 (both minimal polynomials do).
+	var hi, lo uint64
+	hi = 1 << (127 - 64) // x^127
+	lo = 1               // + 1
+	if rem := polyMod128(hi, lo, c.gen, c.genDeg); rem != 0 {
+		t.Fatalf("g(x) does not divide x^127+1, remainder %#x", rem)
+	}
+}
+
+func TestDECTEDAgreesWithCapability(t *testing.T) {
+	c := NewDECTED()
+	cap := CapabilityOf(SchemeDECTED)
+	rng := rand.New(rand.NewSource(24))
+	for trial := 0; trial < 500; trial++ {
+		data := randomData(rng, 64)
+		word := c.Encode(data)
+		errs := rng.Intn(4) // 0..3 inside the envelope
+		w := word.Clone()
+		seen := map[int]bool{}
+		for len(seen) < errs {
+			p := rng.Intn(w.Len())
+			if !seen[p] {
+				seen[p] = true
+				w.FlipBit(p)
+			}
+		}
+		got, res := c.Decode(w)
+		switch cap.Resolve(errs) {
+		case OutcomeClean:
+			if res != ResultOK || !got.Equal(data) {
+				t.Fatalf("clean: result %v", res)
+			}
+		case OutcomeCorrected:
+			if res != ResultCorrected || !got.Equal(data) {
+				t.Fatalf("%d errors: result %v recovered=%v", errs, res, got.Equal(data))
+			}
+		case OutcomeDetected:
+			if res != ResultDetected {
+				t.Fatalf("%d errors: result %v, want detected", errs, res)
+			}
+		}
+	}
+}
+
+func TestGF128Arithmetic(t *testing.T) {
+	// Field axioms on the lookup tables.
+	for a := 1; a < gfSize; a++ {
+		if gfMul(byte(a), gfInv(byte(a))) != 1 {
+			t.Fatalf("a*inv(a) != 1 for a=%d", a)
+		}
+		if gfPow(byte(a), gfOrder) != 1 {
+			t.Fatalf("a^127 != 1 for a=%d", a)
+		}
+	}
+	// Distributivity spot-check via quick.
+	f := func(a, b, c byte) bool {
+		a, b, c = a&0x7F, b&0x7F, c&0x7F
+		return gfMul(a, b^c) == gfMul(a, b)^gfMul(a, c)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMinimalPolyM1(t *testing.T) {
+	// The minimal polynomial of alpha is the field's primitive
+	// polynomial x^7 + x^3 + 1.
+	if m := minimalPoly(1); m != gfPoly {
+		t.Fatalf("minimalPoly(1) = %#x, want %#x", m, gfPoly)
+	}
+}
+
+func TestCodeInterfaceCompliance(t *testing.T) {
+	for _, s := range []Scheme{SchemeSECDED, SchemeDECTED} {
+		c := NewCode(s)
+		if c == nil {
+			t.Fatalf("NewCode(%v) = nil", s)
+		}
+		if c.DataBits() != 64 {
+			t.Errorf("%s: DataBits = %d", c.Name(), c.DataBits())
+		}
+		if c.CodeBits() <= c.DataBits() {
+			t.Errorf("%s: CodeBits must exceed DataBits", c.Name())
+		}
+	}
+	if NewCode(SchemeCRC) != nil || NewCode(SchemeNone) != nil {
+		t.Error("CRC/none must have no per-hop block code")
+	}
+}
+
+func TestCapabilityResolve(t *testing.T) {
+	cases := []struct {
+		s    Scheme
+		errs int
+		want Outcome
+	}{
+		{SchemeNone, 0, OutcomeClean},
+		{SchemeNone, 1, OutcomeSilent},
+		{SchemeCRC, 1, OutcomeDetected},
+		{SchemeCRC, 5, OutcomeDetected},
+		{SchemeSECDED, 1, OutcomeCorrected},
+		{SchemeSECDED, 2, OutcomeDetected},
+		{SchemeSECDED, 3, OutcomeSilent},
+		{SchemeDECTED, 2, OutcomeCorrected},
+		{SchemeDECTED, 3, OutcomeDetected},
+		{SchemeDECTED, 4, OutcomeSilent},
+	}
+	for _, tc := range cases {
+		if got := CapabilityOf(tc.s).Resolve(tc.errs); got != tc.want {
+			t.Errorf("%v with %d errors: %v, want %v", tc.s, tc.errs, got, tc.want)
+		}
+	}
+}

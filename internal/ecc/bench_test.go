@@ -1,0 +1,89 @@
+package ecc
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func benchData(b *testing.B) *BitVector {
+	b.Helper()
+	rng := rand.New(rand.NewSource(1))
+	return randomData(rng, 64)
+}
+
+func BenchmarkSECDEDEncode(b *testing.B) {
+	c := NewSECDED()
+	data := benchData(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Encode(data)
+	}
+}
+
+func BenchmarkSECDEDDecodeClean(b *testing.B) {
+	c := NewSECDED()
+	word := c.Encode(benchData(b))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Decode(word)
+	}
+}
+
+func BenchmarkSECDEDDecodeCorrect(b *testing.B) {
+	c := NewSECDED()
+	word := c.Encode(benchData(b))
+	word.FlipBit(17)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Decode(word)
+	}
+}
+
+func BenchmarkDECTEDEncode(b *testing.B) {
+	c := NewDECTED()
+	data := benchData(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Encode(data)
+	}
+}
+
+func BenchmarkDECTEDDecodeClean(b *testing.B) {
+	c := NewDECTED()
+	word := c.Encode(benchData(b))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Decode(word)
+	}
+}
+
+func BenchmarkDECTEDDecodeDoubleError(b *testing.B) {
+	c := NewDECTED()
+	word := c.Encode(benchData(b))
+	word.FlipBit(5)
+	word.FlipBit(61)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Decode(word)
+	}
+}
+
+func BenchmarkCRC16Flit(b *testing.B) {
+	data := make([]byte, 16) // one 128-bit flit
+	rand.New(rand.NewSource(2)).Read(data)
+	b.SetBytes(16)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		CRC16(data)
+	}
+}
+
+func BenchmarkCRC32Flit(b *testing.B) {
+	data := make([]byte, 16)
+	rand.New(rand.NewSource(3)).Read(data)
+	b.SetBytes(16)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		CRC32(data)
+	}
+}

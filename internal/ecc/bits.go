@@ -1,0 +1,110 @@
+package ecc
+
+import "fmt"
+
+// BitVector is a fixed-length sequence of bits backed by a byte slice.
+// Bit 0 is the least-significant bit of word 0. All ECC codecs in this
+// package operate on BitVectors so that codeword lengths need not be
+// multiples of 8.
+type BitVector struct {
+	bits []byte
+	n    int
+}
+
+// NewBitVector returns a zeroed BitVector of n bits.
+func NewBitVector(n int) *BitVector {
+	if n < 0 {
+		panic("ecc: negative bit vector length")
+	}
+	return &BitVector{bits: make([]byte, (n+7)/8), n: n}
+}
+
+// FromBytes builds a BitVector holding exactly 8*len(b) bits copied from b.
+func FromBytes(b []byte) *BitVector {
+	v := NewBitVector(8 * len(b))
+	copy(v.bits, b)
+	return v
+}
+
+// Len returns the number of bits in the vector.
+func (v *BitVector) Len() int { return v.n }
+
+// Bit returns bit i as 0 or 1.
+func (v *BitVector) Bit(i int) int {
+	v.check(i)
+	return int(v.bits[i>>3]>>(uint(i)&7)) & 1
+}
+
+// SetBit sets bit i to b (0 or 1).
+func (v *BitVector) SetBit(i, b int) {
+	v.check(i)
+	if b&1 == 1 {
+		v.bits[i>>3] |= 1 << (uint(i) & 7)
+	} else {
+		v.bits[i>>3] &^= 1 << (uint(i) & 7)
+	}
+}
+
+// FlipBit inverts bit i. It is the primitive used by fault injection.
+func (v *BitVector) FlipBit(i int) {
+	v.check(i)
+	v.bits[i>>3] ^= 1 << (uint(i) & 7)
+}
+
+// Bytes returns the backing bytes. Bits beyond Len are zero.
+func (v *BitVector) Bytes() []byte { return v.bits }
+
+// Clone returns an independent copy of the vector.
+func (v *BitVector) Clone() *BitVector {
+	c := NewBitVector(v.n)
+	copy(c.bits, v.bits)
+	return c
+}
+
+// Equal reports whether two vectors have identical length and bits.
+func (v *BitVector) Equal(o *BitVector) bool {
+	if v.n != o.n {
+		return false
+	}
+	for i := range v.bits {
+		if v.bits[i] != o.bits[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// PopCount returns the number of set bits.
+func (v *BitVector) PopCount() int {
+	c := 0
+	for i := 0; i < v.n; i++ {
+		c += v.Bit(i)
+	}
+	return c
+}
+
+// Xor replaces v with v XOR o. Both vectors must have the same length.
+func (v *BitVector) Xor(o *BitVector) {
+	if v.n != o.n {
+		panic("ecc: xor length mismatch")
+	}
+	for i := range v.bits {
+		v.bits[i] ^= o.bits[i]
+	}
+}
+
+// String renders the vector MSB-last as a compact 0/1 string, useful in
+// test failure messages.
+func (v *BitVector) String() string {
+	buf := make([]byte, v.n)
+	for i := 0; i < v.n; i++ {
+		buf[i] = byte('0' + v.Bit(i))
+	}
+	return string(buf)
+}
+
+func (v *BitVector) check(i int) {
+	if i < 0 || i >= v.n {
+		panic(fmt.Sprintf("ecc: bit index %d out of range [0,%d)", i, v.n))
+	}
+}

@@ -1,0 +1,90 @@
+package ecc
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestBitVectorBasics(t *testing.T) {
+	v := NewBitVector(10)
+	if v.Len() != 10 {
+		t.Fatalf("Len = %d", v.Len())
+	}
+	v.SetBit(3, 1)
+	v.SetBit(9, 1)
+	if v.Bit(3) != 1 || v.Bit(9) != 1 || v.Bit(0) != 0 {
+		t.Fatal("SetBit/Bit mismatch")
+	}
+	if v.PopCount() != 2 {
+		t.Fatalf("PopCount = %d", v.PopCount())
+	}
+	v.FlipBit(3)
+	if v.Bit(3) != 0 {
+		t.Fatal("FlipBit failed")
+	}
+	v.SetBit(9, 0)
+	if v.PopCount() != 0 {
+		t.Fatal("clearing via SetBit(.,0) failed")
+	}
+}
+
+func TestBitVectorCloneIndependence(t *testing.T) {
+	v := NewBitVector(16)
+	v.SetBit(5, 1)
+	c := v.Clone()
+	c.FlipBit(5)
+	if v.Bit(5) != 1 {
+		t.Fatal("Clone shares storage with original")
+	}
+	if v.Equal(c) {
+		t.Fatal("Equal should see the divergence")
+	}
+}
+
+func TestBitVectorXorSelfInverse(t *testing.T) {
+	f := func(a, b [6]byte) bool {
+		va, vb := FromBytes(a[:]), FromBytes(b[:])
+		orig := va.Clone()
+		va.Xor(vb)
+		va.Xor(vb)
+		return va.Equal(orig)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBitVectorFromBytesRoundTrip(t *testing.T) {
+	f := func(b []byte) bool {
+		v := FromBytes(b)
+		if v.Len() != 8*len(b) {
+			return false
+		}
+		got := v.Bytes()
+		for i := range b {
+			if got[i] != b[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBitVectorBoundsPanic(t *testing.T) {
+	v := NewBitVector(8)
+	assertPanics(t, "negative", func() { v.Bit(-1) })
+	assertPanics(t, "past end", func() { v.Bit(8) })
+	assertPanics(t, "xor mismatch", func() { v.Xor(NewBitVector(9)) })
+	assertPanics(t, "negative length", func() { NewBitVector(-1) })
+}
+
+func TestBitVectorString(t *testing.T) {
+	v := NewBitVector(4)
+	v.SetBit(1, 1)
+	if s := v.String(); s != "0100" {
+		t.Fatalf("String = %q", s)
+	}
+}

@@ -1,0 +1,169 @@
+// Package ecc implements the error-control substrate of IntelliNoC: cyclic
+// redundancy checks for end-to-end detection, a Hamming SECDED(72,64) code
+// and a BCH-based DECTED(79,64) code for per-hop protection (paper
+// Section 3.2, Fig. 5). All codecs are bit-exact; the simulator's fast path
+// additionally consumes each scheme's (correct, detect) capability to
+// resolve sampled fault counts without materializing payload bits.
+package ecc
+
+// Scheme identifies one of the adaptive ECC hardware configurations a
+// router can deploy (paper Section 3.2 / operation modes of Section 4).
+type Scheme int
+
+const (
+	// SchemeNone disables all error control (used only for ablation).
+	SchemeNone Scheme = iota
+	// SchemeCRC is end-to-end CRC-16 at the injection/ejection ports:
+	// detection only, no per-hop hardware (operation mode 1).
+	SchemeCRC
+	// SchemeSECDED is per-hop single-error-correct double-error-detect
+	// Hamming(72,64) (operation mode 2).
+	SchemeSECDED
+	// SchemeDECTED is per-hop double-error-correct triple-error-detect
+	// BCH+parity (79,64) (operation mode 3).
+	SchemeDECTED
+)
+
+// String returns the conventional name of the scheme.
+func (s Scheme) String() string {
+	switch s {
+	case SchemeNone:
+		return "none"
+	case SchemeCRC:
+		return "crc"
+	case SchemeSECDED:
+		return "secded"
+	case SchemeDECTED:
+		return "dected"
+	}
+	return "unknown"
+}
+
+// Capability describes how many bit errors per protected word a scheme can
+// correct and detect. Detect includes Correct (a SECDED code corrects 1 and
+// detects up to 2).
+type Capability struct {
+	Correct int
+	Detect  int
+	// EndToEnd is true when the scheme checks only at the destination
+	// (CRC), so per-hop errors accumulate across the whole path.
+	EndToEnd bool
+}
+
+// CapabilityOf returns the error-handling capability of a scheme.
+func CapabilityOf(s Scheme) Capability {
+	switch s {
+	case SchemeCRC:
+		// CRC-16 detects any burst up to 16 bits and all odd-weight
+		// errors; residual aliasing (2^-16) is below the granularity
+		// of the simulation, so we model it as detect-all.
+		return Capability{Correct: 0, Detect: 1 << 16, EndToEnd: true}
+	case SchemeSECDED:
+		return Capability{Correct: 1, Detect: 2}
+	case SchemeDECTED:
+		return Capability{Correct: 2, Detect: 3}
+	}
+	return Capability{}
+}
+
+// Outcome classifies what happens to a flit hop that suffered errBits
+// upsets under a given capability.
+type Outcome int
+
+const (
+	// OutcomeClean means no errors occurred.
+	OutcomeClean Outcome = iota
+	// OutcomeCorrected means the code repaired the flit in place.
+	OutcomeCorrected
+	// OutcomeDetected means the code flagged an uncorrectable error; the
+	// flit must be retransmitted (hop-level NACK or end-to-end).
+	OutcomeDetected
+	// OutcomeSilent means the errors exceeded the detection capability:
+	// the flit continues carrying corrupted payload and only the
+	// end-to-end CRC backstop can catch it.
+	OutcomeSilent
+)
+
+// String names the outcome for stats and logs.
+func (o Outcome) String() string {
+	switch o {
+	case OutcomeClean:
+		return "clean"
+	case OutcomeCorrected:
+		return "corrected"
+	case OutcomeDetected:
+		return "detected"
+	case OutcomeSilent:
+		return "silent"
+	}
+	return "unknown"
+}
+
+// Resolve maps an injected error-bit count to an outcome under cap. It is
+// the simulator's fast path; the property tests in this package verify that
+// the bit-exact codecs agree with it inside their guaranteed envelope.
+func (c Capability) Resolve(errBits int) Outcome {
+	switch {
+	case errBits == 0:
+		return OutcomeClean
+	case errBits <= c.Correct:
+		return OutcomeCorrected
+	case errBits <= c.Detect:
+		return OutcomeDetected
+	default:
+		return OutcomeSilent
+	}
+}
+
+// Code is a systematic block code over bit vectors.
+type Code interface {
+	// Name returns a short identifier such as "secded(72,64)".
+	Name() string
+	// DataBits returns k, the number of payload bits per word.
+	DataBits() int
+	// CodeBits returns n, the total encoded word length.
+	CodeBits() int
+	// Encode expands k data bits into an n-bit codeword.
+	Encode(data *BitVector) *BitVector
+	// Decode recovers the data bits from a (possibly corrupted)
+	// codeword, reporting whether errors were corrected or detected.
+	Decode(word *BitVector) (*BitVector, Result)
+}
+
+// Result reports the decoder's view of a received word.
+type Result int
+
+const (
+	// ResultOK means the word carried no detectable errors.
+	ResultOK Result = iota
+	// ResultCorrected means errors were found and repaired.
+	ResultCorrected
+	// ResultDetected means errors were found but cannot be repaired;
+	// the caller must arrange retransmission.
+	ResultDetected
+)
+
+// String names the decode result.
+func (r Result) String() string {
+	switch r {
+	case ResultOK:
+		return "ok"
+	case ResultCorrected:
+		return "corrected"
+	case ResultDetected:
+		return "detected"
+	}
+	return "unknown"
+}
+
+// NewCode constructs the bit-exact codec for a per-hop scheme. It returns
+// nil for SchemeNone and SchemeCRC, which have no per-hop block code.
+func NewCode(s Scheme) Code {
+	switch s {
+	case SchemeSECDED:
+		return NewSECDED()
+	case SchemeDECTED:
+		return NewDECTED()
+	}
+	return nil
+}

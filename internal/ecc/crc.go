@@ -1,0 +1,91 @@
+package ecc
+
+// Table-driven cyclic redundancy checks. The NoC uses CRC-16/CCITT for
+// end-to-end flit protection (Section 3.2 of the paper deploys "basic CRC"
+// at the local injection port); CRC-8 and CRC-32 are provided for narrower
+// sideband fields and for cross-checking against hash/crc32 in tests.
+
+// CRC polynomial constants, expressed in the normal (non-reflected) form
+// used by the serial implementations below.
+const (
+	CRC8Poly  = 0x07       // x^8 + x^2 + x + 1 (CRC-8/ATM)
+	CRC16Poly = 0x1021     // x^16 + x^12 + x^5 + 1 (CCITT)
+	CRC32Poly = 0x04C11DB7 // IEEE 802.3
+)
+
+var (
+	crc8Table  [256]uint8
+	crc16Table [256]uint16
+	crc32Table [256]uint32
+)
+
+func init() {
+	for i := 0; i < 256; i++ {
+		c8 := uint8(i)
+		for b := 0; b < 8; b++ {
+			if c8&0x80 != 0 {
+				c8 = c8<<1 ^ CRC8Poly
+			} else {
+				c8 <<= 1
+			}
+		}
+		crc8Table[i] = c8
+
+		c16 := uint16(i) << 8
+		for b := 0; b < 8; b++ {
+			if c16&0x8000 != 0 {
+				c16 = c16<<1 ^ CRC16Poly
+			} else {
+				c16 <<= 1
+			}
+		}
+		crc16Table[i] = c16
+
+		c32 := uint32(i) // IEEE CRC-32 uses the reflected polynomial
+		for b := 0; b < 8; b++ {
+			if c32&1 != 0 {
+				c32 = c32>>1 ^ reflect32(CRC32Poly)
+			} else {
+				c32 >>= 1
+			}
+		}
+		crc32Table[i] = c32
+	}
+}
+
+func reflect32(v uint32) uint32 {
+	var r uint32
+	for i := 0; i < 32; i++ {
+		r = r<<1 | v&1
+		v >>= 1
+	}
+	return r
+}
+
+// CRC8 returns the CRC-8/ATM checksum of data.
+func CRC8(data []byte) uint8 {
+	var crc uint8
+	for _, b := range data {
+		crc = crc8Table[crc^b]
+	}
+	return crc
+}
+
+// CRC16 returns the CRC-16/CCITT-FALSE checksum of data (init 0xFFFF).
+func CRC16(data []byte) uint16 {
+	crc := uint16(0xFFFF)
+	for _, b := range data {
+		crc = crc<<8 ^ crc16Table[byte(crc>>8)^b]
+	}
+	return crc
+}
+
+// CRC32 returns the IEEE CRC-32 checksum of data, compatible with
+// hash/crc32.ChecksumIEEE.
+func CRC32(data []byte) uint32 {
+	crc := ^uint32(0)
+	for _, b := range data {
+		crc = crc>>8 ^ crc32Table[byte(crc)^b]
+	}
+	return ^crc
+}

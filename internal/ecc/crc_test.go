@@ -1,0 +1,94 @@
+package ecc
+
+import (
+	"hash/crc32"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestCRC32MatchesStdlib(t *testing.T) {
+	f := func(data []byte) bool {
+		return CRC32(data) == crc32.ChecksumIEEE(data)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCRC16KnownVector(t *testing.T) {
+	// CRC-16/CCITT-FALSE of "123456789" is 0x29B1.
+	if got := CRC16([]byte("123456789")); got != 0x29B1 {
+		t.Fatalf("CRC16(123456789) = %#04x, want 0x29b1", got)
+	}
+}
+
+func TestCRC8KnownVector(t *testing.T) {
+	// CRC-8 (poly 0x07, init 0) of "123456789" is 0xF4.
+	if got := CRC8([]byte("123456789")); got != 0xF4 {
+		t.Fatalf("CRC8(123456789) = %#02x, want 0xf4", got)
+	}
+}
+
+func TestCRCEmptyInput(t *testing.T) {
+	if CRC8(nil) != 0 {
+		t.Error("CRC8(nil) should be 0")
+	}
+	if CRC16(nil) != 0xFFFF {
+		t.Error("CRC16(nil) should be the 0xFFFF init value")
+	}
+	if CRC32(nil) != 0 {
+		t.Error("CRC32(nil) should be 0")
+	}
+}
+
+// Any single-bit flip must change all three checksums: CRCs detect all
+// single-bit errors by construction.
+func TestCRCDetectsSingleBitFlips(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	data := make([]byte, 16)
+	rng.Read(data)
+	c8, c16, c32 := CRC8(data), CRC16(data), CRC32(data)
+	for i := 0; i < len(data)*8; i++ {
+		mut := append([]byte(nil), data...)
+		mut[i/8] ^= 1 << (uint(i) % 8)
+		if CRC8(mut) == c8 {
+			t.Errorf("CRC8 missed bit flip at %d", i)
+		}
+		if CRC16(mut) == c16 {
+			t.Errorf("CRC16 missed bit flip at %d", i)
+		}
+		if CRC32(mut) == c32 {
+			t.Errorf("CRC32 missed bit flip at %d", i)
+		}
+	}
+}
+
+// CRC-16 detects all double-bit errors within its span (the polynomial has
+// a primitive factor of order >> flit length).
+func TestCRC16DetectsDoubleBitFlips(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	data := make([]byte, 16) // 128-bit flit, the paper's flit size
+	rng.Read(data)
+	want := CRC16(data)
+	n := len(data) * 8
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			mut := append([]byte(nil), data...)
+			mut[i/8] ^= 1 << (uint(i) % 8)
+			mut[j/8] ^= 1 << (uint(j) % 8)
+			if CRC16(mut) == want {
+				t.Fatalf("CRC16 missed double flip at %d,%d", i, j)
+			}
+		}
+	}
+}
+
+func TestCRCDeterministic(t *testing.T) {
+	f := func(data []byte) bool {
+		return CRC16(data) == CRC16(data) && CRC32(data) == CRC32(data)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

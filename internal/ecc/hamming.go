@@ -1,0 +1,115 @@
+package ecc
+
+// SECDED implements the extended Hamming (72,64) code: 64 data bits, 7
+// Hamming check bits, and one overall parity bit. It corrects any single
+// bit error and detects any double bit error, matching the per-hop SECDED
+// hardware of Fig. 5(a)/(b).
+//
+// Codeword layout uses the classic 1-based Hamming positions 1..71 with
+// check bits at the powers of two (1,2,4,8,16,32,64) and data bits filling
+// the remaining positions in increasing order; the overall parity bit
+// occupies position 0.
+type SECDED struct {
+	dataPos []int // codeword position (1-based) of each data bit
+}
+
+const (
+	secdedData  = 64
+	secdedTotal = 72 // positions 0..71; position 0 is the overall parity
+)
+
+// NewSECDED returns a Hamming SECDED(72,64) codec.
+func NewSECDED() *SECDED {
+	s := &SECDED{dataPos: make([]int, 0, secdedData)}
+	for pos := 1; pos < secdedTotal && len(s.dataPos) < secdedData; pos++ {
+		if pos&(pos-1) != 0 { // not a power of two => data position
+			s.dataPos = append(s.dataPos, pos)
+		}
+	}
+	if len(s.dataPos) != secdedData {
+		panic("ecc: secded layout construction failed")
+	}
+	return s
+}
+
+// Name implements Code.
+func (s *SECDED) Name() string { return "secded(72,64)" }
+
+// DataBits implements Code.
+func (s *SECDED) DataBits() int { return secdedData }
+
+// CodeBits implements Code.
+func (s *SECDED) CodeBits() int { return secdedTotal }
+
+// Encode implements Code.
+func (s *SECDED) Encode(data *BitVector) *BitVector {
+	if data.Len() != secdedData {
+		panic("ecc: secded encode expects 64 data bits")
+	}
+	w := NewBitVector(secdedTotal)
+	for i, pos := range s.dataPos {
+		w.SetBit(pos, data.Bit(i))
+	}
+	// Each Hamming check bit at position 2^k makes the parity of all
+	// positions whose index has bit k set come out even.
+	for k := 0; k < 7; k++ {
+		p := 0
+		for pos := 1; pos < secdedTotal; pos++ {
+			if pos&(1<<k) != 0 {
+				p ^= w.Bit(pos)
+			}
+		}
+		// The check position itself is currently 0, so p is the
+		// parity of the covered data bits; store it directly.
+		w.SetBit(1<<k, p)
+	}
+	// Overall parity over positions 1..71 stored at position 0 makes the
+	// whole 72-bit word even-parity.
+	p := 0
+	for pos := 1; pos < secdedTotal; pos++ {
+		p ^= w.Bit(pos)
+	}
+	w.SetBit(0, p)
+	return w
+}
+
+// Decode implements Code. Single errors (including errors in the check or
+// parity bits) are corrected; double errors are detected.
+func (s *SECDED) Decode(word *BitVector) (*BitVector, Result) {
+	if word.Len() != secdedTotal {
+		panic("ecc: secded decode expects 72-bit word")
+	}
+	w := word.Clone()
+	syndrome := 0
+	parity := 0
+	for pos := 0; pos < secdedTotal; pos++ {
+		if w.Bit(pos) == 1 {
+			syndrome ^= pos
+			parity ^= 1
+		}
+	}
+	res := ResultOK
+	switch {
+	case syndrome == 0 && parity == 0:
+		// Clean (or an undetectable >=4-bit even-weight error).
+	case parity == 1:
+		// Odd number of errors: assume one and correct it. syndrome==0
+		// with odd parity means the overall parity bit itself flipped.
+		if syndrome < secdedTotal {
+			w.FlipBit(syndrome)
+		}
+		res = ResultCorrected
+	default:
+		// Even parity with a nonzero syndrome: double error.
+		return s.extract(w), ResultDetected
+	}
+	return s.extract(w), res
+}
+
+func (s *SECDED) extract(w *BitVector) *BitVector {
+	d := NewBitVector(secdedData)
+	for i, pos := range s.dataPos {
+		d.SetBit(i, w.Bit(pos))
+	}
+	return d
+}

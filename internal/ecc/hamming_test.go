@@ -1,0 +1,158 @@
+package ecc
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func randomData(rng *rand.Rand, n int) *BitVector {
+	v := NewBitVector(n)
+	for i := 0; i < n; i++ {
+		v.SetBit(i, rng.Intn(2))
+	}
+	return v
+}
+
+func TestSECDEDRoundTrip(t *testing.T) {
+	c := NewSECDED()
+	f := func(raw [8]byte) bool {
+		data := FromBytes(raw[:])
+		word := c.Encode(data)
+		if word.Len() != 72 {
+			return false
+		}
+		got, res := c.Decode(word)
+		return res == ResultOK && got.Equal(data)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSECDEDCorrectsAllSingleErrors(t *testing.T) {
+	c := NewSECDED()
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 20; trial++ {
+		data := randomData(rng, 64)
+		word := c.Encode(data)
+		for pos := 0; pos < word.Len(); pos++ {
+			w := word.Clone()
+			w.FlipBit(pos)
+			got, res := c.Decode(w)
+			if res != ResultCorrected {
+				t.Fatalf("single error at %d: result %v, want corrected", pos, res)
+			}
+			if !got.Equal(data) {
+				t.Fatalf("single error at %d: data not recovered", pos)
+			}
+		}
+	}
+}
+
+func TestSECDEDDetectsAllDoubleErrors(t *testing.T) {
+	c := NewSECDED()
+	rng := rand.New(rand.NewSource(8))
+	data := randomData(rng, 64)
+	word := c.Encode(data)
+	n := word.Len()
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			w := word.Clone()
+			w.FlipBit(i)
+			w.FlipBit(j)
+			if _, res := c.Decode(w); res != ResultDetected {
+				t.Fatalf("double error at %d,%d: result %v, want detected", i, j, res)
+			}
+		}
+	}
+}
+
+// Triple errors are beyond SECDED's envelope: the decoder must never hang
+// or panic, and every outcome must be one of the defined results. (Most
+// triples alias to a miscorrection, which the end-to-end CRC backstops.)
+func TestSECDEDTripleErrorsWellBehaved(t *testing.T) {
+	c := NewSECDED()
+	rng := rand.New(rand.NewSource(9))
+	data := randomData(rng, 64)
+	word := c.Encode(data)
+	for trial := 0; trial < 2000; trial++ {
+		w := word.Clone()
+		seen := map[int]bool{}
+		for len(seen) < 3 {
+			p := rng.Intn(w.Len())
+			if !seen[p] {
+				seen[p] = true
+				w.FlipBit(p)
+			}
+		}
+		_, res := c.Decode(w)
+		if res != ResultOK && res != ResultCorrected && res != ResultDetected {
+			t.Fatalf("triple error: invalid result %v", res)
+		}
+	}
+}
+
+func TestSECDEDEncodeIsEvenParity(t *testing.T) {
+	c := NewSECDED()
+	rng := rand.New(rand.NewSource(10))
+	for trial := 0; trial < 100; trial++ {
+		word := c.Encode(randomData(rng, 64))
+		if word.PopCount()%2 != 0 {
+			t.Fatal("SECDED codeword must have even overall parity")
+		}
+	}
+}
+
+func TestSECDEDPanicsOnBadLength(t *testing.T) {
+	c := NewSECDED()
+	assertPanics(t, "encode", func() { c.Encode(NewBitVector(63)) })
+	assertPanics(t, "decode", func() { c.Decode(NewBitVector(71)) })
+}
+
+func assertPanics(t *testing.T, name string, f func()) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Errorf("%s: expected panic", name)
+		}
+	}()
+	f()
+}
+
+// Capability fast path agrees with the bit-exact codec inside the
+// guaranteed envelope (paper Section 3.2: SECDED corrects 1, detects 2).
+func TestSECDEDAgreesWithCapability(t *testing.T) {
+	c := NewSECDED()
+	cap := CapabilityOf(SchemeSECDED)
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 500; trial++ {
+		data := randomData(rng, 64)
+		word := c.Encode(data)
+		errs := rng.Intn(3) // 0..2, inside the envelope
+		w := word.Clone()
+		seen := map[int]bool{}
+		for len(seen) < errs {
+			p := rng.Intn(w.Len())
+			if !seen[p] {
+				seen[p] = true
+				w.FlipBit(p)
+			}
+		}
+		got, res := c.Decode(w)
+		switch cap.Resolve(errs) {
+		case OutcomeClean:
+			if res != ResultOK || !got.Equal(data) {
+				t.Fatalf("clean word decoded as %v", res)
+			}
+		case OutcomeCorrected:
+			if res != ResultCorrected || !got.Equal(data) {
+				t.Fatalf("%d errors: result %v, recovered=%v", errs, res, got.Equal(data))
+			}
+		case OutcomeDetected:
+			if res != ResultDetected {
+				t.Fatalf("%d errors: result %v, want detected", errs, res)
+			}
+		}
+	}
+}

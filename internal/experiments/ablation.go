@@ -1,0 +1,60 @@
+package experiments
+
+import (
+	"intellinoc/internal/core"
+)
+
+// AblationStudy quantifies each IntelliNoC technique's contribution by
+// removing one at a time (an extension beyond the paper's figures,
+// indexed in DESIGN.md). Metrics are normalized to the SECDED baseline on
+// the same workloads, so the "full" row reproduces the headline deltas
+// and each ablated row shows what is lost without that technique.
+func AblationStudy(sim core.SimConfig, packets int, benchmarks []string) (Figure, error) {
+	fig := Figure{
+		ID: "ablation", Title: "IntelliNoC ablation study (vs SECDED baseline)",
+		Columns:    []string{"latency", "static power", "dynamic power", "energy eff", "MTTF"},
+		PaperShape: "not in paper; quantifies each technique's share of the gains",
+	}
+	policy, err := core.Pretrain(sim, 2, packets)
+	if err != nil {
+		return Figure{}, err
+	}
+	type agg struct{ lat, ps, pd, ee, mttf float64 }
+	var rows []agg
+	abls := core.Ablations()
+	for range abls {
+		rows = append(rows, agg{})
+	}
+	for _, b := range benchmarks {
+		base, err := runOne(core.TechSECDED, sim, b, packets, nil)
+		if err != nil {
+			return Figure{}, err
+		}
+		baseSec := execSeconds(base)
+		for i, ab := range abls {
+			gen, err := core.ParsecWorkload(b, sim, packets)
+			if err != nil {
+				return Figure{}, err
+			}
+			res, err := core.RunAblation(ab, sim, gen, policy)
+			if err != nil {
+				return Figure{}, err
+			}
+			sec := execSeconds(res)
+			rows[i].lat += res.AvgLatency / base.AvgLatency
+			rows[i].ps += (res.StaticJoules / sec) / (base.StaticJoules / baseSec)
+			rows[i].pd += (res.DynamicJoules / sec) / (base.DynamicJoules / baseSec)
+			rows[i].ee += res.EnergyEfficiency() / base.EnergyEfficiency()
+			rows[i].mttf += res.MTTFSeconds / base.MTTFSeconds
+		}
+	}
+	nb := float64(len(benchmarks))
+	for i, ab := range abls {
+		fig.Rows = append(fig.Rows, Row{
+			Label: ab.String(),
+			Values: []float64{rows[i].lat / nb, rows[i].ps / nb, rows[i].pd / nb,
+				rows[i].ee / nb, rows[i].mttf / nb},
+		})
+	}
+	return fig, nil
+}

@@ -1,0 +1,174 @@
+package experiments
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"intellinoc/internal/core"
+)
+
+func tinySim() core.SimConfig {
+	return core.SimConfig{Width: 4, Height: 4, TimeStepCycles: 500, Seed: 11}
+}
+
+func TestFigureFormatting(t *testing.T) {
+	fig := Figure{
+		ID: "figX", Title: "demo", Unit: "x",
+		Columns:    []string{"A", "B"},
+		Rows:       []Row{{Label: "r1", Values: []float64{1, 0.52}}, {Label: "r2", Values: []float64{3, 0.48}}},
+		PaperShape: "shape note",
+	}
+	text := fig.Format()
+	for _, want := range []string{"figX", "demo", "A", "r1", "0.520", "paper: shape note"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("Format missing %q:\n%s", want, text)
+		}
+	}
+	md := fig.Markdown()
+	if !strings.Contains(md, "| r1 |") || !strings.Contains(md, "### figX") {
+		t.Errorf("Markdown malformed:\n%s", md)
+	}
+	if got := fig.MeanOver(0); got != 2 {
+		t.Fatalf("MeanOver = %g", got)
+	}
+	withAvg := fig.WithAverageRow()
+	if withAvg.Rows[len(withAvg.Rows)-1].Label != "average" {
+		t.Fatal("average row missing")
+	}
+	if math.Abs(withAvg.Rows[2].Values[1]-0.5) > 1e-12 {
+		t.Fatal("average value wrong")
+	}
+}
+
+func TestTable2AreaMatchesPaper(t *testing.T) {
+	fig := Table2Area()
+	if len(fig.Rows) != 4 {
+		t.Fatalf("Table 2 must have 4 designs, got %d", len(fig.Rows))
+	}
+	// %change column (last) must match the paper within 0.2pp.
+	want := map[string]float64{"SECDED": 0, "EB": -32.7, "CP": -29.9, "IntelliNoC": -25.4}
+	for _, r := range fig.Rows {
+		change := r.Values[len(r.Values)-1]
+		if math.Abs(change-want[r.Label]) > 0.2 {
+			t.Errorf("%s %%change = %.1f, want %.1f", r.Label, change, want[r.Label])
+		}
+	}
+}
+
+func TestRunComparisonSubsetSmoke(t *testing.T) {
+	cmp, err := RunComparisonSubset(tinySim(), 400, 2,
+		[]string{"swaptions", "ferret"},
+		[]core.Technique{core.TechSECDED, core.TechCP, core.TechIntelliNoC})
+	if err != nil {
+		t.Fatal(err)
+	}
+	figs := cmp.AllComparisonFigures()
+	if len(figs) != 8 {
+		t.Fatalf("want 8 figures, got %d", len(figs))
+	}
+	for _, f := range figs {
+		if f.ID == "fig14" {
+			continue // IntelliNoC-only figure has its own shape
+		}
+		if len(f.Rows) != 3 { // 2 benchmarks + average
+			t.Fatalf("%s: %d rows", f.ID, len(f.Rows))
+		}
+		for _, r := range f.Rows {
+			for i, v := range r.Values {
+				if math.IsNaN(v) || math.IsInf(v, 0) || v < 0 {
+					t.Fatalf("%s %s col %d = %g", f.ID, r.Label, i, v)
+				}
+			}
+		}
+	}
+	// The SECDED column of every normalized figure must be exactly 1.
+	lat := cmp.Fig10Latency()
+	if lat.Rows[0].Values[0] != 1 {
+		t.Fatalf("normalized baseline should be 1, got %g", lat.Rows[0].Values[0])
+	}
+	// Mode breakdown fractions sum to ~1 per row.
+	mb := cmp.Fig14ModeBreakdown()
+	for _, r := range mb.Rows {
+		sum := 0.0
+		for _, v := range r.Values {
+			sum += v
+		}
+		if math.Abs(sum-1) > 1e-9 {
+			t.Fatalf("mode fractions sum to %g", sum)
+		}
+	}
+}
+
+func TestSweepsSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("sweeps are slow")
+	}
+	sim := tinySim()
+	fig, err := Fig18bEpsilon(sim, 300)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fig.Rows) != 7 {
+		t.Fatalf("epsilon sweep rows = %d", len(fig.Rows))
+	}
+	for _, r := range fig.Rows {
+		if r.Values[0] <= 0 {
+			t.Fatalf("EDP ratio must be positive: %+v", r)
+		}
+	}
+}
+
+func TestExtensionFiguresSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("extension sweeps are slow")
+	}
+	sim := tinySim()
+	fig, err := ControlFaultSweep(sim, 300, "swaptions")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fig.Rows) != 7 {
+		t.Fatalf("control-fault rows = %d", len(fig.Rows))
+	}
+	if fig.Rows[0].Values[2] != 0 {
+		t.Fatal("fault-free case must report zero control faults")
+	}
+	// Heavier control-fault rates must report more faults per kpacket.
+	if fig.Rows[3].Values[2] <= fig.Rows[1].Values[2] {
+		t.Fatalf("fault counts must grow with rate: %v vs %v",
+			fig.Rows[3].Values[2], fig.Rows[1].Values[2])
+	}
+
+	sarsa, err := QLearningVsSARSA(sim, 300, []string{"swaptions"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sarsa.Rows) != 2 { // benchmark + average
+		t.Fatalf("sarsa rows = %d", len(sarsa.Rows))
+	}
+	for _, v := range sarsa.Rows[0].Values {
+		if v <= 0 {
+			t.Fatalf("degenerate sarsa metric: %v", sarsa.Rows[0].Values)
+		}
+	}
+
+	abl, err := AblationStudy(sim, 300, []string{"swaptions"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(abl.Rows) != 5 {
+		t.Fatalf("ablation rows = %d", len(abl.Rows))
+	}
+
+	load, err := LoadLatencySweep(sim, 400, []float64{0.05, 0.2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Latency must not fall as load rises, for every technique.
+	for c := range load.Columns {
+		if load.Rows[1].Values[c] < load.Rows[0].Values[c]*0.8 {
+			t.Fatalf("%s: latency dropped sharply with load", load.Columns[c])
+		}
+	}
+}

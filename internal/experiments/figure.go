@@ -1,0 +1,126 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (Section 7): the ten-benchmark × five-technique comparison
+// behind Figs. 9-16, the sensitivity sweeps of Figs. 17-18, and the
+// Table 2 area comparison. cmd/experiments and the bench_test.go targets
+// are thin wrappers around this package.
+package experiments
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Figure is one reproduced table/figure: labelled rows × named columns.
+type Figure struct {
+	ID      string
+	Title   string
+	Unit    string
+	Columns []string
+	Rows    []Row
+	// PaperShape records what the paper reports, for side-by-side
+	// comparison in EXPERIMENTS.md.
+	PaperShape string
+}
+
+// Row is one line of a figure (usually one benchmark or one sweep point).
+type Row struct {
+	Label  string
+	Values []float64
+}
+
+// Format renders the figure as an aligned text table.
+func (f Figure) Format() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "== %s: %s", f.ID, f.Title)
+	if f.Unit != "" {
+		fmt.Fprintf(&b, " (%s)", f.Unit)
+	}
+	b.WriteString(" ==\n")
+	width := 14
+	fmt.Fprintf(&b, "%-14s", "")
+	for _, c := range f.Columns {
+		fmt.Fprintf(&b, "%*s", width, c)
+	}
+	b.WriteByte('\n')
+	for _, r := range f.Rows {
+		fmt.Fprintf(&b, "%-14s", r.Label)
+		for _, v := range r.Values {
+			fmt.Fprintf(&b, "%*s", width, formatValue(v))
+		}
+		b.WriteByte('\n')
+	}
+	if f.PaperShape != "" {
+		fmt.Fprintf(&b, "paper: %s\n", f.PaperShape)
+	}
+	return b.String()
+}
+
+func formatValue(v float64) string {
+	switch {
+	case v == 0:
+		return "0"
+	case v >= 10000 || v < 0.001:
+		return fmt.Sprintf("%.3g", v)
+	case v >= 100:
+		return fmt.Sprintf("%.1f", v)
+	default:
+		return fmt.Sprintf("%.3f", v)
+	}
+}
+
+// Markdown renders the figure as a GitHub-flavored markdown table.
+func (f Figure) Markdown() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "### %s — %s", f.ID, f.Title)
+	if f.Unit != "" {
+		fmt.Fprintf(&b, " (%s)", f.Unit)
+	}
+	b.WriteString("\n\n| |")
+	for _, c := range f.Columns {
+		fmt.Fprintf(&b, " %s |", c)
+	}
+	b.WriteString("\n|---|")
+	for range f.Columns {
+		b.WriteString("---|")
+	}
+	b.WriteByte('\n')
+	for _, r := range f.Rows {
+		fmt.Fprintf(&b, "| %s |", r.Label)
+		for _, v := range r.Values {
+			fmt.Fprintf(&b, " %s |", formatValue(v))
+		}
+		b.WriteByte('\n')
+	}
+	if f.PaperShape != "" {
+		fmt.Fprintf(&b, "\n*Paper:* %s\n", f.PaperShape)
+	}
+	return b.String()
+}
+
+// MeanOver averages a column across all rows (used for the "average" bars
+// the paper's figures end with).
+func (f Figure) MeanOver(col int) float64 {
+	if len(f.Rows) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, r := range f.Rows {
+		s += r.Values[col]
+	}
+	return s / float64(len(f.Rows))
+}
+
+// WithAverageRow appends an "average" row (arithmetic mean per column),
+// mirroring the paper's figures.
+func (f Figure) WithAverageRow() Figure {
+	if len(f.Rows) == 0 {
+		return f
+	}
+	avg := Row{Label: "average", Values: make([]float64, len(f.Columns))}
+	for c := range f.Columns {
+		avg.Values[c] = f.MeanOver(c)
+	}
+	out := f
+	out.Rows = append(append([]Row{}, f.Rows...), avg)
+	return out
+}

@@ -1,0 +1,67 @@
+package experiments
+
+import (
+	"fmt"
+
+	"intellinoc/internal/core"
+)
+
+// ControlFaultSweep implements the paper's stated future work ("In future
+// work, we will consider faults in the control circuit, routing table,
+// state-action table"): it sweeps parity-detected routing-table upset
+// rates and Q-table soft-error rates on IntelliNoC and reports the impact
+// relative to the fault-free run — measuring how gracefully the control
+// plane degrades.
+func ControlFaultSweep(sim core.SimConfig, packets int, bench string) (Figure, error) {
+	fig := Figure{
+		ID: "ext-ctrlfaults", Title: "Control-plane fault sensitivity (" + bench + ")",
+		Columns:    []string{"exec time", "e2e latency", "ctrl faults/kpkt"},
+		PaperShape: "future work in the paper; graceful degradation expected",
+	}
+	policy, err := core.Pretrain(sim, 1, packets)
+	if err != nil {
+		return Figure{}, err
+	}
+	runAt := func(ctrlRate, qRate float64) (execRatio, latRatio, faultsPerK float64, err error) {
+		s := sim
+		s.ControlFaultRate = ctrlRate
+		s.QTableFaultRate = qRate
+		gen, err := core.ParsecWorkload(bench, s, packets)
+		if err != nil {
+			return 0, 0, 0, err
+		}
+		res, err := core.Run(core.TechIntelliNoC, s, gen, policy)
+		if err != nil {
+			return 0, 0, 0, err
+		}
+		return float64(res.Cycles), res.AvgLatency,
+			float64(res.ControlFaults) / float64(packets) * 1000, nil
+	}
+	baseExec, baseLat, _, err := runAt(0, 0)
+	if err != nil {
+		return Figure{}, err
+	}
+	cases := []struct {
+		label      string
+		ctrl, qtab float64
+	}{
+		{"none", 0, 0},
+		{"ctrl 1e-4", 1e-4, 0},
+		{"ctrl 1e-3", 1e-3, 0},
+		{"ctrl 1e-2", 1e-2, 0},
+		{"qtab 0.01", 0, 0.01},
+		{"qtab 0.10", 0, 0.10},
+		{"both heavy", 1e-2, 0.10},
+	}
+	for _, c := range cases {
+		exec, lat, fpk, err := runAt(c.ctrl, c.qtab)
+		if err != nil {
+			return Figure{}, fmt.Errorf("experiments: control-fault case %s: %w", c.label, err)
+		}
+		fig.Rows = append(fig.Rows, Row{
+			Label:  c.label,
+			Values: []float64{exec / baseExec, lat / baseLat, fpk},
+		})
+	}
+	return fig, nil
+}

@@ -1,0 +1,52 @@
+package experiments
+
+import (
+	"intellinoc/internal/core"
+	"intellinoc/internal/noc"
+)
+
+// QLearningVsSARSA compares the paper's off-policy Q-learning control
+// against on-policy SARSA on the same workloads — an extension probing
+// whether the choice of TD algorithm matters for NoC mode control. Both
+// are pre-trained identically and evaluated with online updates on.
+func QLearningVsSARSA(sim core.SimConfig, packets int, benchmarks []string) (Figure, error) {
+	fig := Figure{
+		ID: "ext-sarsa", Title: "Q-learning vs SARSA control",
+		Columns:    []string{"exec (Q)", "exec (SARSA)", "EDP (Q)", "EDP (SARSA)"},
+		PaperShape: "not in paper; the paper uses Q-learning (eq. 2)",
+	}
+	run := func(onPolicy bool, bench string) (noc.Result, error) {
+		s := sim
+		s.OnPolicySARSA = onPolicy
+		policy, err := core.Pretrain(s, 1, packets)
+		if err != nil {
+			return noc.Result{}, err
+		}
+		gen, err := core.ParsecWorkload(bench, s, packets)
+		if err != nil {
+			return noc.Result{}, err
+		}
+		return core.Run(core.TechIntelliNoC, s, gen, policy)
+	}
+	for _, b := range benchmarks {
+		base, err := runOne(core.TechSECDED, sim, b, packets, nil)
+		if err != nil {
+			return Figure{}, err
+		}
+		q, err := run(false, b)
+		if err != nil {
+			return Figure{}, err
+		}
+		sarsa, err := run(true, b)
+		if err != nil {
+			return Figure{}, err
+		}
+		fig.Rows = append(fig.Rows, Row{Label: b, Values: []float64{
+			float64(q.Cycles) / float64(base.Cycles),
+			float64(sarsa.Cycles) / float64(base.Cycles),
+			edp(q) / edp(base),
+			edp(sarsa) / edp(base),
+		}})
+	}
+	return fig.WithAverageRow(), nil
+}

@@ -1,0 +1,155 @@
+package fault
+
+import "math"
+
+// AgingParams holds the NBTI and HCI degradation constants of the paper's
+// Section 6.2. The absolute values are calibrated to give multi-month
+// nominal lifetimes at the 32 nm / 2 GHz operating point; only normalized
+// MTTF ratios are reported, exactly as in the paper (Fig. 16).
+type AgingParams struct {
+	// Vth0 is the nominal threshold voltage (V); a device fails when
+	// ΔVth exceeds FailFraction*Vth0 (paper: 10%, citing [37]).
+	Vth0         float64
+	FailFraction float64
+
+	// NBTI constants of eq. 5: ΔVth = A·((1+δ)·tox + sqrt(C·t))^(2n),
+	// where A depends exponentially on temperature. We fold the
+	// temperature dependence into an effective-stress-time integral
+	// with per-°C acceleration NBTITempCoeff around RefTempC.
+	NBTIA         float64
+	NBTIDelta     float64
+	NBTITox       float64
+	NBTIC         float64
+	NBTIN         float64 // the exponent n; the formula uses 2n
+	NBTITempCoeff float64
+	RefTempC      float64
+
+	// HCI constants of eq. 6: ΔVth = A_HCI · I^m · t_stress^n with
+	// t_stress = dg0 · f · α_SA · t_runtime.
+	HCIA    float64
+	HCII    float64
+	HCIM    float64
+	HCIN    float64
+	HCIDg0  float64 // transition delay (s)
+	HCIFreq float64 // clock frequency (Hz)
+}
+
+// DefaultAgingParams returns the calibration used throughout the
+// reproduction (documented in DESIGN.md).
+func DefaultAgingParams() AgingParams {
+	return AgingParams{
+		Vth0:          0.30,
+		FailFraction:  0.10,
+		NBTIA:         0.0040,
+		NBTIDelta:     0.5,
+		NBTITox:       1.2e-9,
+		NBTIC:         1.0e-3,
+		NBTIN:         0.17,
+		NBTITempCoeff: 0.080, // ~2x NBTI acceleration per 9 °C
+		RefTempC:      60.0,
+		HCIA:          2.0e-4,
+		HCII:          1.0,
+		HCIM:          1.0,
+		HCIN:          0.30,
+		HCIDg0:        5.0e-12,
+		HCIFreq:       2.0e9,
+	}
+}
+
+// Wear accumulates a router's degradation state. NBTI stresses PMOS
+// whenever the router is powered (bias stress); HCI stresses NMOS in
+// proportion to switching activity. Both integrals are in
+// temperature-weighted "effective seconds" at the reference temperature.
+type Wear struct {
+	NBTIEffSeconds float64
+	HCIEffSeconds  float64
+	ElapsedSeconds float64
+}
+
+// Accrue integrates dt seconds of operation at the given temperature,
+// switching activity (0..1) and power state into the wear counters.
+// Power-gated routers accrue no NBTI or HCI stress — this is exactly the
+// stress-relaxing benefit of operation mode 0.
+func (w *Wear) Accrue(p AgingParams, dtSeconds, tempC, activity float64, powered bool) {
+	w.ElapsedSeconds += dtSeconds
+	if !powered || dtSeconds <= 0 {
+		return
+	}
+	weight := math.Exp(p.NBTITempCoeff * (tempC - p.RefTempC))
+	w.NBTIEffSeconds += weight * dtSeconds
+	if activity < 0 {
+		activity = 0
+	}
+	w.HCIEffSeconds += weight * activity * dtSeconds
+}
+
+// DeltaVth evaluates eqs. 5-7 on the accumulated wear, returning the NBTI,
+// HCI, and combined threshold-voltage shifts in volts.
+func (p AgingParams) DeltaVth(w Wear) (nbti, hci, total float64) {
+	base := (1+p.NBTIDelta)*p.NBTITox + math.Sqrt(p.NBTIC*w.NBTIEffSeconds)
+	nbti = p.NBTIA * math.Pow(base, 2*p.NBTIN)
+	tstress := p.HCIDg0 * p.HCIFreq * w.HCIEffSeconds
+	hci = p.HCIA * math.Pow(p.HCII, p.HCIM) * math.Pow(tstress, p.HCIN)
+	return nbti, hci, nbti + hci
+}
+
+// AgingFactor returns the reward-function aging term of eq. 7:
+// 1 + ΔVth/Vth0, guaranteed > 1 as the reward design requires.
+func (p AgingParams) AgingFactor(w Wear) float64 {
+	_, _, dv := p.DeltaVth(w)
+	return 1 + dv/p.Vth0
+}
+
+// Failed reports whether the accumulated shift has crossed the permanent
+// fault threshold.
+func (p AgingParams) Failed(w Wear) bool {
+	_, _, dv := p.DeltaVth(w)
+	return dv >= p.FailFraction*p.Vth0
+}
+
+// MTTFSeconds extrapolates the time to failure of a device that keeps
+// accruing stress at the average rates observed so far. It returns +Inf
+// for a device that has accrued no stress (never powered).
+func (p AgingParams) MTTFSeconds(w Wear) float64 {
+	if w.ElapsedSeconds <= 0 || (w.NBTIEffSeconds == 0 && w.HCIEffSeconds == 0) {
+		return math.Inf(1)
+	}
+	nbtiRate := w.NBTIEffSeconds / w.ElapsedSeconds
+	hciRate := w.HCIEffSeconds / w.ElapsedSeconds
+	limit := p.FailFraction * p.Vth0
+	at := func(t float64) float64 {
+		_, _, dv := p.DeltaVth(Wear{
+			NBTIEffSeconds: nbtiRate * t,
+			HCIEffSeconds:  hciRate * t,
+		})
+		return dv
+	}
+	// Bracket then bisect: ΔVth is monotonically increasing in t.
+	lo, hi := 0.0, 1.0
+	for at(hi) < limit {
+		hi *= 2
+		if hi > 1e18 {
+			return math.Inf(1)
+		}
+	}
+	for i := 0; i < 200 && hi-lo > 1e-6*hi; i++ {
+		mid := (lo + hi) / 2
+		if at(mid) < limit {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return (lo + hi) / 2
+}
+
+// FIT converts an MTTF in seconds to failures per 10^9 device-hours, the
+// unit used by the Shin et al. reliability-modeling framework the paper
+// cites for its FIT calculations.
+func FIT(mttfSeconds float64) float64 {
+	if math.IsInf(mttfSeconds, 1) || mttfSeconds <= 0 {
+		return 0
+	}
+	hours := mttfSeconds / 3600
+	return 1e9 / hours
+}

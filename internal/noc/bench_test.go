@@ -1,0 +1,56 @@
+package noc
+
+import (
+	"testing"
+
+	"intellinoc/internal/traffic"
+)
+
+// BenchmarkNetworkCycle measures the raw simulation rate of an 8×8
+// baseline mesh under moderate load, in simulated cycles per second.
+func BenchmarkNetworkCycle(b *testing.B) {
+	cfg := testConfig()
+	cfg.Width, cfg.Height = 8, 8
+	gen, err := traffic.NewSynthetic(traffic.SyntheticConfig{
+		Width: 8, Height: 8, Pattern: traffic.Uniform,
+		InjectionRate: 0.1, PacketFlits: 4, Packets: 1 << 30, Seed: 1,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	n, err := New(cfg, gen, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		n.Step()
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "cycles/s")
+}
+
+// BenchmarkNetworkCycleChannelBuffered measures the MFAC-style
+// configuration, whose dynamic channel scan is the pricier path.
+func BenchmarkNetworkCycleChannelBuffered(b *testing.B) {
+	cfg := channelConfig()
+	cfg.Width, cfg.Height = 8, 8
+	cfg.BaseErrorRate = 2e-5
+	gen, err := traffic.NewSynthetic(traffic.SyntheticConfig{
+		Width: 8, Height: 8, Pattern: traffic.Uniform,
+		InjectionRate: 0.1, PacketFlits: 4, Packets: 1 << 30, Seed: 1,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	n, err := New(cfg, gen, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		n.Step()
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "cycles/s")
+}

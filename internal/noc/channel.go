@@ -1,0 +1,108 @@
+package noc
+
+// Channel models one inter-router link and its MFAC buffer stages
+// (Fig. 2/3). A channel is a latency-tagged FIFO:
+//
+//   - as a *transmission repeater* it simply delays flits by its traversal
+//     latency;
+//   - as *link storage* it holds flits that the downstream router buffer
+//     cannot yet accept (capacity = the configured channel stages);
+//   - as a *re-transmission buffer* it resends a flit after a hop-level
+//     NACK without involving the upstream router's buffers (the extra
+//     delay and energy are applied by the fault-resolution path in
+//     network.go);
+//   - as a *relaxed-timing buffer* it doubles the traversal latency,
+//     which the fault model rewards with a collapsed error rate.
+//
+// The function in force is selected per time step by the upstream
+// router's operation mode.
+type Channel struct {
+	// capacity is the flit storage (0 means a plain wire: unlimited
+	// in-flight, bounded instead by downstream VC credits).
+	capacity int
+	queue    []channelFlit
+}
+
+type channelFlit struct {
+	flit    *Flit
+	readyAt int64
+}
+
+func newChannel(capacity int) *Channel {
+	return &Channel{capacity: capacity}
+}
+
+// hasSpace reports whether a new flit may enter. Plain wires always have
+// space (the sender checked VC credits instead).
+func (c *Channel) hasSpace() bool {
+	return c.capacity == 0 || len(c.queue) < c.capacity
+}
+
+// push enqueues a flit that becomes deliverable at readyAt.
+func (c *Channel) push(f *Flit, readyAt int64) {
+	c.queue = append(c.queue, channelFlit{flit: f, readyAt: readyAt})
+}
+
+// len returns the number of flits stored or in flight.
+func (c *Channel) len() int { return len(c.queue) }
+
+// peekReady returns the index of the first deliverable flit, honouring
+// per-VC ordering. With dynamicAlloc (the unified-BST allocation of
+// Section 3.1.2) it may look past a blocked head as long as no earlier
+// flit shares the candidate's VC; otherwise only the head qualifies.
+// accept reports whether the downstream buffer can take the flit.
+func (c *Channel) peekReady(cycle int64, dynamicAlloc bool, accept func(*Flit) bool) int {
+	if len(c.queue) == 0 {
+		return -1
+	}
+	if !dynamicAlloc {
+		head := c.queue[0]
+		if head.readyAt <= cycle && accept(head.flit) {
+			return 0
+		}
+		return -1
+	}
+	var seen [64]bool // VCs are small; fixed array avoids allocation
+	for i, cf := range c.queue {
+		vc := cf.flit.VC
+		if vc < 0 || vc >= len(seen) {
+			continue
+		}
+		if seen[vc] {
+			continue
+		}
+		// Whether blocked by timing or by a full buffer, this flit
+		// now shields every later flit on the same VC so per-VC
+		// order is preserved.
+		if cf.readyAt <= cycle && accept(cf.flit) {
+			return i
+		}
+		seen[vc] = true
+	}
+	return -1
+}
+
+// remove extracts the flit at index i, preserving order.
+func (c *Channel) remove(i int) *Flit {
+	f := c.queue[i].flit
+	c.queue = append(c.queue[:i], c.queue[i+1:]...)
+	return f
+}
+
+// anyReady reports whether any flit is deliverable at the given cycle
+// (used to trigger wake-up of gated routers).
+func (c *Channel) anyReady(cycle int64) bool {
+	for _, cf := range c.queue {
+		if cf.readyAt <= cycle {
+			return true
+		}
+	}
+	return false
+}
+
+// delay postpones the flit at index i (hop-level retransmission).
+func (c *Channel) delay(i int, until int64) {
+	if c.queue[i].readyAt < until {
+		c.queue[i].readyAt = until
+	}
+}

@@ -1,0 +1,176 @@
+package noc
+
+import "testing"
+
+func mkFlit(id uint64, vc int, t FlitType) *Flit {
+	return &Flit{ID: id, VC: vc, Type: t}
+}
+
+func TestChannelFIFOOrder(t *testing.T) {
+	ch := newChannel(0)
+	ch.push(mkFlit(1, 0, FlitHead), 10)
+	ch.push(mkFlit(2, 0, FlitTail), 11)
+	if ch.len() != 2 {
+		t.Fatalf("len = %d", ch.len())
+	}
+	// Nothing deliverable before readyAt.
+	if idx := ch.peekReady(9, false, func(*Flit) bool { return true }); idx != -1 {
+		t.Fatal("flit delivered before its readyAt")
+	}
+	if idx := ch.peekReady(10, false, func(*Flit) bool { return true }); idx != 0 {
+		t.Fatalf("head not deliverable at its readyAt, idx=%d", idx)
+	}
+	f := ch.remove(0)
+	if f.ID != 1 || ch.len() != 1 {
+		t.Fatal("remove broke FIFO order")
+	}
+}
+
+func TestChannelHeadOnlyBlocksAll(t *testing.T) {
+	ch := newChannel(0)
+	ch.push(mkFlit(1, 0, FlitHead), 0)
+	ch.push(mkFlit(2, 1, FlitHead), 0)
+	reject0 := func(f *Flit) bool { return f.VC != 0 }
+	// Without dynamic allocation, the blocked VC-0 head shields the
+	// deliverable VC-1 flit (head-of-line blocking).
+	if idx := ch.peekReady(5, false, reject0); idx != -1 {
+		t.Fatal("head-only scan must not look past the head")
+	}
+	// With dynamic allocation the VC-1 flit gets through.
+	if idx := ch.peekReady(5, true, reject0); idx != 1 {
+		t.Fatalf("dynamic scan should select index 1, got %d", idx)
+	}
+}
+
+func TestChannelDynamicScanPreservesPerVCOrder(t *testing.T) {
+	ch := newChannel(0)
+	ch.push(mkFlit(1, 0, FlitHead), 100) // not ready yet
+	ch.push(mkFlit(2, 0, FlitBody), 0)   // ready, but behind same-VC flit
+	ch.push(mkFlit(3, 1, FlitHead), 0)   // ready, different VC
+	accept := func(*Flit) bool { return true }
+	idx := ch.peekReady(5, true, accept)
+	if idx != 2 {
+		t.Fatalf("must skip VC0 entirely (order) and pick the VC1 flit: idx=%d", idx)
+	}
+	// Same if the first VC-0 flit is ready but rejected by the buffer.
+	ch2 := newChannel(0)
+	ch2.push(mkFlit(1, 0, FlitHead), 0)
+	ch2.push(mkFlit(2, 0, FlitBody), 0)
+	rejected := 0
+	idx = ch2.peekReady(5, true, func(f *Flit) bool { rejected++; return false })
+	if idx != -1 {
+		t.Fatal("nothing acceptable should be selected")
+	}
+	if rejected != 1 {
+		t.Fatalf("accept must be consulted only for the first flit per VC, got %d calls", rejected)
+	}
+}
+
+func TestChannelCapacity(t *testing.T) {
+	ch := newChannel(2)
+	if !ch.hasSpace() {
+		t.Fatal("empty bounded channel must have space")
+	}
+	ch.push(mkFlit(1, 0, FlitHead), 0)
+	ch.push(mkFlit(2, 0, FlitBody), 0)
+	if ch.hasSpace() {
+		t.Fatal("bounded channel at capacity must report full")
+	}
+	unbounded := newChannel(0)
+	for i := 0; i < 100; i++ {
+		unbounded.push(mkFlit(uint64(i), 0, FlitBody), 0)
+		if !unbounded.hasSpace() {
+			t.Fatal("credit-governed channel must never report full")
+		}
+	}
+}
+
+func TestChannelDelayForRetransmission(t *testing.T) {
+	ch := newChannel(0)
+	ch.push(mkFlit(1, 0, FlitHead), 5)
+	ch.delay(0, 20)
+	if idx := ch.peekReady(10, false, func(*Flit) bool { return true }); idx != -1 {
+		t.Fatal("delayed flit must not deliver early")
+	}
+	if idx := ch.peekReady(20, false, func(*Flit) bool { return true }); idx != 0 {
+		t.Fatal("delayed flit must deliver at the new time")
+	}
+	// delay never moves a flit earlier.
+	ch.delay(0, 3)
+	if idx := ch.peekReady(10, false, func(*Flit) bool { return true }); idx != -1 {
+		t.Fatal("delay must be monotone")
+	}
+}
+
+func TestChannelAnyReady(t *testing.T) {
+	ch := newChannel(0)
+	if ch.anyReady(100) {
+		t.Fatal("empty channel has nothing ready")
+	}
+	ch.push(mkFlit(1, 0, FlitHead), 50)
+	if ch.anyReady(49) {
+		t.Fatal("not ready yet")
+	}
+	if !ch.anyReady(50) {
+		t.Fatal("ready at readyAt")
+	}
+}
+
+func TestRouterFreeVCRoundRobin(t *testing.T) {
+	cfg := testConfig()
+	op := newOutputPort(cfg, 1, PortWest, newChannel(0))
+	a := op.freeVC()
+	op.vcBusy[a] = true
+	b := op.freeVC()
+	if a == b {
+		t.Fatal("freeVC must rotate among free VCs")
+	}
+	op.vcBusy[b] = true
+	if op.freeVC() != -1 {
+		t.Fatal("all busy must return -1")
+	}
+	op.vcBusy[a] = false
+	op.credits[a] = 0
+	if op.freeVCWithCredit() != -1 {
+		t.Fatal("free VC without credit must not qualify")
+	}
+	op.credits[a] = 1
+	if op.freeVCWithCredit() != a {
+		t.Fatal("free VC with credit must qualify")
+	}
+}
+
+func TestInputVCReset(t *testing.T) {
+	var v inputVC
+	v.route, v.outVC, v.routedAt, v.vaAt = 3, 2, 10, 11
+	v.reset()
+	if v.route != -1 || v.outVC != -1 || v.routedAt != -1 || v.vaAt != -1 {
+		t.Fatalf("reset incomplete: %+v", v)
+	}
+}
+
+func TestFlitTypePredicates(t *testing.T) {
+	if !FlitHead.IsHead() || !FlitSingle.IsHead() || FlitBody.IsHead() || FlitTail.IsHead() {
+		t.Fatal("IsHead wrong")
+	}
+	if !FlitTail.IsTail() || !FlitSingle.IsTail() || FlitBody.IsTail() || FlitHead.IsTail() {
+		t.Fatal("IsTail wrong")
+	}
+}
+
+func TestPortNamesAndOpposite(t *testing.T) {
+	if opposite(PortEast) != PortWest || opposite(PortNorth) != PortSouth {
+		t.Fatal("opposite wrong")
+	}
+	if opposite(PortWest) != PortEast || opposite(PortSouth) != PortNorth {
+		t.Fatal("opposite wrong")
+	}
+	names := map[string]bool{}
+	for p := 0; p < NumPorts; p++ {
+		n := PortName(p)
+		if n == "?" || names[n] {
+			t.Fatalf("bad port name %q", n)
+		}
+		names[n] = true
+	}
+}

@@ -1,0 +1,154 @@
+package noc
+
+import (
+	"testing"
+
+	"intellinoc/internal/traffic"
+)
+
+// denseTrace builds a per-source back-to-back trace: every node sends
+// `per` packets with zero compute gap, so execution time is limited purely
+// by network round-trips under a dependency window.
+func denseTrace(width, height, per int) traffic.Generator {
+	nodes := width * height
+	var pkts []traffic.Packet
+	for i := 0; i < per; i++ {
+		for src := 0; src < nodes; src++ {
+			pkts = append(pkts, traffic.Packet{
+				Time: 0, Src: src, Dst: (src + nodes/2) % nodes, Flits: 4,
+			})
+		}
+	}
+	return traffic.NewSliceGenerator(pkts)
+}
+
+func TestDependencyWindowThrottlesInjection(t *testing.T) {
+	cfg := testConfig()
+	cfg.DependencyWindow = 1
+	n, err := New(cfg, denseTrace(4, 4, 50), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := n.RunUntilDrained(1_000_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := n.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	if res.PacketsDelivered != 800 {
+		t.Fatalf("delivered %d/800", res.PacketsDelivered)
+	}
+	// With W=1, each source serializes 50 round trips: execution time
+	// must be at least 50 × the per-packet latency floor (~12 cycles
+	// for a 2-hop, 4-flit packet).
+	if res.Cycles < 50*12 {
+		t.Fatalf("execution time %d too short for serialized round trips", res.Cycles)
+	}
+	// Open-loop replay of the same trace floods the network up front
+	// and drains much faster in wall-clock cycles.
+	open := cfg
+	open.DependencyWindow = 0
+	n2, err := New(open, denseTrace(4, 4, 50), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res2, err := n2.RunUntilDrained(1_000_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.Cycles >= res.Cycles {
+		t.Fatalf("open loop (%d cycles) should drain faster than W=1 (%d cycles)",
+			res2.Cycles, res.Cycles)
+	}
+}
+
+func TestDependencyWindowExecutionTracksNetworkSpeed(t *testing.T) {
+	// A slower router pipeline must stretch closed-loop execution time:
+	// the property that gives Fig. 9 its meaning.
+	fast := testConfig()
+	fast.DependencyWindow = 1
+	fast.HasVAStage = false // 3-stage router
+	fast.ChannelStages = 16
+	fast.DynamicChannelAlloc = true
+	fast.BufDepth = 1
+
+	slow := testConfig()
+	slow.DependencyWindow = 1 // 4-stage router with per-hop DECTED latency
+
+	nFast, err := New(fast, denseTrace(4, 4, 40), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resFast, err := nFast.RunUntilDrained(1_000_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nSlow, err := New(slow, denseTrace(4, 4, 40), StaticController(ModeDECTED))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resSlow, err := nSlow.RunUntilDrained(1_000_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resFast.Cycles >= resSlow.Cycles {
+		t.Fatalf("faster network must finish sooner: %d vs %d cycles",
+			resFast.Cycles, resSlow.Cycles)
+	}
+}
+
+func TestDependencyWindowPreservesComputeGaps(t *testing.T) {
+	// One source, two packets 500 cycles apart: the second cannot start
+	// before lastInject+gap even though the first completed long ago.
+	cfg := testConfig()
+	cfg.DependencyWindow = 2
+	pkts := []traffic.Packet{
+		{Time: 0, Src: 0, Dst: 5, Flits: 1},
+		{Time: 500, Src: 0, Dst: 5, Flits: 1},
+	}
+	n, err := New(cfg, traffic.NewSliceGenerator(pkts), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := n.RunUntilDrained(100_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.PacketsDelivered != 2 {
+		t.Fatal("packets lost")
+	}
+	// The run must span at least the 500-cycle compute gap.
+	if res.Cycles < 500 {
+		t.Fatalf("compute gap not preserved: run took %d cycles", res.Cycles)
+	}
+}
+
+func TestDependencyWindowWithRetransmissions(t *testing.T) {
+	// End-to-end retries must not wedge a W=1 closed loop.
+	cfg := channelConfig()
+	cfg.DependencyWindow = 1
+	cfg.ForcedErrorRate = 3e-4
+	res := runAndCheck(t, cfg, uniformGen(t, cfg, 0.1, 1200), StaticController(ModeCRC))
+	if res.E2ERetransmits == 0 {
+		t.Fatal("expected end-to-end retransmissions at this error rate")
+	}
+	if res.PacketsDelivered+res.PacketsFailed != 1200 {
+		t.Fatalf("lost packets: %+v", res)
+	}
+}
+
+func TestDependencyWindowWithBypass(t *testing.T) {
+	cfg := channelConfig()
+	cfg.DependencyWindow = 2
+	cfg.PowerGating = true
+	cfg.Bypass = true
+	cfg.WakeupCycles = 8
+	res := runAndCheck(t, cfg, uniformGen(t, cfg, 0.05, 1000), StaticController(ModeBypass))
+	if res.PacketsDelivered != 1000 {
+		t.Fatalf("delivered %d/1000", res.PacketsDelivered)
+	}
+	if res.GatedCycles == 0 {
+		t.Fatal("bypass policy should gate")
+	}
+}

@@ -1,0 +1,186 @@
+package noc
+
+import (
+	"fmt"
+
+	"intellinoc/internal/fault"
+	"intellinoc/internal/power"
+	"intellinoc/internal/thermal"
+)
+
+// Config describes one simulated network. The five techniques of the
+// paper's evaluation (SECDED baseline, EB, CP, CPD, IntelliNoC) are
+// expressed purely as configurations plus a Controller; the preset
+// constructors live in internal/core.
+type Config struct {
+	// Topology.
+	Width, Height int
+
+	// Router microarchitecture (Table 1).
+	VCs      int // virtual channels per port
+	BufDepth int // router-buffer slots per VC ("RB")
+	// ChannelStages is the per-port channel-buffer storage ("CB"):
+	// 0 for the baseline's plain wires, 8 for iDEAL/MFAC channels
+	// (two physical links × four stages).
+	ChannelStages int
+	// HasVAStage is false for EB-style routers, which eliminate the VA
+	// pipeline stage (3-stage router).
+	HasVAStage bool
+	// ElasticChannel marks EB-style flip-flop channel stages, which
+	// leak and switch more than iDEAL/MFAC tri-state repeaters.
+	ElasticChannel bool
+	// DynamicChannelAlloc lets a channel deliver past a blocked head
+	// flit (the unified-BST dynamic buffer allocation of Section 3.1.2)
+	// to beat head-of-line blocking.
+	DynamicChannelAlloc bool
+
+	// Power management.
+	PowerGating bool // gate idle routers (CP-style)
+	// Bypass enables the stress-relaxing bypass route (IntelliNoC
+	// mode 0): gated routers keep forwarding through MFACs.
+	Bypass bool
+	// IdleGateCycles is the idle streak after which a CP-style router
+	// gates itself; WakeupCycles is the wake latency paid when traffic
+	// arrives at a gated router with no bypass.
+	IdleGateCycles int
+	WakeupCycles   int
+	// MFAC marks the multi-function channel hardware (controller
+	// leakage/area, retransmission-from-channel capability).
+	MFAC bool
+	// RLTable accounts for the Q-table storage (power/area) and RL
+	// step energy.
+	RLTable bool
+
+	// Flit format (Table 1: 4 × 128-bit flits).
+	FlitBits int
+
+	// Control loop.
+	TimeStepCycles        int // controller decision interval
+	ThermalIntervalCycles int
+
+	// Fault injection.
+	BaseErrorRate float64 // per-bit rate at the reference point
+	// ForcedErrorRate, when positive, bypasses the thermal coupling and
+	// injects at exactly this per-bit rate (Fig. 17b artificial sweep).
+	ForcedErrorRate float64
+	// MaxPacketRetries bounds end-to-end retransmissions per packet.
+	MaxPacketRetries int
+
+	// ControlFaultRate extends the fault model to the control circuitry
+	// (the paper's stated future work): each route computation suffers
+	// a parity-detected routing-table/BST upset with this probability,
+	// costing a recompute penalty of ControlFaultPenalty cycles. Faults
+	// are detected-and-recovered (the tables are parity-protected), so
+	// they cost latency and energy but never misroute.
+	ControlFaultRate    float64
+	ControlFaultPenalty int
+
+	// DependencyWindow > 0 makes injection closed-loop in the style of
+	// Netrace's dependency-driven replay: each core may have at most
+	// this many packets outstanding, and consecutive packets from a
+	// core preserve their trace spacing as *compute* gaps between
+	// injection starts. Slow networks therefore stretch execution time
+	// (Fig. 9's metric); 0 replays the trace open-loop.
+	DependencyWindow int
+
+	// VerifyPayloads carries real payload bytes through the bit-exact
+	// ECC codecs on every hop. Slower; used by tests and examples.
+	VerifyPayloads bool
+
+	Seed int64
+
+	// Model parameter overrides (zero values select the defaults).
+	PowerParams   *power.Params
+	ThermalParams *thermal.Params
+	AgingParams   *fault.AgingParams
+}
+
+// Validate checks the configuration for structural errors.
+func (c *Config) Validate() error {
+	switch {
+	case c.Width <= 0 || c.Height <= 0:
+		return fmt.Errorf("noc: invalid mesh %dx%d", c.Width, c.Height)
+	case c.VCs <= 0:
+		return fmt.Errorf("noc: need at least one VC")
+	case c.VCs > maxVCs:
+		return fmt.Errorf("noc: at most %d VCs supported", maxVCs)
+	case c.BufDepth <= 0:
+		return fmt.Errorf("noc: need router buffer depth >= 1")
+	case c.ChannelStages < 0:
+		return fmt.Errorf("noc: negative channel stages")
+	case c.FlitBits <= 0:
+		return fmt.Errorf("noc: flit size must be positive")
+	case c.TimeStepCycles <= 0:
+		return fmt.Errorf("noc: time step must be positive")
+	case c.ThermalIntervalCycles <= 0:
+		return fmt.Errorf("noc: thermal interval must be positive")
+	case c.Bypass && c.ChannelStages == 0:
+		return fmt.Errorf("noc: bypass requires channel storage")
+	case c.ChannelStages > 0 && c.VCs > 1 && !c.DynamicChannelAlloc:
+		// A strictly-FIFO shared channel in front of multiple VCs can
+		// wedge one VC's wormhole behind another's blocked head; the
+		// unified-BST dynamic allocation (Section 3.1.2) is what makes
+		// channel storage deadlock-free.
+		return fmt.Errorf("noc: channel buffers with multiple VCs require dynamic channel allocation")
+	case c.PowerGating && !c.Bypass && c.WakeupCycles <= 0:
+		return fmt.Errorf("noc: power gating without bypass needs a wakeup latency")
+	case c.MaxPacketRetries < 0:
+		return fmt.Errorf("noc: negative retry bound")
+	}
+	return nil
+}
+
+// Nodes returns the node count.
+func (c *Config) Nodes() int { return c.Width * c.Height }
+
+// routerPowerConfig derives the leakage structure of one router.
+func (c *Config) routerPowerConfig() power.RouterConfig {
+	return power.RouterConfig{
+		BufferSlots:    c.VCs * c.BufDepth * NumPorts,
+		SlotsPerVC:     c.BufDepth,
+		ChannelStages:  c.ChannelStages * NumPorts,
+		ElasticChannel: c.ElasticChannel,
+		HasMFACCtrl:    c.MFAC,
+		HasBST:         c.Bypass,
+		HasQTable:      c.RLTable,
+	}
+}
+
+// Observation is what a Controller sees about one router at a time-step
+// boundary: the 16-feature state vector of Fig. 7 plus the reward inputs
+// of eq. 1 and the error histogram CPD's heuristic uses.
+type Observation struct {
+	Router int
+	Cycle  int64
+	// Features: [0..4] input-link utilization per port, [5..9] buffer
+	// utilization per port, [10..14] output-link utilization per port,
+	// [15] router temperature in °C — Fig. 7's exact layout.
+	Features [16]float64
+	// AvgLatencyCycles is the mean end-to-end latency of packets
+	// ejected at this router during the last window (>=1).
+	AvgLatencyCycles float64
+	// PowerMilliwatts is the router's mean power over the window.
+	PowerMilliwatts float64
+	// AgingFactor is eq. 7's 1 + ΔVth/Vth0.
+	AgingFactor float64
+	// ErrorHistogram counts link transmissions by sampled error bits:
+	// [0]=clean, [1]=1-bit, [2]=2-bit, [3]=3 or more.
+	ErrorHistogram [4]uint64
+}
+
+// Controller selects each router's operation mode at every time step.
+// Implementations include the static baseline/EB/CP policies, CPD's
+// error-level heuristic, and the per-router Q-learning agents — all in
+// internal/core.
+type Controller interface {
+	// NextMode returns the mode the router should apply for the coming
+	// time step, given the observation of the one that just ended.
+	NextMode(obs Observation) Mode
+}
+
+// StaticController always answers the same mode, with gating decisions
+// left to the traffic-driven power-gating machinery.
+type StaticController Mode
+
+// NextMode implements Controller.
+func (s StaticController) NextMode(Observation) Mode { return Mode(s) }

@@ -1,0 +1,78 @@
+package noc
+
+import (
+	"fmt"
+	"io"
+)
+
+// DumpState writes a human-readable snapshot of every router's pipeline,
+// buffer, channel and power state — the first tool to reach for when a
+// configuration wedges.
+func (n *Network) DumpState(w io.Writer) {
+	fmt.Fprintf(w, "cycle=%d outstanding=%d genExhausted=%v\n", n.cycle, n.outstanding, n.gen.Exhausted())
+	for id, r := range n.routers {
+		busy := false
+		for p := 0; p < NumPorts; p++ {
+			if r.in[p] != nil && r.in[p].occupancy() > 0 {
+				busy = true
+			}
+			if r.in[p] != nil && r.in[p].ch != nil && r.in[p].ch.len() > 0 {
+				busy = true
+			}
+		}
+		q := n.nics[id]
+		if q.pending() {
+			busy = true
+		}
+		if !busy {
+			continue
+		}
+		fmt.Fprintf(w, "router %d (%d,%d) mode=%s gated=%v waking=%d\n", id, r.x, r.y, r.mode, r.gated, r.waking)
+		if q.pending() {
+			cur := "none"
+			if q.cur != nil {
+				cur = fmt.Sprintf("pkt%d flit %d/%d vc=%d", q.cur.id, q.nextIdx, q.cur.flits, q.curVC)
+			}
+			fmt.Fprintf(w, "  nic: queued=%d cur=%s\n", len(q.queue), cur)
+		}
+		for p := 0; p < NumPorts; p++ {
+			ip := r.in[p]
+			if ip == nil {
+				continue
+			}
+			if ip.ch != nil && ip.ch.len() > 0 {
+				fmt.Fprintf(w, "  in[%s].ch:", PortName(p))
+				for _, cf := range ip.ch.queue {
+					fmt.Fprintf(w, " [pkt%d.%d %v vc%d@%d]", cf.flit.PacketID, cf.flit.Seq, cf.flit.Type, cf.flit.VC, cf.readyAt)
+				}
+				fmt.Fprintln(w)
+			}
+			for v := range ip.vcs {
+				ivc := &ip.vcs[v]
+				if len(ivc.buf) == 0 && ivc.route < 0 {
+					continue
+				}
+				fmt.Fprintf(w, "  in[%s].vc%d: route=%d outVC=%d buf=", PortName(p), v, ivc.route, ivc.outVC)
+				for _, f := range ivc.buf {
+					fmt.Fprintf(w, "[pkt%d.%d %v]", f.PacketID, f.Seq, f.Type)
+				}
+				fmt.Fprintln(w)
+			}
+		}
+		for p := 0; p < NumPorts; p++ {
+			op := r.out[p]
+			if op == nil {
+				continue
+			}
+			anyBusy := false
+			for _, b := range op.vcBusy {
+				if b {
+					anyBusy = true
+				}
+			}
+			if anyBusy {
+				fmt.Fprintf(w, "  out[%s]: vcBusy=%v credits=%v\n", PortName(p), op.vcBusy, op.credits)
+			}
+		}
+	}
+}

@@ -1,0 +1,97 @@
+package noc
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"intellinoc/internal/traffic"
+)
+
+func TestEventHookSeesFullFlitLifecycle(t *testing.T) {
+	cfg := testConfig()
+	gen := traffic.NewSliceGenerator([]traffic.Packet{{Time: 0, Src: 0, Dst: 3, Flits: 2}})
+	n, err := New(cfg, gen, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := map[EventKind]int{}
+	n.SetEventHook(func(e Event) { counts[e.Kind]++ })
+	if _, err := n.RunUntilDrained(10_000); err != nil {
+		t.Fatal(err)
+	}
+	if counts[EvInject] != 2 {
+		t.Fatalf("inject events = %d, want 2", counts[EvInject])
+	}
+	if counts[EvEject] != 2 {
+		t.Fatalf("eject events = %d, want 2", counts[EvEject])
+	}
+	// 2 flits × 4 routers traversed (0,1,2,3) = 8 SA grants; the last
+	// is the ejection, so 2×3 = 6 link traversals.
+	if counts[EvTraverse] != 6 {
+		t.Fatalf("traverse events = %d, want 6", counts[EvTraverse])
+	}
+	// 3 inter-router hops × 2 flits deliveries into buffers.
+	if counts[EvDeliver] != 6 {
+		t.Fatalf("deliver events = %d, want 6", counts[EvDeliver])
+	}
+}
+
+func TestEventStreamFormatting(t *testing.T) {
+	cfg := testConfig()
+	gen := traffic.NewSliceGenerator([]traffic.Packet{{Time: 0, Src: 0, Dst: 1, Flits: 1}})
+	n, err := New(cfg, gen, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	n.StreamEvents(&buf)
+	if _, err := n.RunUntilDrained(10_000); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"inject", "eject", "pkt=0.0"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("trace missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestEventHookGatingAndModes(t *testing.T) {
+	cfg := channelConfig()
+	cfg.PowerGating = true
+	cfg.Bypass = true
+	cfg.WakeupCycles = 8
+	cfg.TimeStepCycles = 200
+	n, err := New(cfg, uniformGen(t, cfg, 0.02, 300), &modeFlipController{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := map[EventKind]int{}
+	n.SetEventHook(func(e Event) { counts[e.Kind]++ })
+	if _, err := n.RunUntilDrained(2_000_000); err != nil {
+		t.Fatal(err)
+	}
+	if counts[EvGate] == 0 || counts[EvWake] == 0 {
+		t.Fatalf("expected gating lifecycle events: %v", counts)
+	}
+	if counts[EvModeChange] == 0 {
+		t.Fatal("mode flips must emit mode-change events")
+	}
+	if counts[EvBypass] == 0 {
+		t.Fatal("gated routers must emit bypass events")
+	}
+}
+
+func TestEventKindStrings(t *testing.T) {
+	kinds := []EventKind{EvInject, EvDeliver, EvTraverse, EvBypass, EvEject,
+		EvHopRetransmit, EvE2ERetransmit, EvGate, EvWake, EvModeChange}
+	seen := map[string]bool{}
+	for _, k := range kinds {
+		s := k.String()
+		if s == "unknown" || seen[s] {
+			t.Fatalf("bad or duplicate kind name %q", s)
+		}
+		seen[s] = true
+	}
+}

@@ -1,0 +1,140 @@
+package noc
+
+import (
+	"testing"
+
+	"intellinoc/internal/traffic"
+)
+
+// runAndCheck drains a workload and then validates every network
+// invariant: in-order delivery, credit conservation, released VCs, empty
+// buffers/channels/NICs.
+func runAndCheck(t *testing.T, cfg Config, gen traffic.Generator, ctrl Controller) Result {
+	t.Helper()
+	n, err := New(cfg, gen, ctrl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := n.RunUntilDrained(5_000_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := n.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func TestInvariantsBaseline(t *testing.T) {
+	cfg := testConfig()
+	runAndCheck(t, cfg, uniformGen(t, cfg, 0.15, 2500), nil)
+}
+
+func TestInvariantsChannelBuffered(t *testing.T) {
+	cfg := channelConfig()
+	runAndCheck(t, cfg, uniformGen(t, cfg, 0.2, 2500), nil)
+}
+
+func TestInvariantsEBStyle(t *testing.T) {
+	cfg := testConfig()
+	cfg.HasVAStage = false
+	cfg.BufDepth = 1
+	cfg.VCs = 2
+	cfg.ChannelStages = 16
+	cfg.DynamicChannelAlloc = true // independent sub-network channels
+	runAndCheck(t, cfg, uniformGen(t, cfg, 0.12, 2000), nil)
+}
+
+func TestInvariantsUnderErrors(t *testing.T) {
+	for _, mode := range []Mode{ModeCRC, ModeSECDED, ModeDECTED, ModeRelaxed} {
+		cfg := channelConfig()
+		cfg.ForcedErrorRate = 3e-4
+		res := runAndCheck(t, cfg, uniformGen(t, cfg, 0.1, 1500), StaticController(mode))
+		if res.PacketsDelivered+res.PacketsFailed != 1500 {
+			t.Fatalf("%v: lost packets", mode)
+		}
+	}
+}
+
+func TestInvariantsWithPowerGating(t *testing.T) {
+	cfg := channelConfig()
+	cfg.PowerGating = true
+	cfg.IdleGateCycles = 24
+	cfg.WakeupCycles = 8
+	res := runAndCheck(t, cfg, uniformGen(t, cfg, 0.02, 1200), nil)
+	if res.GatedCycles == 0 {
+		t.Fatal("expected gating at this load")
+	}
+}
+
+func TestInvariantsWithBypass(t *testing.T) {
+	cfg := channelConfig()
+	cfg.PowerGating = true
+	cfg.Bypass = true
+	cfg.WakeupCycles = 8
+	for _, rate := range []float64{0.02, 0.15, 0.4} {
+		res := runAndCheck(t, cfg, uniformGen(t, cfg, rate, 1500), StaticController(ModeBypass))
+		if res.PacketsDelivered != 1500 {
+			t.Fatalf("rate %v: delivered %d/1500", rate, res.PacketsDelivered)
+		}
+	}
+}
+
+// modeFlipController alternates modes every decision to stress the
+// transitions (active↔gated, scheme changes) mid-traffic.
+type modeFlipController struct{ i int }
+
+func (c *modeFlipController) NextMode(Observation) Mode {
+	c.i++
+	return Mode(c.i % NumModes)
+}
+
+func TestInvariantsUnderModeThrashing(t *testing.T) {
+	cfg := channelConfig()
+	cfg.PowerGating = true
+	cfg.Bypass = true
+	cfg.WakeupCycles = 8
+	cfg.TimeStepCycles = 200 // flip modes frequently
+	cfg.ForcedErrorRate = 1e-4
+	res := runAndCheck(t, cfg, uniformGen(t, cfg, 0.1, 2500), &modeFlipController{})
+	if res.PacketsDelivered+res.PacketsFailed != 2500 {
+		t.Fatalf("lost packets under mode thrashing: %+v", res)
+	}
+	// All five modes must actually have been exercised.
+	for m, cycles := range res.ModeBreakdown {
+		if cycles == 0 {
+			t.Fatalf("mode %d never exercised", m)
+		}
+	}
+}
+
+func TestInvariantsHotspotTraffic(t *testing.T) {
+	cfg := channelConfig()
+	cfg.PowerGating = true
+	cfg.Bypass = true
+	cfg.WakeupCycles = 8
+	g, err := traffic.NewSynthetic(traffic.SyntheticConfig{
+		Width: 4, Height: 4, Pattern: traffic.Hotspot,
+		InjectionRate: 0.2, PacketFlits: 4, Packets: 2000,
+		HotspotFraction: 0.5, Seed: 13,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	runAndCheck(t, cfg, g, StaticController(ModeBypass))
+}
+
+func TestInvariantsParsecAllTechShapes(t *testing.T) {
+	// Mixed packet sizes (1- and 4-flit) across all structural shapes.
+	shapes := []Config{testConfig(), channelConfig()}
+	for i, cfg := range shapes {
+		g, err := traffic.NewParsec("dedup", cfg.Width, cfg.Height, 1500, 21)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res := runAndCheck(t, cfg, g, nil)
+		if res.PacketsDelivered != 1500 {
+			t.Fatalf("shape %d: delivered %d/1500", i, res.PacketsDelivered)
+		}
+	}
+}

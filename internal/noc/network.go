@@ -1,0 +1,1314 @@
+package noc
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"intellinoc/internal/ecc"
+	"intellinoc/internal/fault"
+	"intellinoc/internal/power"
+	"intellinoc/internal/stats"
+	"intellinoc/internal/thermal"
+	"intellinoc/internal/traffic"
+)
+
+// packetJob is one logical packet from the workload, surviving end-to-end
+// retransmissions.
+type packetJob struct {
+	id          uint64
+	src, dst    int
+	flits       int
+	injectCycle int64 // latency baseline (trace time; NIC start if closed-loop)
+	gap         int64 // compute gap after the previous packet of this source
+	retries     int
+	notBefore   int64 // e2e retry eligibility (after the NACK reaches the source)
+}
+
+// packetInfo tracks a packet's delivery progress at the destination, and
+// the routers its head flit traversed — the paper's reward attributes each
+// flit transmission's end-to-end ACK latency to the *transmitting* router,
+// so every router on the path observes the packet's final latency.
+type packetInfo struct {
+	job          *packetJob
+	flitsArrived int
+	corrupt      bool
+	path         []uint16
+}
+
+// nic is a node's network interface: a packet queue streamed one packet at
+// a time into the local input port (or the bypass switch when the local
+// router is gated).
+type nic struct {
+	queue   []*packetJob
+	cur     *packetJob
+	curVC   int
+	nextIdx int
+	vcRR    int
+	// Closed-loop (dependency-window) state.
+	outstanding   int
+	lastInject    int64
+	lastTraceTime int64
+	seenAny       bool
+}
+
+func (q *nic) pending() bool { return q.cur != nil || len(q.queue) > 0 }
+
+// Network is one simulated NoC instance. It is not safe for concurrent
+// use; run one Network per goroutine.
+type Network struct {
+	cfg  Config
+	ctrl Controller
+
+	routers []*Router
+	nics    []*nic
+	gen     *traffic.Peeker
+
+	injector *fault.Injector
+	rng      *rand.Rand
+	grid     *thermal.Grid
+	aging    fault.AgingParams
+	wear     []fault.Wear
+	pparams  power.Params
+	meters   []*power.Meter
+	lastTJ   []float64 // meter joules at last thermal step
+	thermAct []uint64  // flits forwarded since last thermal step
+
+	secded ecc.Code
+	dected ecc.Code
+
+	cycle        int64
+	nextFlitID   uint64
+	nextPacketID uint64
+	outstanding  int
+	lastProgress int64
+	packets      map[uint64]*packetInfo
+
+	eventHook func(Event)
+
+	// Aggregate statistics.
+	latency         *stats.Histogram
+	orderViolations uint64
+	flitsDelivered  uint64
+	pktsDelivered   uint64
+	pktsFailed      uint64
+	hopRetransmits  uint64
+	e2eRetransmits  uint64
+	modeBreakdown   stats.ModeBreakdown
+	gatedCycles     uint64
+	controlFaults   uint64
+	errHist         [4]uint64
+	tempSum         float64
+	tempSamples     uint64
+}
+
+// New builds a network from a validated config, a workload, and a
+// controller. The controller may be nil, in which case every router stays
+// in ModeSECDED (the static baseline).
+func New(cfg Config, gen traffic.Generator, ctrl Controller) (*Network, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if ctrl == nil {
+		ctrl = StaticController(ModeSECDED)
+	}
+	pp := power.DefaultParams()
+	if cfg.PowerParams != nil {
+		pp = *cfg.PowerParams
+	}
+	tp := thermal.DefaultParams()
+	if cfg.ThermalParams != nil {
+		tp = *cfg.ThermalParams
+	}
+	ap := fault.DefaultAgingParams()
+	if cfg.AgingParams != nil {
+		ap = *cfg.AgingParams
+	}
+	nodes := cfg.Nodes()
+	n := &Network{
+		cfg:      cfg,
+		ctrl:     ctrl,
+		gen:      traffic.NewPeeker(gen),
+		injector: fault.NewInjector(fault.DefaultTransientModel(cfg.BaseErrorRate), cfg.Seed+1),
+		rng:      rand.New(rand.NewSource(cfg.Seed + 2)),
+		grid:     thermal.NewGrid(cfg.Width, cfg.Height, tp),
+		aging:    ap,
+		wear:     make([]fault.Wear, nodes),
+		pparams:  pp,
+		meters:   make([]*power.Meter, nodes),
+		lastTJ:   make([]float64, nodes),
+		thermAct: make([]uint64, nodes),
+		packets:  make(map[uint64]*packetInfo),
+		latency:  stats.NewLatencyHistogram(),
+		nics:     make([]*nic, nodes),
+		secded:   ecc.NewSECDED(),
+		dected:   ecc.NewDECTED(),
+	}
+	n.buildTopology()
+	for i := 0; i < nodes; i++ {
+		n.meters[i] = power.NewMeter(pp, cfg.routerPowerConfig())
+		n.nics[i] = &nic{curVC: -1}
+	}
+	// Static policies apply from cycle 0; adaptive controllers start
+	// from their own initial mode (SetInitialMode) and take over at the
+	// first time-step boundary.
+	if sc, ok := ctrl.(StaticController); ok {
+		n.SetInitialMode(Mode(sc))
+	}
+	return n, nil
+}
+
+func (n *Network) buildTopology() {
+	cfg := n.cfg
+	nodes := cfg.Nodes()
+	n.routers = make([]*Router, nodes)
+	for id := 0; id < nodes; id++ {
+		r := &Router{
+			id: id, x: id % cfg.Width, y: id / cfg.Width,
+			mode: ModeSECDED, bypassLock: -1,
+			lastScheme: ecc.SchemeSECDED,
+		}
+		for p := 0; p < NumPorts; p++ {
+			r.in[p] = nil
+			r.out[p] = nil
+		}
+		// Local input port always exists (injection).
+		r.in[PortLocal] = newInputPort(cfg, -1, -1, nil)
+		// Local output port: ejection sink (no channel).
+		r.out[PortLocal] = newOutputPort(cfg, -1, -1, nil)
+		n.routers[id] = r
+	}
+	// Wire neighbour links; each direction gets its own channel.
+	for id := 0; id < nodes; id++ {
+		r := n.routers[id]
+		for _, p := range []int{PortEast, PortWest, PortNorth, PortSouth} {
+			nb := n.neighbor(id, p)
+			if nb < 0 {
+				continue
+			}
+			// Channel occupancy is governed by per-VC credits, not
+			// a hard FIFO bound (see newOutputPort).
+			ch := newChannel(0)
+			r.out[p] = newOutputPort(cfg, nb, opposite(p), ch)
+			n.routers[nb].in[opposite(p)] = newInputPort(cfg, id, p, ch)
+		}
+	}
+}
+
+func newInputPort(cfg Config, upRouter, upPort int, ch *Channel) *inputPort {
+	ip := &inputPort{ch: ch, upRouter: upRouter, upPort: upPort, vcs: make([]inputVC, cfg.VCs)}
+	for v := range ip.vcs {
+		ip.vcs[v].reset()
+	}
+	return ip
+}
+
+func newOutputPort(cfg Config, downRouter, downPort int, ch *Channel) *outputPort {
+	op := &outputPort{ch: ch, downRouter: downRouter, downPort: downPort,
+		credits: make([]int, cfg.VCs), vcBusy: make([]bool, cfg.VCs)}
+	for v := range op.credits {
+		// Each VC's credit pool covers its downstream router-buffer
+		// slots plus its fair share of the channel-buffer stages.
+		// Partitioning the channel per VC keeps the shared MFAC FIFO
+		// from wedging one VC's wormhole behind another's — the
+		// deadlock-freedom argument of Section 3.1.2 ("we still
+		// maintain the virtual channels").
+		op.credits[v] = cfg.BufDepth + cfg.ChannelStages/cfg.VCs
+	}
+	return op
+}
+
+// neighbor returns the router id adjacent to id through output port p, or
+// -1 at a mesh edge.
+func (n *Network) neighbor(id, p int) int {
+	x, y := id%n.cfg.Width, id/n.cfg.Width
+	switch p {
+	case PortEast:
+		if x+1 < n.cfg.Width {
+			return id + 1
+		}
+	case PortWest:
+		if x > 0 {
+			return id - 1
+		}
+	case PortNorth:
+		if y > 0 {
+			return id - n.cfg.Width
+		}
+	case PortSouth:
+		if y+1 < n.cfg.Height {
+			return id + n.cfg.Width
+		}
+	}
+	return -1
+}
+
+// route computes X-Y dimension-order routing: correct X first, then Y.
+func (n *Network) route(r *Router, dst int) int {
+	dx, dy := dst%n.cfg.Width, dst/n.cfg.Width
+	switch {
+	case dx > r.x:
+		return PortEast
+	case dx < r.x:
+		return PortWest
+	case dy < r.y:
+		return PortNorth
+	case dy > r.y:
+		return PortSouth
+	default:
+		return PortLocal
+	}
+}
+
+// Cycle returns the current simulation cycle.
+func (n *Network) Cycle() int64 { return n.cycle }
+
+// Step advances the network by one clock cycle.
+func (n *Network) Step() {
+	cy := n.cycle
+
+	// 1. Admit workload packets due this cycle into the NIC queues.
+	for {
+		pkt, ok := n.gen.PopDue(cy)
+		if !ok {
+			break
+		}
+		job := &packetJob{
+			id: n.nextPacketID, src: pkt.Src, dst: pkt.Dst,
+			flits: pkt.Flits, injectCycle: pkt.Time,
+		}
+		if q := n.nics[pkt.Src]; q.seenAny {
+			job.gap = pkt.Time - q.lastTraceTime
+		}
+		n.nics[pkt.Src].lastTraceTime = pkt.Time
+		n.nics[pkt.Src].seenAny = true
+		n.nextPacketID++
+		n.packets[job.id] = &packetInfo{job: job}
+		n.nics[pkt.Src].queue = append(n.nics[pkt.Src].queue, job)
+		n.outstanding++
+	}
+
+	// 2. Power-state maintenance.
+	for _, r := range n.routers {
+		n.powerStateStep(r, cy)
+	}
+
+	// 3. Channel deliveries into router buffers (active routers). A
+	// mode-0 router keeps its pipeline fully operational until its
+	// buffers happen to drain — refusing deliveries to force a drain
+	// would let two adjacent mode-0 routers deadlock waiting on each
+	// other's credits.
+	for _, r := range n.routers {
+		if r.active() {
+			n.deliverChannels(r, cy)
+		}
+	}
+
+	// 4. Router pipelines (or bypass switches).
+	for _, r := range n.routers {
+		switch {
+		case r.gated && n.cfg.Bypass:
+			n.bypassStep(r, cy)
+		case r.active():
+			n.saStage(r, cy)
+			n.vaStage(r, cy)
+			n.rcStage(r, cy)
+		}
+	}
+
+	// 5. NIC injection into active routers (gated mode-0 routers
+	// inject through the bypass switch instead).
+	for id, q := range n.nics {
+		r := n.routers[id]
+		if r.active() {
+			n.injectStep(r, q, cy)
+		} else if q.pending() && !n.cfg.Bypass && r.gated && r.waking == 0 {
+			n.triggerWake(r)
+		}
+	}
+
+	// 6. Per-cycle accounting.
+	for _, r := range n.routers {
+		r.staticCycles++
+		if r.gated {
+			n.gatedCycles++
+		}
+		for p := 0; p < NumPorts; p++ {
+			if r.in[p] != nil {
+				r.in[p].winOccupancy += uint64(r.in[p].occupancy())
+			}
+		}
+	}
+
+	n.cycle++
+	if n.cycle%int64(n.cfg.ThermalIntervalCycles) == 0 {
+		n.thermalStep()
+	}
+	if n.cycle%int64(n.cfg.TimeStepCycles) == 0 {
+		n.controlStep()
+	}
+}
+
+// powerStateStep advances wake counters and gating decisions.
+func (n *Network) powerStateStep(r *Router, cy int64) {
+	if r.waking > 0 {
+		r.waking--
+		if r.waking == 0 {
+			r.gated = false
+			n.flushStatic(r)
+		}
+		return
+	}
+	if r.gated {
+		// CP-style gated routers (no bypass) wake when traffic shows
+		// up at any input channel.
+		if !n.cfg.Bypass {
+			for p := 1; p < NumPorts; p++ {
+				if r.in[p] != nil && r.in[p].ch != nil && r.in[p].ch.anyReady(cy) {
+					n.triggerWake(r)
+					break
+				}
+			}
+		}
+		return
+	}
+	// Mode-0 routers gate as soon as their buffers drain.
+	if n.cfg.Bypass && r.mode == ModeBypass && r.empty() {
+		n.flushStatic(r)
+		r.gated = true
+		n.emit(Event{Cycle: cy, Kind: EvGate, Router: r.id})
+		return
+	}
+	// CP-style idle gating: a long-enough idle streak powers the
+	// router down.
+	if n.cfg.PowerGating && !n.cfg.Bypass {
+		if r.empty() && !n.hasChannelTraffic(r, cy) && !n.nics[r.id].pending() {
+			r.idle++
+			if r.idle >= n.cfg.IdleGateCycles {
+				n.flushStatic(r)
+				r.gated = true
+				r.idle = 0
+				n.emit(Event{Cycle: cy, Kind: EvGate, Router: r.id})
+			}
+		} else {
+			r.idle = 0
+		}
+	}
+}
+
+func (n *Network) hasChannelTraffic(r *Router, cy int64) bool {
+	for p := 1; p < NumPorts; p++ {
+		if r.in[p] != nil && r.in[p].ch != nil && r.in[p].ch.len() > 0 {
+			return true
+		}
+	}
+	return false
+}
+
+func (n *Network) triggerWake(r *Router) {
+	if r.waking > 0 || !r.gated {
+		return
+	}
+	n.flushStatic(r)
+	r.waking = n.cfg.WakeupCycles
+	if r.waking <= 0 {
+		r.waking = 1
+	}
+	n.emit(Event{Cycle: n.cycle, Kind: EvWake, Router: r.id})
+	n.meters[r.id].Record(power.EventCounts{Wakeups: 1})
+}
+
+// flushStatic banks the cycles spent in the router's previous static state
+// before a state change.
+func (n *Network) flushStatic(r *Router) {
+	if r.staticCycles > 0 {
+		n.meters[r.id].TickStatic(r.staticCycles, r.lastScheme, r.lastGated)
+		r.staticCycles = 0
+	}
+	r.lastScheme = r.scheme()
+	r.lastGated = r.gated
+}
+
+// deliverChannels moves at most one flit per input port from the channel
+// into its VC buffer.
+func (n *Network) deliverChannels(r *Router, cy int64) {
+	for p := 1; p < NumPorts; p++ {
+		ip := r.in[p]
+		if ip == nil || ip.ch == nil {
+			continue
+		}
+		idx := ip.ch.peekReady(cy, n.cfg.DynamicChannelAlloc, func(f *Flit) bool {
+			return len(ip.vcs[f.VC].buf) < n.cfg.BufDepth
+		})
+		if idx < 0 {
+			continue
+		}
+		f := ip.ch.remove(idx)
+		ip.vcs[f.VC].buf = append(ip.vcs[f.VC].buf, f)
+		ip.winFlitsIn++
+		n.meters[r.id].Record(power.EventCounts{BufWrites: 1})
+		n.emitFlit(cy, EvDeliver, r.id, f)
+		n.lastProgress = cy
+	}
+}
+
+// saStage performs switch allocation and traversal: one flit per output
+// port, one per input port, credits permitting.
+// maxSASlots bounds the per-router (port, VC) slot space the switch
+// allocator scans (Config.Validate caps VCs accordingly).
+const maxSASlots = NumPorts * maxVCs
+
+func (n *Network) saStage(r *Router, cy int64) {
+	// One pass over the input VCs builds per-output candidate lists, so
+	// arbitration only touches slots that actually hold a routed flit —
+	// the hot loop of the whole simulator.
+	var cand [NumPorts][maxSASlots]int16
+	var candN [NumPorts]int
+	for inP := 0; inP < NumPorts; inP++ {
+		ip := r.in[inP]
+		if ip == nil {
+			continue
+		}
+		for vc := range ip.vcs {
+			ivc := &ip.vcs[vc]
+			if len(ivc.buf) == 0 || ivc.route < 0 || ivc.outVC < 0 {
+				continue
+			}
+			o := ivc.route
+			cand[o][candN[o]] = int16(inP*n.cfg.VCs + vc)
+			candN[o]++
+		}
+	}
+	var inputUsed [NumPorts]bool
+	for outP := 0; outP < NumPorts; outP++ {
+		if candN[outP] == 0 {
+			continue
+		}
+		n.arbitrateOutput(r, r.out[outP], outP, cy, &inputUsed, cand[outP][:candN[outP]])
+	}
+}
+
+func (n *Network) arbitrateOutput(r *Router, op *outputPort, outP int, cy int64, inputUsed *[NumPorts]bool, cands []int16) {
+	total := NumPorts * n.cfg.VCs
+	// Round-robin: examine candidates in circular slot order starting at
+	// the RR pointer, granting the first eligible one.
+	for len(cands) > 0 {
+		bestIdx, bestDist := 0, total+1
+		for i, c := range cands {
+			if d := (int(c) - op.saRR + total) % total; d < bestDist {
+				bestIdx, bestDist = i, d
+			}
+		}
+		slot := int(cands[bestIdx])
+		cands[bestIdx] = cands[len(cands)-1]
+		cands = cands[:len(cands)-1]
+
+		inP, vc := slot/n.cfg.VCs, slot%n.cfg.VCs
+		if inputUsed[inP] {
+			continue
+		}
+		ivc := &r.in[inP].vcs[vc]
+		if len(ivc.buf) == 0 {
+			continue
+		}
+		f := ivc.buf[0]
+		if f.Type.IsHead() && ivc.vaAt >= cy {
+			continue // VA completed this very cycle; SA is next cycle
+		}
+		// Credit-based flow control: the flit needs a reserved slot in
+		// the downstream VC's combined channel+buffer storage.
+		if outP != PortLocal && op.credits[ivc.outVC] <= 0 {
+			continue
+		}
+		// Grant: pop the flit and traverse.
+		ivc.buf = ivc.buf[1:]
+		inputUsed[inP] = true
+		op.saRR = (slot + 1) % total
+		if f.Type.IsHead() {
+			if pi := n.packets[f.PacketID]; pi != nil {
+				pi.path = append(pi.path, uint16(r.id))
+			}
+		}
+		n.meters[r.id].Record(power.EventCounts{BufReads: 1, XbarTraverses: 1})
+		// The freed channel+buffer slot's credit returns upstream.
+		if up := r.in[inP].upRouter; up >= 0 {
+			n.routers[up].out[r.in[inP].upPort].credits[vc]++
+		}
+		outVC := ivc.outVC
+		if f.Type.IsTail() {
+			op.vcBusy[outVC] = false
+			ivc.reset()
+		}
+		if outP == PortLocal {
+			n.eject(r, f, cy)
+		} else {
+			f.VC = outVC
+			op.credits[outVC]--
+			n.emitFlit(cy, EvTraverse, r.id, f)
+			n.sendOnLink(r, op, f, cy, false)
+		}
+		n.lastProgress = cy
+		return
+	}
+}
+
+// vaStage allocates output VCs to routed head flits.
+func (n *Network) vaStage(r *Router, cy int64) {
+	for p := 0; p < NumPorts; p++ {
+		ip := r.in[p]
+		if ip == nil {
+			continue
+		}
+		for v := range ip.vcs {
+			ivc := &ip.vcs[v]
+			if len(ivc.buf) == 0 || ivc.route < 0 || ivc.outVC >= 0 {
+				continue
+			}
+			if !ivc.buf[0].Type.IsHead() {
+				continue
+			}
+			if ivc.routedAt >= cy {
+				continue // RC finished this cycle; VA is next cycle
+			}
+			op := r.out[ivc.route]
+			if free := op.freeVC(); free >= 0 {
+				op.vcBusy[free] = true
+				ivc.outVC = free
+				ivc.vaAt = cy
+			}
+		}
+	}
+}
+
+// rcStage routes head flits that just reached the head of their VC.
+func (n *Network) rcStage(r *Router, cy int64) {
+	for p := 0; p < NumPorts; p++ {
+		ip := r.in[p]
+		if ip == nil {
+			continue
+		}
+		for v := range ip.vcs {
+			ivc := &ip.vcs[v]
+			if len(ivc.buf) == 0 || ivc.route >= 0 {
+				continue
+			}
+			f := ivc.buf[0]
+			if !f.Type.IsHead() {
+				continue
+			}
+			ivc.route = n.route(r, f.Dst)
+			ivc.routedAt = cy
+			if n.cfg.ControlFaultRate > 0 && n.rng.Float64() < n.cfg.ControlFaultRate {
+				// Parity caught a routing-table upset: recompute
+				// after the penalty (route itself stays correct).
+				penalty := int64(n.cfg.ControlFaultPenalty)
+				if penalty <= 0 {
+					penalty = 2
+				}
+				ivc.routedAt = cy + penalty
+				n.controlFaults++
+			}
+			if !n.cfg.HasVAStage {
+				// EB-style routers fold VC selection into RC,
+				// eliminating the VA stage.
+				op := r.out[ivc.route]
+				if free := op.freeVC(); free >= 0 {
+					op.vcBusy[free] = true
+					ivc.outVC = free
+					ivc.vaAt = cy
+				} else {
+					// Retry allocation in later cycles.
+					ivc.route = -1
+				}
+			}
+		}
+	}
+}
+
+// bypassStep forwards flits through a gated router's stress-relaxing
+// bypass switch: one flit per cycle, channel-to-channel, with routing
+// state held in the always-on BST (the inputVC rows).
+func (n *Network) bypassStep(r *Router, cy int64) {
+	for k := 0; k < NumPorts; k++ {
+		p := (r.bypassRR + k) % NumPorts
+		if n.tryBypassPort(r, p, cy) {
+			r.bypassRR = (p + 1) % NumPorts
+			n.lastProgress = cy
+			return
+		}
+	}
+}
+
+// bypassCanForward reports (without side effects) whether the bypass
+// switch could forward flit f right now.
+func (n *Network) bypassCanForward(r *Router, p int, f *Flit) bool {
+	if f.Type.IsHead() {
+		route := n.route(r, f.Dst)
+		if route == PortLocal {
+			// Ejection needs a free local output VC but no credits.
+			return r.out[PortLocal].freeVC() >= 0
+		}
+		op := r.out[route]
+		return op.freeVCWithCredit() >= 0
+	}
+	ivc := &r.in[p].vcs[f.VC]
+	if ivc.route < 0 {
+		return false // no BST row: wait for state (should not happen)
+	}
+	return ivc.route == PortLocal || r.out[ivc.route].credits[ivc.outVC] > 0
+}
+
+// tryBypassPort attempts to forward one flit arriving at input port p.
+// Channel selection uses the unified BST's dynamic allocation (Section
+// 3.1.2): a head flit blocked on output VC availability must not trap the
+// tail of the packet holding that VC behind it in the same channel FIFO.
+func (n *Network) tryBypassPort(r *Router, p int, cy int64) bool {
+	var f *Flit
+	fromNIC := false
+	var chIdx int
+	if p == PortLocal {
+		var ok bool
+		f, ok = n.peekNICFlit(r, n.nics[r.id], cy)
+		if !ok || !n.bypassCanForward(r, p, f) {
+			return false
+		}
+		fromNIC = true
+	} else {
+		ip := r.in[p]
+		if ip == nil || ip.ch == nil {
+			return false
+		}
+		chIdx = ip.ch.peekReady(cy, true, func(cand *Flit) bool {
+			return n.bypassCanForward(r, p, cand)
+		})
+		if chIdx < 0 {
+			return false
+		}
+		f = ip.ch.queue[chIdx].flit
+	}
+
+	ivc := &r.in[p].vcs[f.VC]
+	if f.Type.IsHead() {
+		route := n.route(r, f.Dst)
+		op := r.out[route]
+		var free int
+		if route == PortLocal {
+			free = op.freeVC()
+		} else {
+			free = op.freeVCWithCredit()
+		}
+		op.vcBusy[free] = true
+		ivc.outVC = free
+		ivc.route = route
+		ivc.routedAt, ivc.vaAt = cy, cy
+	}
+	route, outVC := ivc.route, ivc.outVC
+	if f.Type.IsHead() {
+		if pi := n.packets[f.PacketID]; pi != nil {
+			pi.path = append(pi.path, uint16(r.id))
+		}
+	}
+
+	// Commit: consume the flit from its source.
+	if fromNIC {
+		n.consumeNICFlit(r, n.nics[r.id])
+	} else {
+		// The flit leaves this router's channel: return the storage
+		// credit to the upstream sender.
+		r.in[p].ch.remove(chIdx)
+		r.in[p].winFlitsIn++
+		if up := r.in[p].upRouter; up >= 0 {
+			n.routers[up].out[r.in[p].upPort].credits[f.VC]++
+		}
+	}
+	if f.Type.IsTail() {
+		r.out[route].vcBusy[outVC] = false
+		ivc.reset()
+	}
+	if route == PortLocal {
+		n.eject(r, f, cy)
+		return true
+	}
+	f.VC = outVC
+	r.out[route].credits[outVC]--
+	n.emitFlit(cy, EvBypass, r.id, f)
+	n.sendOnLink(r, r.out[route], f, cy, true)
+	return true
+}
+
+// sendOnLink pushes a flit into an output channel, applying link latency,
+// per-hop ECC latency, fault injection, and hop-level retransmission.
+func (n *Network) sendOnLink(r *Router, op *outputPort, f *Flit, cy int64, viaBypass bool) {
+	scheme := r.scheme()
+	relaxed := r.relaxedLinks()
+	capab := ecc.CapabilityOf(scheme)
+
+	latency := int64(2) // ST + link traversal
+	if viaBypass {
+		latency = 2 // switch + link: the bypass's entire "pipeline"
+	}
+	if relaxed {
+		latency++ // doubled link traversal time (mode 4)
+	}
+	switch scheme {
+	case ecc.SchemeSECDED:
+		latency++ // per-hop decode
+	case ecc.SchemeDECTED:
+		latency += 2
+	}
+
+	ev := power.EventCounts{LinkHops: 1, ChanStages: uint64(n.cfg.ChannelStages)}
+	switch scheme {
+	case ecc.SchemeSECDED:
+		ev.SECDEDEncodes, ev.SECDEDDecodes = 1, 1
+	case ecc.SchemeDECTED:
+		ev.DECTEDEncodes, ev.DECTEDDecodes = 1, 1
+	}
+
+	readyAt := cy + latency
+	// Fault injection and resolution. Hop-level retransmission re-sends
+	// from the MFAC (or router) retransmission buffer until the flit
+	// gets through or the errors slip past detection.
+	for attempt := 0; attempt < 8; attempt++ {
+		errBits := n.sampleLinkErrors(r, relaxed)
+		class := errBits
+		if class > 3 {
+			class = 3
+		}
+		r.winErrHist[class]++
+		n.errHist[class]++
+		outcome := n.resolveErrors(f, scheme, capab, errBits)
+		if outcome != ecc.OutcomeDetected {
+			break
+		}
+		// NACK + retransmission: extra round trip and another link
+		// traversal's worth of energy.
+		readyAt += 3
+		n.hopRetransmits++
+		n.emitFlit(cy, EvHopRetransmit, r.id, f)
+		ev.LinkHops++
+		ev.ChanStages += uint64(n.cfg.ChannelStages)
+		switch scheme {
+		case ecc.SchemeSECDED:
+			ev.SECDEDEncodes++
+			ev.SECDEDDecodes++
+		case ecc.SchemeDECTED:
+			ev.DECTEDEncodes++
+			ev.DECTEDDecodes++
+		}
+	}
+	n.meters[r.id].Record(ev)
+	n.thermAct[r.id]++
+	op.winFlitsOut++
+	op.ch.push(f, readyAt)
+}
+
+// sampleLinkErrors draws the error-bit count for one link traversal.
+func (n *Network) sampleLinkErrors(r *Router, relaxed bool) int {
+	if n.cfg.ForcedErrorRate > 0 {
+		re := n.cfg.ForcedErrorRate
+		if relaxed {
+			re *= n.injector.Model.RelaxFactor
+		}
+		return n.injector.SampleAtRate(n.cfg.FlitBits, re)
+	}
+	return n.injector.SampleErrorBits(n.cfg.FlitBits, n.grid.Temp(r.id), 1.0, relaxed)
+}
+
+// resolveErrors applies the active scheme to an injected error count,
+// using the bit-exact codecs when VerifyPayloads is on and the capability
+// fast path otherwise.
+func (n *Network) resolveErrors(f *Flit, scheme ecc.Scheme, capab ecc.Capability, errBits int) ecc.Outcome {
+	if errBits == 0 {
+		return ecc.OutcomeClean
+	}
+	if capab.EndToEnd || scheme == ecc.SchemeNone {
+		// No per-hop hardware: the damage rides along until the
+		// destination CRC catches it.
+		f.Corrupt = true
+		return ecc.OutcomeSilent
+	}
+	if n.cfg.VerifyPayloads && f.Payload != nil {
+		return n.resolveWithCodec(f, scheme, errBits)
+	}
+	outcome := capab.Resolve(errBits)
+	if outcome == ecc.OutcomeSilent {
+		f.Corrupt = true
+	}
+	return outcome
+}
+
+// resolveWithCodec runs the real encode→corrupt→decode path on the flit's
+// payload: the flit's 128 bits are protected as two 64-bit ECC words.
+func (n *Network) resolveWithCodec(f *Flit, scheme ecc.Scheme, errBits int) ecc.Outcome {
+	code := n.secded
+	if scheme == ecc.SchemeDECTED {
+		code = n.dected
+	}
+	words := [2]*ecc.BitVector{
+		ecc.FromBytes(f.Payload[:8]),
+		ecc.FromBytes(f.Payload[8:16]),
+	}
+	encoded := [2]*ecc.BitVector{code.Encode(words[0]), code.Encode(words[1])}
+	// Distribute the injected upsets over the two codewords.
+	for i := 0; i < errBits; i++ {
+		w := n.rng.Intn(2)
+		encoded[w].FlipBit(n.rng.Intn(encoded[w].Len()))
+	}
+	worst := ecc.OutcomeClean
+	for w := 0; w < 2; w++ {
+		data, res := code.Decode(encoded[w])
+		switch res {
+		case ecc.ResultDetected:
+			return ecc.OutcomeDetected
+		case ecc.ResultCorrected:
+			if worst == ecc.OutcomeClean {
+				worst = ecc.OutcomeCorrected
+			}
+		}
+		if !data.Equal(words[w]) {
+			// Miscorrection: the payload is now silently wrong.
+			copy(f.Payload[w*8:], data.Bytes())
+			f.Corrupt = true
+			worst = ecc.OutcomeSilent
+		}
+	}
+	return worst
+}
+
+// eject delivers a flit to the destination NIC.
+func (n *Network) eject(r *Router, f *Flit, cy int64) {
+	n.flitsDelivered++
+	n.emitFlit(cy, EvEject, r.id, f)
+	n.meters[r.id].Record(power.EventCounts{CRCChecks: 1})
+	pi := n.packets[f.PacketID]
+	if pi == nil {
+		return
+	}
+	if f.Corrupt {
+		pi.corrupt = true
+	}
+	if f.Seq != pi.flitsArrived {
+		// Wormhole routing must deliver a packet's flits in order;
+		// any inversion is a flow-control bug.
+		n.orderViolations++
+	}
+	pi.flitsArrived++
+	if pi.flitsArrived < pi.job.flits {
+		return
+	}
+	// Whole packet arrived: end-to-end CRC verdict.
+	delete(n.packets, f.PacketID)
+	if pi.corrupt && pi.job.retries < n.cfg.MaxPacketRetries {
+		// Destination NACKs to the source, which retransmits the
+		// packet (paper Section 2's CRC re-transmission scheme).
+		pi.job.retries++
+		// The NACK must travel back to the source before the packet
+		// can be retransmitted: charge one path traversal's worth of
+		// delay. The elapsed latency is the local estimate, capped at
+		// a mesh-diameter bound so repeated retries cannot compound.
+		nack := cy - pi.job.injectCycle
+		if bound := int64(8 * (n.cfg.Width + n.cfg.Height)); nack > bound {
+			nack = bound
+		}
+		pi.job.notBefore = cy + nack
+		n.emit(Event{Cycle: cy, Kind: EvE2ERetransmit, Router: r.id, PacketID: pi.job.id})
+		n.e2eRetransmits += uint64(pi.job.flits)
+		n.packets[pi.job.id] = &packetInfo{job: pi.job}
+		// Retries go to the queue front and bypass the dependency
+		// window: the transaction is already outstanding and blocking
+		// it on itself would wedge a closed loop.
+		q := n.nics[pi.job.src]
+		q.queue = append([]*packetJob{pi.job}, q.queue...)
+		return
+	}
+	if pi.corrupt {
+		n.pktsFailed++
+	} else {
+		n.pktsDelivered++
+	}
+	if n.cfg.DependencyWindow > 0 {
+		n.nics[pi.job.src].outstanding--
+	}
+	lat := float64(cy - pi.job.injectCycle + 1)
+	n.latency.Add(lat)
+	// Reward attribution (paper Section 5): every router that forwarded
+	// this packet observes its end-to-end latency, so a router whose
+	// weak error protection corrupted it feels the retransmission cost.
+	if len(pi.path) == 0 {
+		r.winEjectLatency.Add(lat)
+	}
+	for _, rid := range pi.path {
+		n.routers[rid].winEjectLatency.Add(lat)
+	}
+	n.outstanding--
+}
+
+// peekNICFlit exposes (without consuming) the next flit the NIC wants to
+// inject, materializing it lazily.
+func (n *Network) peekNICFlit(r *Router, q *nic, cy int64) (*Flit, bool) {
+	if q.cur == nil {
+		if len(q.queue) == 0 {
+			return nil, false
+		}
+		if q.queue[0].notBefore > cy {
+			return nil, false // e2e NACK still in flight
+		}
+		// Dependency-window gating: at most W packets outstanding per
+		// core, with trace gaps preserved as compute time between
+		// injection starts (Netrace-style closed loop).
+		if w := n.cfg.DependencyWindow; w > 0 && q.queue[0].retries == 0 {
+			job := q.queue[0]
+			if q.outstanding >= w || cy < q.lastInject+job.gap {
+				return nil, false
+			}
+			// Latency is measured from the moment the core is ready
+			// to send, not from the open-loop trace time.
+			job.injectCycle = cy
+			q.outstanding++
+			q.lastInject = cy
+		}
+		q.cur = q.queue[0]
+		q.queue = q.queue[1:]
+		q.nextIdx = 0
+		q.curVC = -1
+	}
+	if q.curVC < 0 {
+		// Pick a VC for this packet round-robin; the bypass path
+		// doesn't buffer locally, so any VC whose BST row is free
+		// works. The active path additionally needs buffer space,
+		// checked by the caller.
+		ip := r.in[PortLocal]
+		for i := 0; i < n.cfg.VCs; i++ {
+			v := (q.vcRR + i) % n.cfg.VCs
+			if len(ip.vcs[v].buf) == 0 && ip.vcs[v].route < 0 {
+				q.curVC = v
+				q.vcRR = (v + 1) % n.cfg.VCs
+				break
+			}
+		}
+		if q.curVC < 0 {
+			return nil, false
+		}
+	}
+	f := n.makeFlit(q.cur, q.nextIdx, q.curVC)
+	return f, true
+}
+
+// consumeNICFlit commits the flit returned by peekNICFlit.
+func (n *Network) consumeNICFlit(r *Router, q *nic) {
+	n.meters[r.id].Record(power.EventCounts{CRCChecks: 1}) // injection-port CRC encode
+	q.nextIdx++
+	if q.nextIdx >= q.cur.flits {
+		q.cur = nil
+		q.curVC = -1
+	}
+}
+
+// makeFlit materializes flit #idx of a packet.
+func (n *Network) makeFlit(job *packetJob, idx, vc int) *Flit {
+	var t FlitType
+	switch {
+	case job.flits == 1:
+		t = FlitSingle
+	case idx == 0:
+		t = FlitHead
+	case idx == job.flits-1:
+		t = FlitTail
+	default:
+		t = FlitBody
+	}
+	f := &Flit{
+		ID: n.nextFlitID, PacketID: job.id, Type: t,
+		Src: job.src, Dst: job.dst, VC: vc, Seq: idx,
+	}
+	n.nextFlitID++
+	if n.cfg.VerifyPayloads {
+		f.Payload = make([]byte, 16)
+		n.rng.Read(f.Payload)
+	}
+	return f
+}
+
+// injectStep streams the NIC's current packet into the local input port,
+// one flit per cycle.
+func (n *Network) injectStep(r *Router, q *nic, cy int64) {
+	f, ok := n.peekNICFlit(r, q, cy)
+	if !ok {
+		return
+	}
+	ivc := &r.in[PortLocal].vcs[f.VC]
+	if len(ivc.buf) >= n.cfg.BufDepth {
+		return
+	}
+	n.consumeNICFlit(r, q)
+	ivc.buf = append(ivc.buf, f)
+	r.in[PortLocal].winFlitsIn++
+	n.meters[r.id].Record(power.EventCounts{BufWrites: 1})
+	n.emitFlit(cy, EvInject, r.id, f)
+	n.lastProgress = cy
+}
+
+// thermalStep integrates the thermal grid and the aging model over the
+// elapsed interval.
+func (n *Network) thermalStep() {
+	dt := float64(n.cfg.ThermalIntervalCycles) / power.ClockHz
+	powers := make([]float64, len(n.routers))
+	for i, m := range n.meters {
+		n.flushStatic(n.routers[i])
+		powers[i] = (m.TotalJoules() - n.lastTJ[i]) / dt
+		n.lastTJ[i] = m.TotalJoules()
+	}
+	n.grid.Step(powers, dt)
+	for i, r := range n.routers {
+		temp := n.grid.Temp(i)
+		activity := float64(n.thermAct[i]) / float64(n.cfg.ThermalIntervalCycles) / NumPorts
+		if activity > 1 {
+			activity = 1
+		}
+		n.wear[i].Accrue(n.aging, dt, temp, activity, !r.gated)
+		n.thermAct[i] = 0
+		n.tempSum += temp
+		n.tempSamples++
+	}
+}
+
+// controlStep closes one RL time step: builds each router's observation,
+// asks the controller for the next mode, and resets the window counters.
+func (n *Network) controlStep() {
+	win := uint64(n.cfg.TimeStepCycles)
+	winSeconds := float64(win) / power.ClockHz
+	for i, r := range n.routers {
+		n.flushStatic(r)
+		obs := Observation{Router: i, Cycle: n.cycle}
+		for p := 0; p < NumPorts; p++ {
+			if ip := r.in[p]; ip != nil {
+				obs.Features[p] = float64(ip.winFlitsIn) / float64(win)
+				capacity := float64(n.cfg.VCs * n.cfg.BufDepth)
+				obs.Features[5+p] = float64(ip.winOccupancy) / float64(win) / capacity
+			}
+			if op := r.out[p]; op != nil {
+				obs.Features[10+p] = float64(op.winFlitsOut) / float64(win)
+			}
+		}
+		obs.Features[15] = n.grid.Temp(i)
+		if r.winEjectLatency.Count > 0 {
+			r.lastAvgLatency = r.winEjectLatency.Mean()
+		}
+		if r.lastAvgLatency < 1 {
+			r.lastAvgLatency = 1
+		}
+		obs.AvgLatencyCycles = r.lastAvgLatency
+		obs.PowerMilliwatts = (n.meters[i].TotalJoules() - r.winEnergyStart) / winSeconds * 1e3
+		obs.AgingFactor = n.aging.AgingFactor(n.wear[i])
+		obs.ErrorHistogram = r.winErrHist
+
+		n.modeBreakdown.AddCycles(int(r.mode), win)
+		mode := n.ctrl.NextMode(obs)
+		if n.cfg.RLTable {
+			n.meters[i].Record(power.EventCounts{RLSteps: 1})
+		}
+		n.applyMode(r, mode)
+
+		// Reset the window.
+		r.winEjectLatency = stats.Summary{}
+		r.winErrHist = [4]uint64{}
+		r.winEnergyStart = n.meters[i].TotalJoules()
+		for p := 0; p < NumPorts; p++ {
+			if r.in[p] != nil {
+				r.in[p].winFlitsIn, r.in[p].winOccupancy = 0, 0
+			}
+			if r.out[p] != nil {
+				r.out[p].winFlitsOut = 0
+			}
+		}
+	}
+}
+
+// applyMode switches a router's operation mode, handling the power-state
+// transitions in and out of mode 0.
+func (n *Network) applyMode(r *Router, mode Mode) {
+	if mode == ModeBypass && !n.cfg.Bypass {
+		mode = ModeCRC // bypass hardware absent: degrade gracefully
+	}
+	prev := r.mode
+	r.mode = mode
+	if prev != mode {
+		n.emit(Event{Cycle: n.cycle, Kind: EvModeChange, Router: r.id, Mode: mode})
+	}
+	if prev == ModeBypass && mode != ModeBypass && r.gated {
+		n.triggerWake(r)
+	}
+	n.flushStatic(r)
+}
+
+// CheckInvariants validates the network's conservation laws. On a fully
+// drained network every credit must have returned, every output VC must
+// be released, and every buffer, channel and NIC must be empty; at any
+// time, no packet flit may have been delivered out of order. It returns
+// nil when all invariants hold.
+func (n *Network) CheckInvariants() error {
+	if n.orderViolations > 0 {
+		return fmt.Errorf("noc: %d out-of-order flit deliveries", n.orderViolations)
+	}
+	if !n.Drained() {
+		return nil // the remaining checks only hold at quiescence
+	}
+	wantCredits := n.cfg.BufDepth + n.cfg.ChannelStages/n.cfg.VCs
+	for id, r := range n.routers {
+		for p := 0; p < NumPorts; p++ {
+			if ip := r.in[p]; ip != nil {
+				if ip.ch != nil && ip.ch.len() != 0 {
+					return fmt.Errorf("noc: router %d %s channel holds %d flits after drain", id, PortName(p), ip.ch.len())
+				}
+				for v := range ip.vcs {
+					if len(ip.vcs[v].buf) != 0 {
+						return fmt.Errorf("noc: router %d %s vc%d buffer not empty after drain", id, PortName(p), v)
+					}
+				}
+			}
+			op := r.out[p]
+			if op == nil {
+				continue
+			}
+			for v := range op.vcBusy {
+				if op.vcBusy[v] {
+					return fmt.Errorf("noc: router %d %s vc%d still allocated after drain", id, PortName(p), v)
+				}
+				if p != PortLocal && op.credits[v] != wantCredits {
+					return fmt.Errorf("noc: router %d %s vc%d credits = %d, want %d",
+						id, PortName(p), v, op.credits[v], wantCredits)
+				}
+			}
+		}
+		if n.nics[id].pending() {
+			return fmt.Errorf("noc: router %d NIC still pending after drain", id)
+		}
+	}
+	return nil
+}
+
+// SetInitialMode puts every router in the given mode before the first
+// time step (the paper initializes all routers to mode 1).
+func (n *Network) SetInitialMode(mode Mode) {
+	for _, r := range n.routers {
+		n.applyMode(r, mode)
+	}
+}
+
+// Drained reports whether the workload is fully delivered.
+func (n *Network) Drained() bool {
+	return n.gen.Exhausted() && n.outstanding == 0
+}
+
+// Result aggregates a finished run.
+type Result struct {
+	Cycles           int64
+	PacketsDelivered uint64
+	PacketsFailed    uint64
+	FlitsDelivered   uint64
+	AvgLatency       float64
+	P95Latency       float64
+	P99Latency       float64
+	StaticJoules     float64
+	DynamicJoules    float64
+	HopRetransmits   uint64
+	E2ERetransmits   uint64
+	ModeBreakdown    stats.ModeBreakdown
+	GatedCycles      uint64
+	// ControlFaults counts parity-detected routing-table/BST upsets
+	// (future-work extension; see Config.ControlFaultRate).
+	ControlFaults  uint64
+	ErrorHistogram [4]uint64
+	// MTTFSeconds is the network's extrapolated mean time to failure,
+	// combining per-router FITs as a series system (failures-in-time
+	// add), per the Shin et al. architectural reliability framework the
+	// paper uses for its FIT/MTTF numbers.
+	MTTFSeconds float64
+	// WorstMTTFSeconds is the single most-stressed router's MTTF.
+	WorstMTTFSeconds float64
+	AvgTempC         float64
+	MaxTempC         float64
+	Deadlocked       bool
+}
+
+// TotalJoules returns the run's total energy.
+func (r Result) TotalJoules() float64 { return r.StaticJoules + r.DynamicJoules }
+
+// EnergyEfficiency implements the paper's eq. 8:
+// [(Pstatic+Pdynamic)·Texec]^-1, in 1/(W·s).
+func (r Result) EnergyEfficiency() float64 {
+	if r.Cycles == 0 {
+		return 0
+	}
+	seconds := float64(r.Cycles) / power.ClockHz
+	totalPower := r.TotalJoules() / seconds
+	if totalPower <= 0 {
+		return math.Inf(1)
+	}
+	return 1 / (totalPower * seconds)
+}
+
+// RetransmittedFlits returns hop-level plus end-to-end retransmissions.
+func (r Result) RetransmittedFlits() uint64 { return r.HopRetransmits + r.E2ERetransmits }
+
+// RunUntilDrained steps the network until the workload completes or
+// maxCycles elapse, then returns the aggregated result.
+func (n *Network) RunUntilDrained(maxCycles int64) (Result, error) {
+	const stallLimit = 100_000
+	for !n.Drained() && n.cycle < maxCycles {
+		n.Step()
+		if n.cycle-n.lastProgress > stallLimit {
+			res := n.Snapshot()
+			res.Deadlocked = true
+			return res, fmt.Errorf("noc: no progress for %d cycles at cycle %d (%d packets outstanding)",
+				stallLimit, n.cycle, n.outstanding)
+		}
+	}
+	return n.Snapshot(), nil
+}
+
+// Snapshot returns the metrics accumulated so far.
+func (n *Network) Snapshot() Result {
+	var res Result
+	res.Cycles = n.cycle
+	res.PacketsDelivered = n.pktsDelivered
+	res.PacketsFailed = n.pktsFailed
+	res.FlitsDelivered = n.flitsDelivered
+	res.AvgLatency = n.latency.Mean()
+	res.P95Latency = n.latency.Percentile(95)
+	res.P99Latency = n.latency.Percentile(99)
+	for i, m := range n.meters {
+		n.flushStatic(n.routers[i])
+		res.StaticJoules += m.StaticJoules
+		res.DynamicJoules += m.DynamicJoules
+	}
+	res.HopRetransmits = n.hopRetransmits
+	res.E2ERetransmits = n.e2eRetransmits
+	res.ModeBreakdown = n.modeBreakdown
+	res.GatedCycles = n.gatedCycles
+	res.ControlFaults = n.controlFaults
+	res.ErrorHistogram = n.errHist
+	worst := math.Inf(1)
+	fitSum := 0.0
+	for i := range n.wear {
+		m := n.aging.MTTFSeconds(n.wear[i])
+		if m < worst {
+			worst = m
+		}
+		if !math.IsInf(m, 1) && m > 0 {
+			fitSum += 1 / m
+		}
+	}
+	res.WorstMTTFSeconds = worst
+	if fitSum > 0 {
+		res.MTTFSeconds = 1 / fitSum
+	} else {
+		res.MTTFSeconds = math.Inf(1)
+	}
+	if n.tempSamples > 0 {
+		res.AvgTempC = n.tempSum / float64(n.tempSamples)
+	}
+	res.MaxTempC = n.grid.Max()
+	return res
+}

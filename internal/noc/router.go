@@ -1,0 +1,154 @@
+package noc
+
+import (
+	"intellinoc/internal/ecc"
+	"intellinoc/internal/stats"
+)
+
+// inputVC is one virtual-channel FIFO at a router input port, together
+// with the pipeline state of the packet currently at its head.
+type inputVC struct {
+	buf []*Flit
+	// route is the output port of the packet at the head (-1 until RC).
+	route int
+	// outVC is the downstream VC granted by VA (-1 until allocated).
+	outVC int
+	// routedAt is the cycle RC completed, enforcing the one-cycle VA
+	// stage; vaAt is the cycle VA completed, enforcing SA timing.
+	routedAt int64
+	vaAt     int64
+}
+
+func (v *inputVC) reset() {
+	v.route, v.outVC = -1, -1
+	v.routedAt, v.vaAt = -1, -1
+}
+
+// inputPort is one of the five router input ports.
+type inputPort struct {
+	ch       *Channel // incoming link (nil for the local port)
+	upRouter int      // upstream router id (-1 for local/edge)
+	upPort   int      // the upstream router's output port index
+	vcs      []inputVC
+
+	// Window counters for the RL state vector.
+	winFlitsIn   uint64
+	winOccupancy uint64 // summed buffer occupancy per cycle
+}
+
+func (ip *inputPort) occupancy() int {
+	n := 0
+	for i := range ip.vcs {
+		n += len(ip.vcs[i].buf)
+	}
+	return n
+}
+
+// outputPort is one of the five router output ports.
+type outputPort struct {
+	ch         *Channel // outgoing link (nil for local ejection / edge)
+	downRouter int      // -1 for local/edge
+	downPort   int      // input port index at the downstream router
+	// credits tracks free downstream router-buffer slots per VC; it is
+	// the flow-control mechanism when there is no channel storage
+	// (baseline wires). With channel buffers, channel occupancy itself
+	// is the back-pressure and credits are unused.
+	credits []int
+	// vcBusy marks downstream VCs currently allocated to a packet of
+	// this router (released when the tail flit departs).
+	vcBusy []bool
+	saRR   int // switch-allocation round-robin pointer
+	vaRR   int // VC-allocation round-robin pointer
+
+	winFlitsOut uint64
+}
+
+func (op *outputPort) freeVC() int {
+	for i := 0; i < len(op.vcBusy); i++ {
+		v := (op.vaRR + i) % len(op.vcBusy)
+		if !op.vcBusy[v] {
+			op.vaRR = (v + 1) % len(op.vcBusy)
+			return v
+		}
+	}
+	return -1
+}
+
+// freeVCWithCredit is freeVC restricted to VCs that can also accept a
+// flit immediately — the bypass switch allocates and transmits in the
+// same cycle, so it needs both.
+func (op *outputPort) freeVCWithCredit() int {
+	for i := 0; i < len(op.vcBusy); i++ {
+		v := (op.vaRR + i) % len(op.vcBusy)
+		if !op.vcBusy[v] && op.credits[v] > 0 {
+			op.vaRR = (v + 1) % len(op.vcBusy)
+			return v
+		}
+	}
+	return -1
+}
+
+// Router is one mesh router.
+type Router struct {
+	id, x, y int
+	in       [NumPorts]*inputPort
+	out      [NumPorts]*outputPort
+
+	// mode is the operation mode in force this time step.
+	mode Mode
+	// gated is true while the router body is power-gated (CP idle
+	// gating, or IntelliNoC mode 0). waking counts down wake-up.
+	gated  bool
+	waking int
+	idle   int
+
+	// Bypass wormhole lock: while a packet streams through the bypass
+	// switch, it holds the switch until its tail passes.
+	bypassLock int // input port, or -1
+	bypassRR   int
+
+	// Static-power accounting: cycles accumulated in the current
+	// (scheme, gated) state, flushed to the meter on transitions.
+	staticCycles uint64
+	lastScheme   ecc.Scheme
+	lastGated    bool
+
+	// Per-window observables.
+	winEjectLatency stats.Summary
+	winErrHist      [4]uint64
+	winEnergyStart  float64
+	lastAvgLatency  float64
+}
+
+// active reports whether the normal pipeline runs this cycle.
+func (r *Router) active() bool { return !r.gated && r.waking == 0 }
+
+// empty reports whether all input buffers are drained (the precondition
+// for gating: Section 3.3 gates only idle routers).
+func (r *Router) empty() bool {
+	for p := 0; p < NumPorts; p++ {
+		if r.in[p] == nil {
+			continue
+		}
+		for v := range r.in[p].vcs {
+			if len(r.in[p].vcs[v].buf) > 0 {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// scheme returns the ECC scheme active on this router's output links.
+func (r *Router) scheme() ecc.Scheme {
+	if r.gated {
+		// Encoders are powered off on a gated router; only the
+		// end-to-end CRC protects bypass hops.
+		return ecc.SchemeCRC
+	}
+	return r.mode.Scheme()
+}
+
+// relaxedLinks reports whether this router's output links run in
+// relaxed-timing mode.
+func (r *Router) relaxedLinks() bool { return !r.gated && r.mode.Relaxed() }

@@ -1,0 +1,102 @@
+package power
+
+// Area model reproducing the paper's Table 2 ("Area Overhead Comparison",
+// Synopsys Design Vision, 32 nm, 1.0 V, 2.0 GHz). Component areas are in
+// μm² per router; the model composes them structurally per technique so
+// that configuration changes (buffer counts, channel stages, ECC level)
+// move the totals the way the synthesis numbers do.
+
+// Per-component area constants (μm²).
+const (
+	// AreaBufSlot is one router buffer slot, per port (Table 2 lists
+	// "1248.3 ×16/port" for the baseline).
+	AreaBufSlot = 1248.3
+	// AreaXbar is the 5×5 crossbar; AreaXbarEB includes the extra
+	// muxing for EB's two sub-networks.
+	AreaXbar   = 9004.7
+	AreaXbarEB = 11774.6
+	// AreaWireChannel is the plain repeater channel of the baseline.
+	AreaWireChannel = 136.7
+	// AreaTristateStage is one tri-state channel-buffer stage (iDEAL /
+	// MFAC), per port; AreaElasticStage is one elastic-buffer
+	// flip-flop stage (EB), roughly twice the tri-state cell.
+	AreaTristateStage = 341.8
+	AreaElasticStage  = 725.5
+	// AreaMFACCtrlPerPort is the per-port MFAC function-select logic.
+	AreaMFACCtrlPerPort = 135.2
+	// AreaECCStatic is the fixed CRC+SECDED bank; AreaECCAdaptive is
+	// the full adaptive (DECTED-capable) hardware of Fig. 5.
+	AreaECCStatic   = 3325.4
+	AreaECCAdaptive = 3940.3
+	// AreaControl covers RC/VA/SA allocators and flow-control logic.
+	AreaControl = 7476.2
+	// AreaPGController is the power-gating controller of CP-style
+	// designs.
+	AreaPGController = 542.8
+	// AreaQTableBST is the RL state-action table plus the unified BST
+	// extensions (paper: ~4% of total router area, 350 entries).
+	AreaQTableBST = 4069.7
+
+	// RouterPorts on a 2D mesh router (4 neighbours + local).
+	RouterPorts = 5
+)
+
+// AreaBreakdown itemizes a router's silicon area the way Table 2 does.
+type AreaBreakdown struct {
+	RouterBuffer float64
+	Crossbar     float64
+	Channel      float64
+	ECC          float64
+	Control      float64
+	Extras       float64 // PG controller, Q-table, BST extensions
+}
+
+// Total sums the breakdown.
+func (a AreaBreakdown) Total() float64 {
+	return a.RouterBuffer + a.Crossbar + a.Channel + a.ECC + a.Control + a.Extras
+}
+
+// AreaConfig selects the structural options that determine area.
+type AreaConfig struct {
+	BufSlotsPerPort int  // router buffer slots per port
+	ChanStages      int  // channel-buffer stages per port
+	ElasticChannel  bool // EB-style flip-flop stages (vs tri-state)
+	DualSubnet      bool // EB's two sub-networks (bigger crossbar)
+	AdaptiveECC     bool // DECTED-capable adaptive hardware
+	MFAC            bool // MFAC controllers present
+	PowerGating     bool // PG controller present
+	RLTable         bool // Q-table + unified BST
+}
+
+// Area composes the per-router area for a configuration.
+func Area(cfg AreaConfig) AreaBreakdown {
+	var a AreaBreakdown
+	a.RouterBuffer = float64(cfg.BufSlotsPerPort) * AreaBufSlot * RouterPorts
+	a.Crossbar = AreaXbar
+	if cfg.DualSubnet {
+		a.Crossbar = AreaXbarEB
+	}
+	switch {
+	case cfg.ChanStages == 0:
+		a.Channel = AreaWireChannel
+	case cfg.ElasticChannel:
+		a.Channel = float64(cfg.ChanStages) * AreaElasticStage * RouterPorts
+	default:
+		a.Channel = float64(cfg.ChanStages) * AreaTristateStage * RouterPorts
+	}
+	if cfg.MFAC {
+		a.Channel += AreaMFACCtrlPerPort * RouterPorts
+	}
+	a.ECC = AreaECCStatic
+	if cfg.AdaptiveECC {
+		a.ECC = AreaECCAdaptive
+	}
+	a.Control = AreaControl
+	if cfg.PowerGating {
+		a.Extras += AreaPGController
+	}
+	if cfg.RLTable {
+		a.Extras += AreaQTableBST
+	}
+	return a
+}

@@ -1,0 +1,240 @@
+// Package power models NoC energy and silicon area in the style of ORION /
+// Synopsys numbers the paper uses: static (leakage) power per component,
+// dynamic energy per micro-architectural event, and a per-technique area
+// model calibrated against the paper's Table 2. All electrical constants
+// assume the Table 1 operating point: 32 nm, 1.0 V, 2.0 GHz.
+package power
+
+import "intellinoc/internal/ecc"
+
+// ClockHz is the simulated clock frequency (Table 1).
+const ClockHz = 2.0e9
+
+// Params holds leakage powers (watts) and per-event energies (joules).
+type Params struct {
+	// Static power per component.
+	BufLeakPerSlot   float64 // one flit slot of router buffering
+	XbarLeak         float64 // crossbar + output drivers
+	CRCLeak          float64 // injection/ejection CRC logic
+	SECDEDLeak       float64 // incremental SECDED encoder/decoder bank
+	DECTEDLeak       float64 // incremental DECTED extension circuitry
+	BSTLeak          float64 // unified buffer state table (never gated)
+	ChanLeakPerStage float64 // one tri-state channel-buffer stage
+	MFACCtrlLeak     float64 // per-router MFAC controllers
+	CtrlLeak         float64 // RC/VA/SA allocators and misc control
+	QTableLeak       float64 // RL state-action table storage
+	// GateEfficiency is the fraction of gateable leakage saved while a
+	// router is power-gated. The BST, channels and MFAC controllers
+	// stay powered (separate supply, Section 3.1.2).
+	GateEfficiency float64
+
+	// Dynamic energy per event. Buffer access energy scales with the
+	// per-VC buffer depth (larger arrays cost more per access) — the
+	// physical reason iDEAL/EB-style designs save dynamic power by
+	// shrinking or removing router buffers (paper Section 2).
+	EBufWriteBase    float64
+	EBufWritePerSlot float64 // × per-VC buffer depth
+	EBufReadBase     float64
+	EBufReadPerSlot  float64
+	EXbar            float64
+	ELinkHop         float64 // driving the inter-router wire, per hop
+	EChanStage       float64 // one tri-state channel-buffer stage
+	ECRCCheck        float64
+	ESECDEDEnc       float64
+	ESECDEDDec       float64
+	EDECTEDEnc       float64
+	EDECTEDDec       float64
+	ERLStep          float64 // one Q-table lookup+update (paper: 0.16 pJ / step)
+	EWakeup          float64 // power-gating wake-up energy
+}
+
+// BufWriteEnergy returns the per-write energy for a buffer of the given
+// per-VC depth.
+func (p Params) BufWriteEnergy(slotsPerVC int) float64 {
+	return p.EBufWriteBase + p.EBufWritePerSlot*float64(slotsPerVC)
+}
+
+// BufReadEnergy returns the per-read energy for a buffer of the given
+// per-VC depth.
+func (p Params) BufReadEnergy(slotsPerVC int) float64 {
+	return p.EBufReadBase + p.EBufReadPerSlot*float64(slotsPerVC)
+}
+
+// DefaultParams returns the 32 nm calibration documented in DESIGN.md.
+func DefaultParams() Params {
+	const (
+		mW = 1e-3
+		pJ = 1e-12
+	)
+	return Params{
+		BufLeakPerSlot:   0.25 * mW,
+		XbarLeak:         4.0 * mW,
+		CRCLeak:          0.3 * mW,
+		SECDEDLeak:       2.2 * mW,
+		DECTEDLeak:       2.0 * mW,
+		BSTLeak:          0.6 * mW,
+		ChanLeakPerStage: 0.06 * mW,
+		MFACCtrlLeak:     0.25 * mW,
+		CtrlLeak:         2.5 * mW,
+		QTableLeak:       0.9 * mW,
+		GateEfficiency:   0.95,
+
+		EBufWriteBase:    0.15 * pJ,
+		EBufWritePerSlot: 0.15 * pJ,
+		EBufReadBase:     0.10 * pJ,
+		EBufReadPerSlot:  0.10 * pJ,
+		EXbar:            1.00 * pJ,
+		ELinkHop:         0.30 * pJ,
+		EChanStage:       0.03 * pJ,
+		ECRCCheck:        0.10 * pJ,
+		ESECDEDEnc:       0.15 * pJ,
+		ESECDEDDec:       0.20 * pJ,
+		EDECTEDEnc:       0.30 * pJ,
+		EDECTEDDec:       0.45 * pJ,
+		ERLStep:          0.16 * pJ,
+		EWakeup:          25.0 * pJ,
+	}
+}
+
+// RouterConfig describes the static structure of one router for leakage
+// purposes. Fields are totals across all five ports.
+type RouterConfig struct {
+	BufferSlots   int // router buffer slots (VCs × depth × ports)
+	SlotsPerVC    int // per-VC buffer depth (sets buffer access energy)
+	ChannelStages int // channel-buffer stages attached to this router
+	// ElasticChannel stages (EB flip-flops) leak and switch ~2x the
+	// tri-state repeater stages of iDEAL/MFAC channels.
+	ElasticChannel bool
+	HasMFACCtrl    bool
+	HasBST         bool
+	HasQTable      bool
+}
+
+// StaticPower returns the leakage power of a router in the given dynamic
+// state: active ECC scheme and power-gating status.
+func (p Params) StaticPower(cfg RouterConfig, scheme ecc.Scheme, gated bool) float64 {
+	// Gateable portion: buffers, crossbar, allocators, ECC hardware.
+	gateable := float64(cfg.BufferSlots)*p.BufLeakPerSlot + p.XbarLeak + p.CtrlLeak
+	switch scheme {
+	case ecc.SchemeCRC:
+		gateable += p.CRCLeak
+	case ecc.SchemeSECDED:
+		gateable += p.CRCLeak + p.SECDEDLeak
+	case ecc.SchemeDECTED:
+		gateable += p.CRCLeak + p.SECDEDLeak + p.DECTEDLeak
+	}
+	if gated {
+		gateable *= 1 - p.GateEfficiency
+	}
+	// Always-on portion: channel stages, MFAC controllers, BST, Q-table.
+	stageLeak := p.ChanLeakPerStage
+	if cfg.ElasticChannel {
+		stageLeak *= 2
+	}
+	alwaysOn := float64(cfg.ChannelStages) * stageLeak
+	if cfg.HasMFACCtrl {
+		alwaysOn += p.MFACCtrlLeak
+	}
+	if cfg.HasBST {
+		alwaysOn += p.BSTLeak
+	}
+	if cfg.HasQTable {
+		alwaysOn += p.QTableLeak
+	}
+	return gateable + alwaysOn
+}
+
+// EventCounts tallies dynamic-energy events over some interval.
+type EventCounts struct {
+	BufWrites     uint64
+	BufReads      uint64
+	XbarTraverses uint64
+	LinkHops      uint64 // inter-router wire traversals
+	ChanStages    uint64 // channel-buffer stages traversed
+	CRCChecks     uint64
+	SECDEDEncodes uint64
+	SECDEDDecodes uint64
+	DECTEDEncodes uint64
+	DECTEDDecodes uint64
+	RLSteps       uint64
+	Wakeups       uint64
+}
+
+// Add accumulates o into c.
+func (c *EventCounts) Add(o EventCounts) {
+	c.BufWrites += o.BufWrites
+	c.BufReads += o.BufReads
+	c.XbarTraverses += o.XbarTraverses
+	c.LinkHops += o.LinkHops
+	c.ChanStages += o.ChanStages
+	c.CRCChecks += o.CRCChecks
+	c.SECDEDEncodes += o.SECDEDEncodes
+	c.SECDEDDecodes += o.SECDEDDecodes
+	c.DECTEDEncodes += o.DECTEDEncodes
+	c.DECTEDDecodes += o.DECTEDDecodes
+	c.RLSteps += o.RLSteps
+	c.Wakeups += o.Wakeups
+}
+
+// DynamicEnergy converts event counts to joules for a router whose per-VC
+// buffer depth is slotsPerVC.
+func (p Params) DynamicEnergy(c EventCounts, slotsPerVC int) float64 {
+	return p.dynamicEnergy(c, slotsPerVC, false)
+}
+
+func (p Params) dynamicEnergy(c EventCounts, slotsPerVC int, elastic bool) float64 {
+	stage := p.EChanStage
+	if elastic {
+		stage *= 2.5 // master-slave flip-flops vs tri-state repeaters
+	}
+	return float64(c.BufWrites)*p.BufWriteEnergy(slotsPerVC) +
+		float64(c.BufReads)*p.BufReadEnergy(slotsPerVC) +
+		float64(c.XbarTraverses)*p.EXbar +
+		float64(c.LinkHops)*p.ELinkHop +
+		float64(c.ChanStages)*stage +
+		float64(c.CRCChecks)*p.ECRCCheck +
+		float64(c.SECDEDEncodes)*p.ESECDEDEnc +
+		float64(c.SECDEDDecodes)*p.ESECDEDDec +
+		float64(c.DECTEDEncodes)*p.EDECTEDEnc +
+		float64(c.DECTEDDecodes)*p.EDECTEDDec +
+		float64(c.RLSteps)*p.ERLStep +
+		float64(c.Wakeups)*p.EWakeup
+}
+
+// Meter integrates a router's static and dynamic energy over a run.
+type Meter struct {
+	params        Params
+	cfg           RouterConfig
+	StaticJoules  float64
+	DynamicJoules float64
+	Events        EventCounts
+}
+
+// NewMeter returns a meter for a router with the given structure.
+func NewMeter(params Params, cfg RouterConfig) *Meter {
+	return &Meter{params: params, cfg: cfg}
+}
+
+// TickStatic integrates `cycles` clock cycles of leakage in the given
+// dynamic state.
+func (m *Meter) TickStatic(cycles uint64, scheme ecc.Scheme, gated bool) {
+	watts := m.params.StaticPower(m.cfg, scheme, gated)
+	m.StaticJoules += watts * float64(cycles) / ClockHz
+}
+
+// Record adds dynamic events.
+func (m *Meter) Record(c EventCounts) {
+	m.Events.Add(c)
+	m.DynamicJoules += m.params.dynamicEnergy(c, m.cfg.SlotsPerVC, m.cfg.ElasticChannel)
+}
+
+// TotalJoules returns static + dynamic energy so far.
+func (m *Meter) TotalJoules() float64 { return m.StaticJoules + m.DynamicJoules }
+
+// MeanPower returns the average power over an elapsed cycle count.
+func (m *Meter) MeanPower(cycles uint64) float64 {
+	if cycles == 0 {
+		return 0
+	}
+	return m.TotalJoules() / (float64(cycles) / ClockHz)
+}

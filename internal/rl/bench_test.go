@@ -1,0 +1,53 @@
+package rl
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// BenchmarkControlStep measures one full controller decision: feature
+// discretization, TD update, and ε-greedy selection — the per-time-step
+// cost the paper bounds at 5 cycles / 0.16 pJ of dedicated hardware.
+func BenchmarkControlStep(b *testing.B) {
+	a := NewAgent(DefaultConfig())
+	d := DefaultDiscretizer()
+	rng := rand.New(rand.NewSource(1))
+	features := make([]float64, NumFeatures)
+	last := State(0)
+	lastAction := 0
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for j := 0; j < 15; j++ {
+			features[j] = rng.Float64() * 0.3
+		}
+		features[15] = 45 + rng.Float64()*40
+		s := d.Discretize(features)
+		a.Update(last, lastAction, -5, s)
+		lastAction = a.SelectAction(s)
+		last = s
+	}
+}
+
+func BenchmarkDiscretize(b *testing.B) {
+	d := DefaultDiscretizer()
+	features := make([]float64, NumFeatures)
+	for i := range features {
+		features[i] = 0.1
+	}
+	features[15] = 60
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d.Discretize(features)
+	}
+}
+
+func BenchmarkGreedyLookup(b *testing.B) {
+	a := NewAgent(DefaultConfig())
+	for s := 0; s < 300; s++ { // paper-sized table
+		a.Update(State(s), s%5, float64(-s), State(s))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		a.Greedy(State(i % 300))
+	}
+}

@@ -1,0 +1,287 @@
+// Package rl implements the paper's reinforcement-learning substrate
+// (Section 5): per-router tabular Q-learning over a discretized 16-feature
+// state (Fig. 7), an ε-greedy behaviour policy, and the temporal-difference
+// update rule of eq. 2. Q-values live in a map keyed by packed states; the
+// paper observes ≤300 distinct states in practice and provisions 350
+// entries of storage, which we track so the area model can be validated.
+package rl
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+)
+
+// State is a discretized feature vector packed into a single key.
+type State uint64
+
+// NumFeatures is the length of the paper's state vector (Fig. 7): five
+// input-link utilizations, five input-buffer utilizations, five output-link
+// utilizations, and the local router temperature.
+const NumFeatures = 16
+
+// NumBins is the per-feature discretization (paper: "evenly discretized
+// into five bins according to the range of each feature").
+const NumBins = 5
+
+// Discretizer maps continuous features into a State.
+type Discretizer struct {
+	// Lo and Hi give each feature's profiled range; values outside are
+	// clamped into the edge bins.
+	Lo [NumFeatures]float64
+	Hi [NumFeatures]float64
+}
+
+// DefaultDiscretizer covers the feature ranges observed by profiling the
+// PARSEC workload models on an 8×8 mesh (the paper discretizes "according
+// to the range of each feature through benchmark profiling"): per-port
+// link utilizations concentrate below ~0.25 flits/cycle, buffer
+// occupancies below ~50%, and router temperatures between ambient and
+// ~75 °C. Values beyond a range clamp into the edge bin.
+func DefaultDiscretizer() *Discretizer {
+	var d Discretizer
+	for i := 0; i < 5; i++ {
+		d.Lo[i], d.Hi[i] = 0, 0.25       // input-link utilization
+		d.Lo[5+i], d.Hi[5+i] = 0, 0.5    // buffer utilization
+		d.Lo[10+i], d.Hi[10+i] = 0, 0.25 // output-link utilization
+	}
+	d.Lo[15], d.Hi[15] = 45, 95 // °C
+	return &d
+}
+
+// Discretize packs the feature vector into a State key (base-NumBins
+// positional encoding; 5^16 < 2^38 fits comfortably in a uint64).
+func (d *Discretizer) Discretize(features []float64) State {
+	if len(features) != NumFeatures {
+		panic("rl: feature vector must have 16 entries")
+	}
+	var key State
+	for i := NumFeatures - 1; i >= 0; i-- {
+		key = key*NumBins + State(d.bin(i, features[i]))
+	}
+	return key
+}
+
+func (d *Discretizer) bin(i int, v float64) int {
+	lo, hi := d.Lo[i], d.Hi[i]
+	if v <= lo {
+		return 0
+	}
+	if v >= hi {
+		return NumBins - 1
+	}
+	b := int((v - lo) / (hi - lo) * NumBins)
+	if b >= NumBins {
+		b = NumBins - 1
+	}
+	return b
+}
+
+// Config parameterizes an agent. The paper tunes γ=0.9, ε=0.05 on
+// blackscholes and uses the default learning rate α=0.1 (Section 6.3).
+type Config struct {
+	Actions int
+	Alpha   float64
+	Gamma   float64
+	Epsilon float64
+	Seed    int64
+	// DefaultAction is what Greedy returns for states the agent has
+	// never valued, and the tie-breaking preference among equal
+	// Q-values. The paper initializes every router to operation mode 1;
+	// an agent facing an unknown state falls back to the same safe
+	// default rather than an arbitrary action.
+	DefaultAction int
+}
+
+// DefaultConfig returns the paper's tuned hyper-parameters for the
+// five-action operation-mode policy (default action = mode 1).
+func DefaultConfig() Config {
+	return Config{Actions: 5, Alpha: 0.1, Gamma: 0.9, Epsilon: 0.05, Seed: 1, DefaultAction: 1}
+}
+
+// Agent is one tabular Q-learning agent (one per router).
+//
+// Two implementation choices depart from the textbook zero-initialized
+// table, both forced by the short traces this reproduction runs (the
+// paper trains over full PARSEC executions): (1) a state's row is
+// initialized to its first TD target instead of zero — with eq. 1's
+// always-negative rewards, zero-init makes every untried action look
+// better than every tried one and the policy cycles uniformly through the
+// action space for far longer than our horizon; (2) the value of a
+// never-seen successor state is estimated from a running reward average
+// instead of zero, removing the same optimism from the bootstrap.
+type Agent struct {
+	cfg      Config
+	q        map[State][]float64
+	rng      *rand.Rand
+	rBar     float64 // running (EMA) reward, for unseen-state values
+	rBarInit bool
+}
+
+// NewAgent returns an agent with an empty (all-zero) Q-table.
+func NewAgent(cfg Config) *Agent {
+	if cfg.Actions <= 0 {
+		panic("rl: agent needs at least one action")
+	}
+	if cfg.DefaultAction < 0 || cfg.DefaultAction >= cfg.Actions {
+		panic("rl: default action out of range")
+	}
+	return &Agent{cfg: cfg, q: make(map[State][]float64), rng: rand.New(rand.NewSource(cfg.Seed))}
+}
+
+// stateValue returns max_a Q(s,a), falling back to the running-reward
+// estimate of a steady state's return for states never visited.
+func (a *Agent) stateValue(s State) float64 {
+	r, ok := a.q[s]
+	if !ok {
+		horizon := 1 - a.cfg.Gamma
+		if horizon < 0.01 {
+			horizon = 0.01 // γ=1 sweep point: cap the horizon
+		}
+		return a.rBar / horizon
+	}
+	best := math.Inf(-1)
+	for _, v := range r {
+		if v > best {
+			best = v
+		}
+	}
+	return best
+}
+
+// Q returns the current estimate Q(s, action).
+func (a *Agent) Q(s State, action int) float64 {
+	if r, ok := a.q[s]; ok {
+		return r[action]
+	}
+	return 0
+}
+
+// Greedy returns argmax_a Q(s,a), breaking ties toward the configured
+// default action so behaviour is deterministic under equal estimates (an
+// all-zero row selects the default, mirroring the paper's mode-1
+// initialization).
+func (a *Agent) Greedy(s State) int {
+	r, ok := a.q[s]
+	if !ok {
+		return a.cfg.DefaultAction
+	}
+	best := a.cfg.DefaultAction
+	bestV := r[best]
+	for i, v := range r {
+		if v > bestV {
+			best, bestV = i, v
+		}
+	}
+	return best
+}
+
+// SelectAction applies the ε-greedy behaviour policy.
+func (a *Agent) SelectAction(s State) int {
+	if a.rng.Float64() < a.cfg.Epsilon {
+		return a.rng.Intn(a.cfg.Actions)
+	}
+	return a.Greedy(s)
+}
+
+// Update applies the temporal-difference rule of eq. 2:
+//
+//	Q(s,a) = (1-α)·Q(s,a) + α·[r + γ·max_a' Q(s',a')]
+func (a *Agent) Update(s State, action int, reward float64, next State) {
+	if !a.rBarInit {
+		a.rBar, a.rBarInit = reward, true
+	} else {
+		a.rBar += 0.05 * (reward - a.rBar)
+	}
+	target := reward + a.cfg.Gamma*a.stateValue(next)
+	row, ok := a.q[s]
+	if !ok {
+		// Baseline-initialize the new row to the first TD target so
+		// untried actions start neutral, not optimistic (see the
+		// Agent doc comment).
+		row = make([]float64, a.cfg.Actions)
+		for i := range row {
+			row[i] = target
+		}
+		a.q[s] = row
+	}
+	row[action] = (1-a.cfg.Alpha)*row[action] + a.cfg.Alpha*target
+}
+
+// TableSize returns the number of distinct states visited — the quantity
+// the paper bounds at 350 entries when sizing the Q-table SRAM.
+func (a *Agent) TableSize() int { return len(a.q) }
+
+// Clone copies the agent's learned table into a new agent with its own
+// PRNG stream, used to transfer a pre-trained policy to each router.
+func (a *Agent) Clone(seed int64) *Agent {
+	cfg := a.cfg
+	cfg.Seed = seed
+	c := NewAgent(cfg)
+	c.rBar, c.rBarInit = a.rBar, a.rBarInit
+	for s, r := range a.q {
+		row := make([]float64, len(r))
+		copy(row, r)
+		c.q[s] = row
+	}
+	return c
+}
+
+// SetEpsilon adjusts the exploration probability (used when switching from
+// pre-training to deployment, and by the Fig. 18b sweep).
+func (a *Agent) SetEpsilon(eps float64) { a.cfg.Epsilon = eps }
+
+// Reward computes the paper's eq. 1: r = -log(latency) -log(power)
+// -log(aging). Inputs are clamped to be >1 as the paper requires (latency
+// in cycles, power in milliwatts, aging factor dimensionless) so the
+// log-space reward stays bounded.
+func Reward(latencyCycles, powerMilliwatts, agingFactor float64) float64 {
+	return -logAbove1(latencyCycles) - logAbove1(powerMilliwatts) - logAbove1(agingFactor)
+}
+
+func logAbove1(v float64) float64 {
+	if v < 1 {
+		v = 1
+	}
+	return math.Log(v)
+}
+
+// FlipRandomBit injects a soft error into the state-action table: one
+// random bit of one random stored Q-value is inverted. This implements the
+// paper's stated future work ("faults in the ... state-action table") so
+// policy robustness can be measured. It returns false when the table is
+// still empty. NaN/Inf results of the flip are squashed to 0 — a real
+// table would store fixed-point values where every bit pattern is finite.
+func (a *Agent) FlipRandomBit(rng *rand.Rand) bool {
+	if len(a.q) == 0 {
+		return false
+	}
+	// Select the victim row through sorted keys so injection is
+	// reproducible under a fixed seed (map order is runtime-random).
+	keys := make([]State, 0, len(a.q))
+	for s := range a.q {
+		keys = append(keys, s)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	row := a.q[keys[rng.Intn(len(keys))]]
+	i := rng.Intn(len(row))
+	bits := math.Float64bits(row[i]) ^ 1<<uint(rng.Intn(64))
+	v := math.Float64frombits(bits)
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		v = 0
+	}
+	row[i] = v
+	return true
+}
+
+// DebugRows exposes a copy of the Q-table for diagnostics and tooling
+// (cmd/intellinoc's -dump-policy flag).
+func (a *Agent) DebugRows() map[uint64][]float64 {
+	out := make(map[uint64][]float64, len(a.q))
+	for s, r := range a.q {
+		row := make([]float64, len(r))
+		copy(row, r)
+		out[uint64(s)] = row
+	}
+	return out
+}

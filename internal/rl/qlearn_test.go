@@ -1,0 +1,279 @@
+package rl
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestDiscretizerPacksBinsPositionally(t *testing.T) {
+	d := DefaultDiscretizer()
+	f := make([]float64, NumFeatures)
+	f[15] = 45 // bin 0 of temperature
+	if got := d.Discretize(f); got != 0 {
+		t.Fatalf("all-lo features must pack to 0, got %d", got)
+	}
+	f[0] = 0.125 // midpoint of [0,0.25) → bin 2 of feature 0
+	if got := d.Discretize(f); got != 2 {
+		t.Fatalf("feature 0 occupies the low digit: got %d, want 2", got)
+	}
+	f[1] = 0.25 // at/above Hi → bin 4 of feature 1
+	if got := d.Discretize(f); got != 2+4*NumBins {
+		t.Fatalf("feature 1 occupies the second digit: got %d", got)
+	}
+}
+
+func TestDiscretizerClampsOutOfRange(t *testing.T) {
+	d := DefaultDiscretizer()
+	f := make([]float64, NumFeatures)
+	for i := range f {
+		f[i] = -100
+	}
+	lo := d.Discretize(f)
+	for i := range f {
+		f[i] = 1e9
+	}
+	hi := d.Discretize(f)
+	if lo != 0 {
+		t.Fatalf("below-range must clamp to bin 0, got key %d", lo)
+	}
+	var want State
+	for i := NumFeatures - 1; i >= 0; i-- {
+		want = want*NumBins + NumBins - 1
+	}
+	if hi != want {
+		t.Fatalf("above-range must clamp to the top bin: %d vs %d", hi, want)
+	}
+}
+
+func TestDiscretizerKeysFitAndCollide(t *testing.T) {
+	// Distinct bin vectors must map to distinct keys (positional code
+	// is injective) and keys must stay below 5^16.
+	d := DefaultDiscretizer()
+	rng := rand.New(rand.NewSource(5))
+	max := State(1)
+	for i := 0; i < NumFeatures; i++ {
+		max *= NumBins
+	}
+	seen := map[State][NumFeatures]int{}
+	for trial := 0; trial < 5000; trial++ {
+		var f [NumFeatures]float64
+		var bins [NumFeatures]int
+		for i := 0; i < NumFeatures; i++ {
+			bins[i] = rng.Intn(NumBins)
+			f[i] = d.Lo[i] + (float64(bins[i])+0.5)*(d.Hi[i]-d.Lo[i])/NumBins
+		}
+		key := d.Discretize(f[:])
+		if key >= max {
+			t.Fatalf("key %d exceeds 5^16", key)
+		}
+		if prev, ok := seen[key]; ok && prev != bins {
+			t.Fatalf("collision: %v and %v share key %d", prev, bins, key)
+		}
+		seen[key] = bins
+	}
+}
+
+func TestDiscretizerPanicsOnBadLength(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	DefaultDiscretizer().Discretize(make([]float64, 3))
+}
+
+func TestUpdateImplementsEq2(t *testing.T) {
+	// On rows that already exist, Update must apply eq. 2 exactly:
+	// Q(s,a) = (1-α)Q(s,a) + α[r + γ·max_a' Q(s',a')].
+	a := NewAgent(Config{Actions: 3, Alpha: 0.5, Gamma: 0.9, Epsilon: 0, Seed: 1})
+	s, next := State(1), State(2)
+	// Materialize both rows (values set by the baseline-init rule).
+	a.Update(next, 2, 10, next)
+	a.Update(s, 0, 2, next)
+	// Now both rows exist; verify the pure eq. 2 arithmetic.
+	q0 := a.Q(s, 0)
+	maxNext := math.Inf(-1)
+	for act := 0; act < 3; act++ {
+		if v := a.Q(next, act); v > maxNext {
+			maxNext = v
+		}
+	}
+	a.Update(s, 0, 4, next)
+	want := 0.5*q0 + 0.5*(4+0.9*maxNext)
+	if got := a.Q(s, 0); math.Abs(got-want) > 1e-12 {
+		t.Fatalf("Q(s,0) = %g, want %g", got, want)
+	}
+}
+
+func TestNewRowBaselineInitialization(t *testing.T) {
+	// A freshly created row is filled with its first TD target, so
+	// untried actions start neutral rather than optimistic.
+	a := NewAgent(Config{Actions: 4, Alpha: 0.1, Gamma: 0, Epsilon: 0, Seed: 1})
+	a.Update(3, 1, -7, 3) // γ=0 ⇒ target = -7
+	for act := 0; act < 4; act++ {
+		want := -7.0
+		if got := a.Q(3, act); math.Abs(got-want) > 1e-12 {
+			t.Fatalf("Q(3,%d) = %g, want %g (baseline init)", act, got, want)
+		}
+	}
+}
+
+func TestGreedyPicksArgmaxAndDefaultsToConfigured(t *testing.T) {
+	a := NewAgent(Config{Actions: 5, Alpha: 1, Gamma: 0, Epsilon: 0, Seed: 1, DefaultAction: 1})
+	s := State(7)
+	if a.Greedy(s) != 1 {
+		t.Fatal("unvisited state must return the default action")
+	}
+	a.Update(s, 1, 2.0, s)  // row baseline 2
+	a.Update(s, 3, 10.0, s) // action 3 proves better
+	if got := a.Greedy(s); got != 3 {
+		t.Fatalf("Greedy = %d, want 3", got)
+	}
+	// Ties go to the default action.
+	b := NewAgent(Config{Actions: 5, Alpha: 1, Gamma: 0, Epsilon: 0, Seed: 1, DefaultAction: 1})
+	b.Update(s, 4, 2.0, s) // whole row = 2, all tied
+	if got := b.Greedy(s); got != 1 {
+		t.Fatalf("tie-break Greedy = %d, want default 1", got)
+	}
+}
+
+func TestEpsilonZeroIsDeterministic(t *testing.T) {
+	a := NewAgent(Config{Actions: 4, Alpha: 0.1, Gamma: 0.9, Epsilon: 0, Seed: 1})
+	a.Update(5, 0, -5, 5)
+	a.Update(5, 2, 5, 5) // action 2 is strictly best
+	if a.Q(5, 2) <= a.Q(5, 0) {
+		t.Fatal("setup failed: action 2 should dominate")
+	}
+	for i := 0; i < 100; i++ {
+		if a.SelectAction(5) != 2 {
+			t.Fatal("ε=0 must always exploit")
+		}
+	}
+}
+
+func TestEpsilonOneExploresUniformly(t *testing.T) {
+	a := NewAgent(Config{Actions: 5, Alpha: 0.1, Gamma: 0.9, Epsilon: 1, Seed: 2})
+	counts := make([]int, 5)
+	for i := 0; i < 10000; i++ {
+		counts[a.SelectAction(0)]++
+	}
+	for act, c := range counts {
+		if c < 1500 || c > 2500 {
+			t.Fatalf("ε=1 action %d picked %d/10000 times, want ~2000", act, c)
+		}
+	}
+}
+
+// A two-state chain MDP with known optimal policy: in state 0, action 1
+// yields reward 1 and stays; action 0 yields 0. Q-learning must converge
+// to preferring action 1.
+func TestQLearningConvergesOnToyMDP(t *testing.T) {
+	a := NewAgent(Config{Actions: 2, Alpha: 0.2, Gamma: 0.5, Epsilon: 0.1, Seed: 3})
+	s := State(0)
+	for i := 0; i < 5000; i++ {
+		act := a.SelectAction(s)
+		r := 0.0
+		if act == 1 {
+			r = 1.0
+		}
+		a.Update(s, act, r, s)
+	}
+	if a.Greedy(s) != 1 {
+		t.Fatalf("agent failed to learn the rewarding action: Q=[%g %g]",
+			a.Q(s, 0), a.Q(s, 1))
+	}
+	// With γ=0.5 the optimal Q(s,1) is 1/(1-0.5) = 2.
+	if got := a.Q(s, 1); math.Abs(got-2) > 0.2 {
+		t.Fatalf("Q(s,1) = %g, want ~2", got)
+	}
+}
+
+// Gridworld check: the agent must learn to prefer the action leading to
+// the high-reward state even when the immediate reward is lower
+// (long-term return via γ).
+func TestQLearningLearnsDelayedReward(t *testing.T) {
+	// State 0: action 0 → state 0, reward 0.3; action 1 → state 1,
+	// reward 0. State 1: any action → state 0, reward 1.0.
+	a := NewAgent(Config{Actions: 2, Alpha: 0.1, Gamma: 0.9, Epsilon: 0.2, Seed: 4})
+	s := State(0)
+	for i := 0; i < 30000; i++ {
+		act := a.SelectAction(s)
+		var r float64
+		var next State
+		if s == 0 {
+			if act == 0 {
+				r, next = 0.3, 0
+			} else {
+				r, next = 0, 1
+			}
+		} else {
+			r, next = 1.0, 0
+		}
+		a.Update(s, act, r, next)
+		s = next
+	}
+	if a.Greedy(0) != 1 {
+		t.Fatalf("agent should defer for the delayed reward: Q=[%g %g]",
+			a.Q(0, 0), a.Q(0, 1))
+	}
+}
+
+func TestCloneIsIndependent(t *testing.T) {
+	a := NewAgent(DefaultConfig())
+	a.Update(9, 1, 5, 9)
+	c := a.Clone(77)
+	if c.Q(9, 1) != a.Q(9, 1) {
+		t.Fatal("clone must copy learned values")
+	}
+	c.Update(9, 1, -100, 9)
+	if c.Q(9, 1) == a.Q(9, 1) {
+		t.Fatal("clone must not share storage")
+	}
+}
+
+func TestTableSizeTracksVisitedStates(t *testing.T) {
+	a := NewAgent(DefaultConfig())
+	if a.TableSize() != 0 {
+		t.Fatal("fresh agent must have empty table")
+	}
+	for i := 0; i < 10; i++ {
+		a.Update(State(i), 0, 1, State(i))
+	}
+	if a.TableSize() != 10 {
+		t.Fatalf("TableSize = %d, want 10", a.TableSize())
+	}
+}
+
+func TestRewardEq1Properties(t *testing.T) {
+	// Lower latency/power/aging ⇒ higher reward; all-ones ⇒ 0.
+	if Reward(1, 1, 1) != 0 {
+		t.Fatal("reward at the ideal point must be 0")
+	}
+	if !(Reward(10, 5, 1.1) < Reward(5, 5, 1.1)) {
+		t.Fatal("reward must fall with latency")
+	}
+	if !(Reward(10, 8, 1.1) < Reward(10, 4, 1.1)) {
+		t.Fatal("reward must fall with power")
+	}
+	if !(Reward(10, 5, 1.5) < Reward(10, 5, 1.1)) {
+		t.Fatal("reward must fall with aging")
+	}
+	// Sub-1 inputs are clamped, never producing positive log terms.
+	f := func(l, p, a float64) bool {
+		return Reward(math.Abs(l), math.Abs(p), math.Abs(a)) <= 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAgentPanicsWithoutActions(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewAgent(Config{Actions: 0})
+}

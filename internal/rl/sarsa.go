@@ -1,0 +1,44 @@
+package rl
+
+// On-policy (SARSA) temporal-difference learning, as an alternative to the
+// paper's off-policy Q-learning. SARSA bootstraps from the value of the
+// action the ε-greedy policy *actually* selected rather than the greedy
+// maximum:
+//
+//	Q(s,a) = (1-α)·Q(s,a) + α·[r + γ·Q(s',a')]
+//
+// In a live NoC the behaviour policy keeps exploring forever, so SARSA
+// learns mode values that account for its own exploration mistakes —
+// typically a slightly more conservative policy. The ext-sarsa experiment
+// measures whether that matters for this control problem.
+
+// UpdateOnPolicy applies the SARSA rule for the transition
+// (s, action) → (next, nextAction) with the given reward. Row
+// initialization follows the same baseline scheme as Update.
+func (a *Agent) UpdateOnPolicy(s State, action int, reward float64, next State, nextAction int) {
+	if !a.rBarInit {
+		a.rBar, a.rBarInit = reward, true
+	} else {
+		a.rBar += 0.05 * (reward - a.rBar)
+	}
+	var vNext float64
+	if nr, ok := a.q[next]; ok {
+		vNext = nr[nextAction]
+	} else {
+		horizon := 1 - a.cfg.Gamma
+		if horizon < 0.01 {
+			horizon = 0.01
+		}
+		vNext = a.rBar / horizon
+	}
+	target := reward + a.cfg.Gamma*vNext
+	row, ok := a.q[s]
+	if !ok {
+		row = make([]float64, a.cfg.Actions)
+		for i := range row {
+			row[i] = target
+		}
+		a.q[s] = row
+	}
+	row[action] = (1-a.cfg.Alpha)*row[action] + a.cfg.Alpha*target
+}

@@ -1,0 +1,43 @@
+package rl
+
+import "fmt"
+
+// AgentSnapshot is a serializable copy of an agent's learned state, used
+// to persist pre-trained policies to disk (see core.Policy.Save).
+type AgentSnapshot struct {
+	Config   Config
+	RBar     float64
+	RBarInit bool
+	Rows     map[uint64][]float64
+}
+
+// Snapshot captures the agent's configuration and learned table.
+func (a *Agent) Snapshot() AgentSnapshot {
+	return AgentSnapshot{
+		Config:   a.cfg,
+		RBar:     a.rBar,
+		RBarInit: a.rBarInit,
+		Rows:     a.DebugRows(),
+	}
+}
+
+// RestoreAgent reconstructs an agent from a snapshot. Rows are validated
+// against the action count so corrupted files fail loudly.
+func RestoreAgent(s AgentSnapshot) (*Agent, error) {
+	if s.Config.Actions <= 0 ||
+		s.Config.DefaultAction < 0 || s.Config.DefaultAction >= s.Config.Actions {
+		return nil, fmt.Errorf("rl: snapshot has invalid config %+v", s.Config)
+	}
+	a := NewAgent(s.Config)
+	a.rBar, a.rBarInit = s.RBar, s.RBarInit
+	for state, row := range s.Rows {
+		if len(row) != s.Config.Actions {
+			return nil, fmt.Errorf("rl: snapshot row for state %d has %d actions, config says %d",
+				state, len(row), s.Config.Actions)
+		}
+		cp := make([]float64, len(row))
+		copy(cp, row)
+		a.q[State(state)] = cp
+	}
+	return a, nil
+}

@@ -1,0 +1,190 @@
+// Package stats provides the measurement primitives the simulator and the
+// benchmark harness share: streaming summaries, latency histograms with
+// percentile estimation, and the operation-mode breakdown of Fig. 14.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Summary is a streaming count/sum/min/max accumulator.
+type Summary struct {
+	Count uint64
+	Sum   float64
+	Min   float64
+	Max   float64
+}
+
+// Add folds one observation into the summary.
+func (s *Summary) Add(v float64) {
+	if s.Count == 0 || v < s.Min {
+		s.Min = v
+	}
+	if s.Count == 0 || v > s.Max {
+		s.Max = v
+	}
+	s.Count++
+	s.Sum += v
+}
+
+// Mean returns the running mean, or 0 for an empty summary.
+func (s *Summary) Mean() float64 {
+	if s.Count == 0 {
+		return 0
+	}
+	return s.Sum / float64(s.Count)
+}
+
+// Merge folds another summary into s.
+func (s *Summary) Merge(o Summary) {
+	if o.Count == 0 {
+		return
+	}
+	if s.Count == 0 {
+		*s = o
+		return
+	}
+	if o.Min < s.Min {
+		s.Min = o.Min
+	}
+	if o.Max > s.Max {
+		s.Max = o.Max
+	}
+	s.Count += o.Count
+	s.Sum += o.Sum
+}
+
+// Histogram buckets non-negative values with geometrically growing bucket
+// edges, supporting approximate percentiles without storing samples.
+type Histogram struct {
+	edges  []float64
+	counts []uint64
+	Summary
+}
+
+// NewLatencyHistogram covers 1..100k cycles with ~8% resolution, plenty
+// for end-to-end packet latencies.
+func NewLatencyHistogram() *Histogram {
+	var edges []float64
+	for v := 1.0; v < 1e5; v *= 1.08 {
+		edges = append(edges, v)
+	}
+	return NewHistogram(edges)
+}
+
+// NewHistogram builds a histogram over the given ascending bucket edges.
+// Values above the last edge land in a final overflow bucket.
+func NewHistogram(edges []float64) *Histogram {
+	if !sort.Float64sAreSorted(edges) || len(edges) == 0 {
+		panic("stats: histogram edges must be ascending and non-empty")
+	}
+	return &Histogram{edges: edges, counts: make([]uint64, len(edges)+1)}
+}
+
+// Add records one observation.
+func (h *Histogram) Add(v float64) {
+	h.Summary.Add(v)
+	i := sort.SearchFloat64s(h.edges, v)
+	h.counts[i]++
+}
+
+// Percentile returns an upper-bound estimate of the p-th percentile
+// (0 < p < 100). Empty histograms return 0.
+func (h *Histogram) Percentile(p float64) float64 {
+	if h.Count == 0 {
+		return 0
+	}
+	target := uint64(math.Ceil(p / 100 * float64(h.Count)))
+	if target == 0 {
+		target = 1
+	}
+	var cum uint64
+	for i, c := range h.counts {
+		cum += c
+		if cum >= target {
+			if i < len(h.edges) {
+				return h.edges[i]
+			}
+			return h.Max
+		}
+	}
+	return h.Max
+}
+
+// ModeBreakdown tallies router-cycles spent in each of the five operation
+// modes (Fig. 14).
+type ModeBreakdown [5]uint64
+
+// AddCycles credits n cycles to mode m.
+func (b *ModeBreakdown) AddCycles(m int, n uint64) {
+	if m < 0 || m >= len(b) {
+		panic(fmt.Sprintf("stats: operation mode %d out of range", m))
+	}
+	b[m] += n
+}
+
+// Total returns the cycles across all modes.
+func (b *ModeBreakdown) Total() uint64 {
+	var t uint64
+	for _, c := range b {
+		t += c
+	}
+	return t
+}
+
+// Fractions returns each mode's share of total cycles (zeros if empty).
+func (b *ModeBreakdown) Fractions() [5]float64 {
+	var out [5]float64
+	t := b.Total()
+	if t == 0 {
+		return out
+	}
+	for i, c := range b {
+		out[i] = float64(c) / float64(t)
+	}
+	return out
+}
+
+// Merge adds another breakdown into b.
+func (b *ModeBreakdown) Merge(o ModeBreakdown) {
+	for i := range b {
+		b[i] += o[i]
+	}
+}
+
+// String renders the breakdown as percentages.
+func (b *ModeBreakdown) String() string {
+	f := b.Fractions()
+	parts := make([]string, len(f))
+	for i, v := range f {
+		parts[i] = fmt.Sprintf("m%d=%.0f%%", i, v*100)
+	}
+	return strings.Join(parts, " ")
+}
+
+// Window accumulates per-RL-time-step metrics for one router; the agent's
+// reward (eq. 1) is computed from a window's averages.
+type Window struct {
+	Latency    Summary // per-packet end-to-end latencies observed
+	EnergyJ    float64 // static+dynamic joules this window
+	Cycles     uint64
+	FlitsIn    uint64
+	FlitsOut   [5]uint64 // per output port, for the state vector
+	Retransmit uint64
+}
+
+// Reset clears the window in place.
+func (w *Window) Reset() { *w = Window{} }
+
+// MeanPowerMilliwatts returns the window's average power in mW (the unit
+// the reward uses so the value exceeds 1 as eq. 1 requires).
+func (w *Window) MeanPowerMilliwatts(clockHz float64) float64 {
+	if w.Cycles == 0 {
+		return 0
+	}
+	seconds := float64(w.Cycles) / clockHz
+	return w.EnergyJ / seconds * 1e3
+}

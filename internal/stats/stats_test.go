@@ -1,0 +1,156 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestSummaryBasics(t *testing.T) {
+	var s Summary
+	if s.Mean() != 0 {
+		t.Fatal("empty mean must be 0")
+	}
+	for _, v := range []float64{3, 1, 4, 1, 5} {
+		s.Add(v)
+	}
+	if s.Count != 5 || s.Min != 1 || s.Max != 5 {
+		t.Fatalf("summary state wrong: %+v", s)
+	}
+	if math.Abs(s.Mean()-2.8) > 1e-12 {
+		t.Fatalf("mean = %g", s.Mean())
+	}
+}
+
+func TestSummaryMergeEquivalentToSequential(t *testing.T) {
+	f := func(a, b []uint16) bool {
+		var s1, sa, sb Summary
+		for _, v := range a {
+			s1.Add(float64(v))
+			sa.Add(float64(v))
+		}
+		for _, v := range b {
+			s1.Add(float64(v))
+			sb.Add(float64(v))
+		}
+		sa.Merge(sb)
+		return sa.Count == s1.Count &&
+			math.Abs(sa.Sum-s1.Sum) < 1e-9 &&
+			sa.Min == s1.Min && sa.Max == s1.Max
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSummaryMergeEmpty(t *testing.T) {
+	var a, b Summary
+	a.Add(2)
+	a.Merge(b) // merging empty is a no-op
+	if a.Count != 1 {
+		t.Fatal("merge with empty changed count")
+	}
+	b.Merge(a) // merging into empty copies
+	if b.Count != 1 || b.Min != 2 {
+		t.Fatal("merge into empty failed")
+	}
+}
+
+func TestHistogramPercentiles(t *testing.T) {
+	h := NewLatencyHistogram()
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 100000; i++ {
+		h.Add(rng.Float64()*99 + 1) // uniform on [1,100]
+	}
+	p50 := h.Percentile(50)
+	if p50 < 45 || p50 > 58 {
+		t.Fatalf("P50 = %g, want ~50", p50)
+	}
+	p99 := h.Percentile(99)
+	if p99 < 95 || p99 > 108 {
+		t.Fatalf("P99 = %g, want ~99", p99)
+	}
+	if h.Percentile(100) < h.Percentile(50) {
+		t.Fatal("percentiles must be monotone")
+	}
+}
+
+func TestHistogramEmptyAndOverflow(t *testing.T) {
+	h := NewHistogram([]float64{1, 10, 100})
+	if h.Percentile(50) != 0 {
+		t.Fatal("empty percentile must be 0")
+	}
+	h.Add(1e9) // overflow bucket
+	if got := h.Percentile(99); got != 1e9 {
+		t.Fatalf("overflow percentile should fall back to max, got %g", got)
+	}
+}
+
+func TestHistogramRejectsBadEdges(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("descending edges must panic")
+		}
+	}()
+	NewHistogram([]float64{10, 1})
+}
+
+func TestModeBreakdown(t *testing.T) {
+	var b ModeBreakdown
+	b.AddCycles(0, 20)
+	b.AddCycles(1, 55)
+	b.AddCycles(2, 15)
+	b.AddCycles(3, 5)
+	b.AddCycles(4, 5)
+	if b.Total() != 100 {
+		t.Fatalf("total = %d", b.Total())
+	}
+	f := b.Fractions()
+	if f[0] != 0.20 || f[1] != 0.55 {
+		t.Fatalf("fractions wrong: %v", f)
+	}
+	if !strings.Contains(b.String(), "m1=55%") {
+		t.Fatalf("String() = %q", b.String())
+	}
+	var other ModeBreakdown
+	other.AddCycles(1, 45)
+	b.Merge(other)
+	if b[1] != 100 {
+		t.Fatal("merge failed")
+	}
+}
+
+func TestModeBreakdownEmptyFractions(t *testing.T) {
+	var b ModeBreakdown
+	if f := b.Fractions(); f != [5]float64{} {
+		t.Fatal("empty breakdown must give zero fractions")
+	}
+}
+
+func TestModeBreakdownBounds(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("mode 5 must panic")
+		}
+	}()
+	var b ModeBreakdown
+	b.AddCycles(5, 1)
+}
+
+func TestWindowPower(t *testing.T) {
+	var w Window
+	if w.MeanPowerMilliwatts(2e9) != 0 {
+		t.Fatal("empty window power must be 0")
+	}
+	w.Cycles = 2_000_000 // 1 ms at 2 GHz
+	w.EnergyJ = 20e-6    // 20 µJ over 1 ms = 20 mW
+	if got := w.MeanPowerMilliwatts(2e9); math.Abs(got-20) > 1e-9 {
+		t.Fatalf("power = %g mW, want 20", got)
+	}
+	w.Reset()
+	if w.Cycles != 0 || w.EnergyJ != 0 {
+		t.Fatal("reset failed")
+	}
+}

@@ -1,0 +1,132 @@
+package thermal
+
+import (
+	"math"
+	"testing"
+)
+
+func TestGridStartsAtAmbient(t *testing.T) {
+	g := NewGrid(8, 8, DefaultParams())
+	for i := 0; i < g.Nodes(); i++ {
+		if g.Temp(i) != DefaultParams().AmbientC {
+			t.Fatalf("tile %d not at ambient", i)
+		}
+	}
+}
+
+func TestUniformPowerUniformTemperature(t *testing.T) {
+	g := NewGrid(4, 4, DefaultParams())
+	power := make([]float64, 16)
+	for i := range power {
+		power[i] = 0.2
+	}
+	for i := 0; i < 1000; i++ {
+		g.Step(power, 1e-5)
+	}
+	want := g.SteadyState(0.2)
+	for i := 0; i < 16; i++ {
+		if math.Abs(g.Temp(i)-want) > 0.5 {
+			t.Fatalf("tile %d at %g, want ~%g (uniform load has no lateral flux)", i, g.Temp(i), want)
+		}
+	}
+}
+
+func TestHotspotDiffusesToNeighbors(t *testing.T) {
+	g := NewGrid(5, 5, DefaultParams())
+	power := make([]float64, 25)
+	power[12] = 0.5 // center tile
+	for i := 0; i < 2000; i++ {
+		g.Step(power, 1e-5)
+	}
+	center := g.Temp(12)
+	neighbor := g.Temp(11)
+	corner := g.Temp(0)
+	if !(center > neighbor && neighbor > corner) {
+		t.Fatalf("expected monotone decay from hotspot: center %g neighbor %g corner %g",
+			center, neighbor, corner)
+	}
+	if neighbor <= DefaultParams().AmbientC {
+		t.Fatal("lateral coupling should warm the neighbor above ambient")
+	}
+	// With lateral spreading the center must sit below its isolated
+	// steady state.
+	if center >= g.SteadyState(0.5) {
+		t.Fatal("lateral conduction must lower the hotspot peak")
+	}
+}
+
+func TestZeroPowerStaysAtAmbient(t *testing.T) {
+	g := NewGrid(3, 3, DefaultParams())
+	power := make([]float64, 9)
+	g.Step(power, 1.0)
+	for i := 0; i < 9; i++ {
+		if math.Abs(g.Temp(i)-DefaultParams().AmbientC) > 1e-9 {
+			t.Fatalf("unpowered grid drifted to %g", g.Temp(i))
+		}
+	}
+}
+
+func TestCoolingAfterLoadRemoved(t *testing.T) {
+	g := NewGrid(2, 2, DefaultParams())
+	hot := []float64{0.4, 0.4, 0.4, 0.4}
+	for i := 0; i < 500; i++ {
+		g.Step(hot, 1e-5)
+	}
+	peak := g.Max()
+	cold := make([]float64, 4)
+	for i := 0; i < 500; i++ {
+		g.Step(cold, 1e-5)
+	}
+	if g.Max() >= peak {
+		t.Fatal("grid must cool once power is removed")
+	}
+	for i := 0; i < 200; i++ {
+		g.Step(cold, 1e-3)
+	}
+	if math.Abs(g.Max()-DefaultParams().AmbientC) > 0.1 {
+		t.Fatalf("grid should return to ambient, at %g", g.Max())
+	}
+}
+
+func TestLargeTimeStepStable(t *testing.T) {
+	// A huge dt must not blow up the explicit integration (sub-stepping
+	// or steady-state jump must kick in).
+	g := NewGrid(8, 8, DefaultParams())
+	power := make([]float64, 64)
+	for i := range power {
+		power[i] = 0.3
+	}
+	g.Step(power, 10.0) // 10 simulated seconds in one call
+	for i := 0; i < 64; i++ {
+		temp := g.Temp(i)
+		if math.IsNaN(temp) || temp < 0 || temp > 500 {
+			t.Fatalf("tile %d diverged to %g", i, temp)
+		}
+	}
+	// After 10 s (≫ τ) the grid must be at steady state.
+	if math.Abs(g.Temp(0)-g.SteadyState(0.3)) > 0.5 {
+		t.Fatalf("long step should settle: %g vs %g", g.Temp(0), g.SteadyState(0.3))
+	}
+}
+
+func TestStatsHelpers(t *testing.T) {
+	g := NewGrid(2, 1, DefaultParams())
+	g.Step([]float64{0.5, 0}, 1.0)
+	if g.Max() < g.Mean() {
+		t.Fatal("max < mean")
+	}
+	temps := g.Temps()
+	temps[0] = -1000 // must be a copy
+	if g.Temp(0) < 0 {
+		t.Fatal("Temps must return a copy")
+	}
+}
+
+func TestPowerLengthMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on power length mismatch")
+		}
+	}()
+	NewGrid(2, 2, DefaultParams()).Step([]float64{1}, 0.1)
+}

@@ -1,0 +1,95 @@
+// Package traffic generates the packet workloads the simulator injects:
+// classic synthetic patterns (uniform random, transpose, bit-complement,
+// tornado, ...), Netrace-substitute PARSEC workload models (see DESIGN.md
+// for the substitution rationale), and a trace file format with
+// reader/writer so workloads can be captured and replayed exactly.
+package traffic
+
+// Packet is one injection request: at cycle Time, node Src wants to send
+// Flits flits to node Dst. Packets are produced in non-decreasing Time
+// order.
+type Packet struct {
+	Time  int64
+	Src   int
+	Dst   int
+	Flits int
+}
+
+// Generator is a stream of packets ordered by injection time.
+type Generator interface {
+	// Next returns the next packet and true, or a zero Packet and
+	// false when the workload is exhausted.
+	Next() (Packet, bool)
+}
+
+// Peeker wraps a Generator with one-packet lookahead, which is how the
+// simulator drains "everything due at or before this cycle".
+type Peeker struct {
+	gen  Generator
+	head Packet
+	ok   bool
+}
+
+// NewPeeker returns a lookahead wrapper over gen.
+func NewPeeker(gen Generator) *Peeker {
+	p := &Peeker{gen: gen}
+	p.head, p.ok = gen.Next()
+	return p
+}
+
+// PopDue returns the next packet if its injection time is <= cycle.
+func (p *Peeker) PopDue(cycle int64) (Packet, bool) {
+	if !p.ok || p.head.Time > cycle {
+		return Packet{}, false
+	}
+	pkt := p.head
+	p.head, p.ok = p.gen.Next()
+	return pkt, true
+}
+
+// Exhausted reports whether the underlying stream has ended.
+func (p *Peeker) Exhausted() bool { return !p.ok }
+
+// NextTime returns the injection time of the pending packet, or -1 if the
+// stream is exhausted.
+func (p *Peeker) NextTime() int64 {
+	if !p.ok {
+		return -1
+	}
+	return p.head.Time
+}
+
+// Collect drains a generator into a slice (used by the trace writer and
+// tests). The cap guards against runaway infinite generators.
+func Collect(gen Generator, max int) []Packet {
+	var out []Packet
+	for len(out) < max {
+		p, ok := gen.Next()
+		if !ok {
+			break
+		}
+		out = append(out, p)
+	}
+	return out
+}
+
+// SliceGenerator replays an in-memory packet list.
+type SliceGenerator struct {
+	packets []Packet
+	pos     int
+}
+
+// NewSliceGenerator wraps packets (assumed time-ordered) as a Generator.
+func NewSliceGenerator(packets []Packet) *SliceGenerator {
+	return &SliceGenerator{packets: packets}
+}
+
+// Next implements Generator.
+func (s *SliceGenerator) Next() (Packet, bool) {
+	if s.pos >= len(s.packets) {
+		return Packet{}, false
+	}
+	p := s.packets[s.pos]
+	s.pos++
+	return p, true
+}

@@ -1,0 +1,109 @@
+package traffic
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// Trace file format — a Netrace-substitute container for packet streams.
+// Layout (little-endian):
+//
+//	magic   uint32  'I','N','T','1'
+//	nodes   uint32  node count the trace was generated for
+//	count   uint64  number of records
+//	records count × { time int64, src int32, dst int32, flits int32 }
+//
+// Records must be in non-decreasing time order; ReadTrace validates this
+// along with node-id ranges so corrupt traces fail loudly at load time.
+
+const traceMagic = 0x31544E49 // "INT1"
+
+// WriteTrace serializes packets for a nodes-node network to w.
+func WriteTrace(w io.Writer, nodes int, packets []Packet) error {
+	bw := bufio.NewWriter(w)
+	hdr := []any{uint32(traceMagic), uint32(nodes), uint64(len(packets))}
+	for _, v := range hdr {
+		if err := binary.Write(bw, binary.LittleEndian, v); err != nil {
+			return fmt.Errorf("traffic: writing trace header: %w", err)
+		}
+	}
+	prev := int64(-1 << 62)
+	for i, p := range packets {
+		if p.Time < prev {
+			return fmt.Errorf("traffic: packet %d out of time order", i)
+		}
+		if p.Src < 0 || p.Src >= nodes || p.Dst < 0 || p.Dst >= nodes {
+			return fmt.Errorf("traffic: packet %d has node id out of range", i)
+		}
+		if p.Flits <= 0 {
+			return fmt.Errorf("traffic: packet %d has no flits", i)
+		}
+		prev = p.Time
+		rec := []any{p.Time, int32(p.Src), int32(p.Dst), int32(p.Flits)}
+		for _, v := range rec {
+			if err := binary.Write(bw, binary.LittleEndian, v); err != nil {
+				return fmt.Errorf("traffic: writing trace record: %w", err)
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadTrace parses a trace, returning the node count and packets.
+func ReadTrace(r io.Reader) (nodes int, packets []Packet, err error) {
+	br := bufio.NewReader(r)
+	var magic, n32 uint32
+	var count uint64
+	if err := binary.Read(br, binary.LittleEndian, &magic); err != nil {
+		return 0, nil, fmt.Errorf("traffic: reading trace magic: %w", err)
+	}
+	if magic != traceMagic {
+		return 0, nil, errors.New("traffic: not an IntelliNoC trace file")
+	}
+	if err := binary.Read(br, binary.LittleEndian, &n32); err != nil {
+		return 0, nil, fmt.Errorf("traffic: reading node count: %w", err)
+	}
+	if err := binary.Read(br, binary.LittleEndian, &count); err != nil {
+		return 0, nil, fmt.Errorf("traffic: reading record count: %w", err)
+	}
+	if n32 == 0 || n32 > 1<<20 {
+		return 0, nil, fmt.Errorf("traffic: implausible node count %d", n32)
+	}
+	if count > 1<<32 {
+		return 0, nil, fmt.Errorf("traffic: implausible record count %d", count)
+	}
+	nodes = int(n32)
+	packets = make([]Packet, 0, count)
+	prev := int64(-1 << 62)
+	for i := uint64(0); i < count; i++ {
+		var t int64
+		var src, dst, flits int32
+		if err := binary.Read(br, binary.LittleEndian, &t); err != nil {
+			return 0, nil, fmt.Errorf("traffic: record %d time: %w", i, err)
+		}
+		if err := binary.Read(br, binary.LittleEndian, &src); err != nil {
+			return 0, nil, fmt.Errorf("traffic: record %d src: %w", i, err)
+		}
+		if err := binary.Read(br, binary.LittleEndian, &dst); err != nil {
+			return 0, nil, fmt.Errorf("traffic: record %d dst: %w", i, err)
+		}
+		if err := binary.Read(br, binary.LittleEndian, &flits); err != nil {
+			return 0, nil, fmt.Errorf("traffic: record %d flits: %w", i, err)
+		}
+		if t < prev {
+			return 0, nil, fmt.Errorf("traffic: record %d out of time order", i)
+		}
+		if src < 0 || int(src) >= nodes || dst < 0 || int(dst) >= nodes {
+			return 0, nil, fmt.Errorf("traffic: record %d node id out of range", i)
+		}
+		if flits <= 0 {
+			return 0, nil, fmt.Errorf("traffic: record %d has no flits", i)
+		}
+		prev = t
+		packets = append(packets, Packet{Time: t, Src: int(src), Dst: int(dst), Flits: int(flits)})
+	}
+	return nodes, packets, nil
+}
