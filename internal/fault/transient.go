@@ -66,6 +66,25 @@ func (m TransientModel) BitErrorRate(tempC, vdd float64, relaxed bool) float64 {
 	return re
 }
 
+// BitErrorRates returns both the normal and the relaxed-timing Re for one
+// operating point with a single pair of exponentials. The two values are
+// bit-identical to calling BitErrorRate twice — the simulator caches them
+// per router between thermal steps, which is what keeps math.Exp off the
+// per-flit fault-injection path.
+func (m TransientModel) BitErrorRates(tempC, vdd float64) (re, relaxed float64) {
+	re = m.BaseRate *
+		math.Exp(m.TempCoeff*(tempC-m.RefTempC)) *
+		math.Exp(-m.VoltCoeff*(vdd-m.RefVdd))
+	relaxed = re * m.RelaxFactor
+	if re > 0.5 {
+		re = 0.5
+	}
+	if relaxed > 0.5 {
+		relaxed = 0.5
+	}
+	return re, relaxed
+}
+
 // FlitFaultProb implements eq. 3: the probability that an n-bit flit
 // acquires at least one error during one link traversal.
 func FlitFaultProb(re float64, bits int) float64 {

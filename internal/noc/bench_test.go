@@ -23,11 +23,14 @@ func BenchmarkNetworkCycle(b *testing.B) {
 		b.Fatal(err)
 	}
 	b.ResetTimer()
+	start := n.Cycle()
 	for i := 0; i < b.N; i++ {
 		n.Step()
 	}
 	b.StopTimer()
-	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "cycles/s")
+	// Step may fast-forward several cycles when the mesh is quiescent, so
+	// the rate is measured in simulated cycles, not Step calls.
+	b.ReportMetric(float64(n.Cycle()-start)/b.Elapsed().Seconds(), "cycles/s")
 }
 
 // BenchmarkNetworkCycleChannelBuffered measures the MFAC-style
@@ -48,9 +51,10 @@ func BenchmarkNetworkCycleChannelBuffered(b *testing.B) {
 		b.Fatal(err)
 	}
 	b.ResetTimer()
+	start := n.Cycle()
 	for i := 0; i < b.N; i++ {
 		n.Step()
 	}
 	b.StopTimer()
-	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "cycles/s")
+	b.ReportMetric(float64(n.Cycle()-start)/b.Elapsed().Seconds(), "cycles/s")
 }

@@ -6,7 +6,8 @@ package noc
 //   - as a *transmission repeater* it simply delays flits by its traversal
 //     latency;
 //   - as *link storage* it holds flits that the downstream router buffer
-//     cannot yet accept (capacity = the configured channel stages);
+//     cannot yet accept (occupancy is bounded by the per-VC credits the
+//     sender holds, not by a hard FIFO capacity);
 //   - as a *re-transmission buffer* it resends a flit after a hop-level
 //     NACK without involving the upstream router's buffers (the extra
 //     delay and energy are applied by the fault-resolution path in
@@ -16,11 +17,14 @@ package noc
 //
 // The function in force is selected per time step by the upstream
 // router's operation mode.
+//
+// The queue is a ring buffer: delivering the head flit — by far the
+// common case — is O(1) instead of the O(n) shift a slice-backed FIFO
+// pays, and storage is reused across the run instead of churning the GC.
 type Channel struct {
-	// capacity is the flit storage (0 means a plain wire: unlimited
-	// in-flight, bounded instead by downstream VC credits).
-	capacity int
-	queue    []channelFlit
+	buf  []channelFlit
+	head int
+	n    int
 }
 
 type channelFlit struct {
@@ -28,23 +32,34 @@ type channelFlit struct {
 	readyAt int64
 }
 
-func newChannel(capacity int) *Channel {
-	return &Channel{capacity: capacity}
+func newChannel() *Channel {
+	return &Channel{}
 }
 
-// hasSpace reports whether a new flit may enter. Plain wires always have
-// space (the sender checked VC credits instead).
-func (c *Channel) hasSpace() bool {
-	return c.capacity == 0 || len(c.queue) < c.capacity
+// at returns the i-th queued flit counting from the head (0 <= i < c.n).
+func (c *Channel) at(i int) *channelFlit {
+	j := c.head + i
+	if j >= len(c.buf) {
+		j -= len(c.buf)
+	}
+	return &c.buf[j]
 }
 
 // push enqueues a flit that becomes deliverable at readyAt.
 func (c *Channel) push(f *Flit, readyAt int64) {
-	c.queue = append(c.queue, channelFlit{flit: f, readyAt: readyAt})
+	if c.n == len(c.buf) {
+		grown := make([]channelFlit, max(8, 2*len(c.buf)))
+		for i := 0; i < c.n; i++ {
+			grown[i] = *c.at(i)
+		}
+		c.buf, c.head = grown, 0
+	}
+	*c.at(c.n) = channelFlit{flit: f, readyAt: readyAt}
+	c.n++
 }
 
 // len returns the number of flits stored or in flight.
-func (c *Channel) len() int { return len(c.queue) }
+func (c *Channel) len() int { return c.n }
 
 // peekReady returns the index of the first deliverable flit, honouring
 // per-VC ordering. With dynamicAlloc (the unified-BST allocation of
@@ -52,18 +67,19 @@ func (c *Channel) len() int { return len(c.queue) }
 // flit shares the candidate's VC; otherwise only the head qualifies.
 // accept reports whether the downstream buffer can take the flit.
 func (c *Channel) peekReady(cycle int64, dynamicAlloc bool, accept func(*Flit) bool) int {
-	if len(c.queue) == 0 {
+	if c.n == 0 {
 		return -1
 	}
 	if !dynamicAlloc {
-		head := c.queue[0]
+		head := c.at(0)
 		if head.readyAt <= cycle && accept(head.flit) {
 			return 0
 		}
 		return -1
 	}
 	var seen [64]bool // VCs are small; fixed array avoids allocation
-	for i, cf := range c.queue {
+	for i := 0; i < c.n; i++ {
+		cf := c.at(i)
 		vc := cf.flit.VC
 		if vc < 0 || vc >= len(seen) {
 			continue
@@ -82,27 +98,46 @@ func (c *Channel) peekReady(cycle int64, dynamicAlloc bool, accept func(*Flit) b
 	return -1
 }
 
-// remove extracts the flit at index i, preserving order.
+// remove extracts the flit at index i (counted from the head), preserving
+// order. Removing the head is O(1); a mid-queue removal shifts the short
+// prefix in front of it.
 func (c *Channel) remove(i int) *Flit {
-	f := c.queue[i].flit
-	c.queue = append(c.queue[:i], c.queue[i+1:]...)
+	f := c.at(i).flit
+	for j := i; j > 0; j-- {
+		*c.at(j) = *c.at(j - 1)
+	}
+	c.at(0).flit = nil // release the reference for the flit free-list
+	c.head++
+	if c.head == len(c.buf) {
+		c.head = 0
+	}
+	c.n--
 	return f
 }
 
 // anyReady reports whether any flit is deliverable at the given cycle
 // (used to trigger wake-up of gated routers).
 func (c *Channel) anyReady(cycle int64) bool {
-	for _, cf := range c.queue {
-		if cf.readyAt <= cycle {
+	for i := 0; i < c.n; i++ {
+		if c.at(i).readyAt <= cycle {
 			return true
 		}
 	}
 	return false
 }
 
-// delay postpones the flit at index i (hop-level retransmission).
-func (c *Channel) delay(i int, until int64) {
-	if c.queue[i].readyAt < until {
-		c.queue[i].readyAt = until
+// earliestReady returns the soonest readyAt among the queued flits, or -1
+// when the channel is empty (used by the idle fast-forward to find the
+// next delivery event).
+func (c *Channel) earliestReady() int64 {
+	if c.n == 0 {
+		return -1
 	}
+	e := c.at(0).readyAt
+	for i := 1; i < c.n; i++ {
+		if r := c.at(i).readyAt; r < e {
+			e = r
+		}
+	}
+	return e
 }

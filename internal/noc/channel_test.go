@@ -7,7 +7,7 @@ func mkFlit(id uint64, vc int, t FlitType) *Flit {
 }
 
 func TestChannelFIFOOrder(t *testing.T) {
-	ch := newChannel(0)
+	ch := newChannel()
 	ch.push(mkFlit(1, 0, FlitHead), 10)
 	ch.push(mkFlit(2, 0, FlitTail), 11)
 	if ch.len() != 2 {
@@ -27,7 +27,7 @@ func TestChannelFIFOOrder(t *testing.T) {
 }
 
 func TestChannelHeadOnlyBlocksAll(t *testing.T) {
-	ch := newChannel(0)
+	ch := newChannel()
 	ch.push(mkFlit(1, 0, FlitHead), 0)
 	ch.push(mkFlit(2, 1, FlitHead), 0)
 	reject0 := func(f *Flit) bool { return f.VC != 0 }
@@ -43,7 +43,7 @@ func TestChannelHeadOnlyBlocksAll(t *testing.T) {
 }
 
 func TestChannelDynamicScanPreservesPerVCOrder(t *testing.T) {
-	ch := newChannel(0)
+	ch := newChannel()
 	ch.push(mkFlit(1, 0, FlitHead), 100) // not ready yet
 	ch.push(mkFlit(2, 0, FlitBody), 0)   // ready, but behind same-VC flit
 	ch.push(mkFlit(3, 1, FlitHead), 0)   // ready, different VC
@@ -53,7 +53,7 @@ func TestChannelDynamicScanPreservesPerVCOrder(t *testing.T) {
 		t.Fatalf("must skip VC0 entirely (order) and pick the VC1 flit: idx=%d", idx)
 	}
 	// Same if the first VC-0 flit is ready but rejected by the buffer.
-	ch2 := newChannel(0)
+	ch2 := newChannel()
 	ch2.push(mkFlit(1, 0, FlitHead), 0)
 	ch2.push(mkFlit(2, 0, FlitBody), 0)
 	rejected := 0
@@ -66,44 +66,64 @@ func TestChannelDynamicScanPreservesPerVCOrder(t *testing.T) {
 	}
 }
 
-func TestChannelCapacity(t *testing.T) {
-	ch := newChannel(2)
-	if !ch.hasSpace() {
-		t.Fatal("empty bounded channel must have space")
+func TestChannelRingWrapAround(t *testing.T) {
+	// Push/remove enough traffic that the head index laps the backing
+	// array several times; FIFO order must survive every wrap.
+	ch := newChannel()
+	next := uint64(0)
+	want := uint64(0)
+	for i := 0; i < 5; i++ {
+		ch.push(mkFlit(next, 0, FlitBody), 0)
+		next++
 	}
-	ch.push(mkFlit(1, 0, FlitHead), 0)
-	ch.push(mkFlit(2, 0, FlitBody), 0)
-	if ch.hasSpace() {
-		t.Fatal("bounded channel at capacity must report full")
-	}
-	unbounded := newChannel(0)
-	for i := 0; i < 100; i++ {
-		unbounded.push(mkFlit(uint64(i), 0, FlitBody), 0)
-		if !unbounded.hasSpace() {
-			t.Fatal("credit-governed channel must never report full")
+	for round := 0; round < 100; round++ {
+		f := ch.remove(0)
+		if f.ID != want {
+			t.Fatalf("round %d: got flit %d, want %d", round, f.ID, want)
+		}
+		want++
+		ch.push(mkFlit(next, 0, FlitBody), 0)
+		next++
+		if ch.len() != 5 {
+			t.Fatalf("round %d: len = %d", round, ch.len())
 		}
 	}
 }
 
-func TestChannelDelayForRetransmission(t *testing.T) {
-	ch := newChannel(0)
-	ch.push(mkFlit(1, 0, FlitHead), 5)
-	ch.delay(0, 20)
-	if idx := ch.peekReady(10, false, func(*Flit) bool { return true }); idx != -1 {
-		t.Fatal("delayed flit must not deliver early")
+func TestChannelRemoveMidQueue(t *testing.T) {
+	ch := newChannel()
+	for i := 0; i < 4; i++ {
+		ch.push(mkFlit(uint64(i), i%2, FlitBody), 0)
 	}
-	if idx := ch.peekReady(20, false, func(*Flit) bool { return true }); idx != 0 {
-		t.Fatal("delayed flit must deliver at the new time")
+	// Remove index 2 (flit 2); survivors keep their relative order.
+	if f := ch.remove(2); f.ID != 2 {
+		t.Fatalf("remove(2) returned flit %d", f.ID)
 	}
-	// delay never moves a flit earlier.
-	ch.delay(0, 3)
-	if idx := ch.peekReady(10, false, func(*Flit) bool { return true }); idx != -1 {
-		t.Fatal("delay must be monotone")
+	wantOrder := []uint64{0, 1, 3}
+	if ch.len() != len(wantOrder) {
+		t.Fatalf("len = %d", ch.len())
+	}
+	for i, want := range wantOrder {
+		if got := ch.at(i).flit.ID; got != want {
+			t.Fatalf("slot %d: got flit %d, want %d", i, got, want)
+		}
+	}
+}
+
+func TestChannelEarliestReady(t *testing.T) {
+	ch := newChannel()
+	if e := ch.earliestReady(); e != -1 {
+		t.Fatalf("empty channel earliestReady = %d", e)
+	}
+	ch.push(mkFlit(1, 0, FlitHead), 42)
+	ch.push(mkFlit(2, 0, FlitBody), 17)
+	if e := ch.earliestReady(); e != 17 {
+		t.Fatalf("earliestReady = %d, want 17", e)
 	}
 }
 
 func TestChannelAnyReady(t *testing.T) {
-	ch := newChannel(0)
+	ch := newChannel()
 	if ch.anyReady(100) {
 		t.Fatal("empty channel has nothing ready")
 	}
@@ -118,7 +138,7 @@ func TestChannelAnyReady(t *testing.T) {
 
 func TestRouterFreeVCRoundRobin(t *testing.T) {
 	cfg := testConfig()
-	op := newOutputPort(cfg, 1, PortWest, newChannel(0))
+	op := newOutputPort(cfg, 1, PortWest, newChannel())
 	a := op.freeVC()
 	op.vcBusy[a] = true
 	b := op.freeVC()

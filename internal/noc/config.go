@@ -87,6 +87,13 @@ type Config struct {
 	// ECC codecs on every hop. Slower; used by tests and examples.
 	VerifyPayloads bool
 
+	// DisableIdleFastForward forces the simulator to step quiescent
+	// stretches cycle by cycle instead of jumping to the next event. The
+	// fast-forward is exact — results are bit-identical either way (the
+	// determinism tests cross-check both paths) — so this knob exists
+	// only for those tests and for debugging.
+	DisableIdleFastForward bool
+
 	Seed int64
 
 	// Model parameter overrides (zero values select the defaults).

@@ -42,7 +42,8 @@ func (n *Network) DumpState(w io.Writer) {
 			}
 			if ip.ch != nil && ip.ch.len() > 0 {
 				fmt.Fprintf(w, "  in[%s].ch:", PortName(p))
-				for _, cf := range ip.ch.queue {
+				for i := 0; i < ip.ch.len(); i++ {
+					cf := ip.ch.at(i)
 					fmt.Fprintf(w, " [pkt%d.%d %v vc%d@%d]", cf.flit.PacketID, cf.flit.Seq, cf.flit.Type, cf.flit.VC, cf.readyAt)
 				}
 				fmt.Fprintln(w)

@@ -36,6 +36,42 @@ type packetInfo struct {
 	path         []uint16
 }
 
+// packetTable maps sequential packet ids to in-flight packetInfo records.
+// Ids are dense and retire roughly in order, so a base-offset slice beats
+// a hash map: the lookups on the head-flit path-recording and eject paths
+// become a bounds check plus an index instead of a hash. The table tracks
+// only the live id window — delete advances base past the retired prefix.
+type packetTable struct {
+	base    uint64
+	entries []*packetInfo
+}
+
+func (t *packetTable) get(id uint64) *packetInfo {
+	if id < t.base || id-t.base >= uint64(len(t.entries)) {
+		return nil
+	}
+	return t.entries[id-t.base]
+}
+
+// append registers the next sequential packet id (base+len(entries)).
+func (t *packetTable) append(pi *packetInfo) {
+	t.entries = append(t.entries, pi)
+}
+
+// delete clears a retired packet and advances the base past the completed
+// prefix. Slicing forward keeps the remaining capacity for append, so the
+// backing array is reused instead of growing with the run.
+func (t *packetTable) delete(id uint64) {
+	if id < t.base || id-t.base >= uint64(len(t.entries)) {
+		return
+	}
+	t.entries[id-t.base] = nil
+	for len(t.entries) > 0 && t.entries[0] == nil {
+		t.entries = t.entries[1:]
+		t.base++
+	}
+}
+
 // nic is a node's network interface: a packet queue streamed one packet at
 // a time into the local input port (or the bypass switch when the local
 // router is gated).
@@ -82,7 +118,29 @@ type Network struct {
 	nextPacketID uint64
 	outstanding  int
 	lastProgress int64
-	packets      map[uint64]*packetInfo
+	packets      packetTable
+
+	// linkRe / linkReRelaxed cache each router's per-bit link error rate
+	// (normal and relaxed-timing). Temperatures only change at thermal
+	// boundaries, so the exponentials behind these rates are evaluated
+	// once per router per thermal step instead of twice per link
+	// traversal attempt.
+	linkRe        []float64
+	linkReRelaxed []float64
+
+	// Free lists recycling the steady-state heap objects: flits (the
+	// dominant allocation — one per flit per packet transmission), and
+	// the per-packet job/progress records. Recycled on ejection.
+	flitPool []*Flit
+	jobPool  []*packetJob
+	infoPool []*packetInfo
+
+	// bufferedFlits counts flits across every router's input buffers; it
+	// is zero exactly when no router pipeline has work, which is what
+	// arms the idle fast-forward.
+	bufferedFlits int
+
+	powersBuf []float64 // thermalStep scratch
 
 	eventHook func(Event)
 
@@ -138,13 +196,17 @@ func New(cfg Config, gen traffic.Generator, ctrl Controller) (*Network, error) {
 		meters:   make([]*power.Meter, nodes),
 		lastTJ:   make([]float64, nodes),
 		thermAct: make([]uint64, nodes),
-		packets:  make(map[uint64]*packetInfo),
 		latency:  stats.NewLatencyHistogram(),
 		nics:     make([]*nic, nodes),
 		secded:   ecc.NewSECDED(),
 		dected:   ecc.NewDECTED(),
+
+		linkRe:        make([]float64, nodes),
+		linkReRelaxed: make([]float64, nodes),
+		powersBuf:     make([]float64, nodes),
 	}
 	n.buildTopology()
+	n.refreshLinkRates()
 	for i := 0; i < nodes; i++ {
 		n.meters[i] = power.NewMeter(pp, cfg.routerPowerConfig())
 		n.nics[i] = &nic{curVC: -1}
@@ -188,9 +250,26 @@ func (n *Network) buildTopology() {
 			}
 			// Channel occupancy is governed by per-VC credits, not
 			// a hard FIFO bound (see newOutputPort).
-			ch := newChannel(0)
+			ch := newChannel()
 			r.out[p] = newOutputPort(cfg, nb, opposite(p), ch)
 			n.routers[nb].in[opposite(p)] = newInputPort(cfg, id, p, ch)
+		}
+	}
+	// Build the per-port delivery predicates once, so the per-cycle
+	// channel scans don't allocate a fresh closure per call.
+	for _, r := range n.routers {
+		for p := 0; p < NumPorts; p++ {
+			ip := r.in[p]
+			if ip == nil {
+				continue
+			}
+			ip, r, p := ip, r, p
+			ip.acceptBuf = func(f *Flit) bool {
+				return len(ip.vcs[f.VC].buf) < n.cfg.BufDepth
+			}
+			ip.acceptBypass = func(f *Flit) bool {
+				return n.bypassCanForward(r, p, f)
+			}
 		}
 	}
 }
@@ -263,9 +342,36 @@ func (n *Network) route(r *Router, dst int) int {
 // Cycle returns the current simulation cycle.
 func (n *Network) Cycle() int64 { return n.cycle }
 
-// Step advances the network by one clock cycle.
-func (n *Network) Step() {
+// FlitsDelivered returns the count of flits ejected so far.
+func (n *Network) FlitsDelivered() uint64 { return n.flitsDelivered }
+
+// Step advances the network by one clock cycle — or, when the whole
+// network is provably idle, jumps directly to the cycle of the next event
+// with the per-cycle accounting batch-applied for the skipped span (see
+// idleSpan). The fast-forward is exact: results are bit-identical to
+// stepping the idle stretch cycle by cycle.
+func (n *Network) Step() { n.step(1 << 62) }
+
+// step is Step bounded so the fast-forward never jumps past maxCycles
+// (RunUntilDrained's truncation point).
+func (n *Network) step(maxCycles int64) {
 	cy := n.cycle
+
+	// 0. Idle fast-forward: with no buffered flits anywhere, the network
+	// can only be waiting — on a channel flit's readyAt, a future
+	// workload packet, a wake/gate countdown, or a thermal/control
+	// boundary. Jump straight there.
+	if n.bufferedFlits == 0 && !n.cfg.DisableIdleFastForward {
+		if k := n.idleSpan(); k > 1 {
+			if lim := maxCycles - cy; k > lim {
+				k = lim
+			}
+			if k > 1 {
+				n.fastForward(k)
+				return
+			}
+		}
+	}
 
 	// 1. Admit workload packets due this cycle into the NIC queues.
 	for {
@@ -273,24 +379,29 @@ func (n *Network) Step() {
 		if !ok {
 			break
 		}
-		job := &packetJob{
+		job := n.newJob()
+		*job = packetJob{
 			id: n.nextPacketID, src: pkt.Src, dst: pkt.Dst,
 			flits: pkt.Flits, injectCycle: pkt.Time,
 		}
-		if q := n.nics[pkt.Src]; q.seenAny {
+		q := n.nics[pkt.Src]
+		if q.seenAny {
 			job.gap = pkt.Time - q.lastTraceTime
 		}
-		n.nics[pkt.Src].lastTraceTime = pkt.Time
-		n.nics[pkt.Src].seenAny = true
+		q.lastTraceTime = pkt.Time
+		q.seenAny = true
 		n.nextPacketID++
-		n.packets[job.id] = &packetInfo{job: job}
-		n.nics[pkt.Src].queue = append(n.nics[pkt.Src].queue, job)
+		n.packets.append(n.newInfo(job))
+		q.queue = append(q.queue, job)
 		n.outstanding++
 	}
 
-	// 2. Power-state maintenance.
-	for _, r := range n.routers {
-		n.powerStateStep(r, cy)
+	// 2. Power-state maintenance. Without power gating or bypass no
+	// router can ever gate or wake, so the whole pass is a no-op.
+	if n.cfg.PowerGating || n.cfg.Bypass {
+		for _, r := range n.routers {
+			n.powerStateStep(r, cy)
+		}
 	}
 
 	// 3. Channel deliveries into router buffers (active routers). A
@@ -304,12 +415,14 @@ func (n *Network) Step() {
 		}
 	}
 
-	// 4. Router pipelines (or bypass switches).
+	// 4. Router pipelines (or bypass switches). A router whose input
+	// buffers are empty has nothing for RC/VA/SA to do — skip its
+	// port×VC scans outright.
 	for _, r := range n.routers {
 		switch {
 		case r.gated && n.cfg.Bypass:
 			n.bypassStep(r, cy)
-		case r.active():
+		case r.active() && r.bufCount > 0:
 			n.saStage(r, cy)
 			n.vaStage(r, cy)
 			n.rcStage(r, cy)
@@ -333,6 +446,9 @@ func (n *Network) Step() {
 		if r.gated {
 			n.gatedCycles++
 		}
+		if r.bufCount == 0 {
+			continue // every port occupancy is zero
+		}
 		for p := 0; p < NumPorts; p++ {
 			if r.in[p] != nil {
 				r.in[p].winOccupancy += uint64(r.in[p].occupancy())
@@ -341,6 +457,126 @@ func (n *Network) Step() {
 	}
 
 	n.cycle++
+	if n.cycle%int64(n.cfg.ThermalIntervalCycles) == 0 {
+		n.thermalStep()
+	}
+	if n.cycle%int64(n.cfg.TimeStepCycles) == 0 {
+		n.controlStep()
+	}
+}
+
+// idleSpan returns the number of upcoming cycles (starting with the
+// current one) that are provably pure accounting — no admission, no
+// delivery, no pipeline or bypass work, no power-state transition — or 0
+// if the current cycle may do work. It never spans a thermal or control
+// boundary, a wake/gate transition, a channel flit's readyAt, or the next
+// workload packet's injection time, so normal stepping resumes exactly at
+// the next event. Callers must ensure bufferedFlits == 0.
+func (n *Network) idleSpan() int64 {
+	cy := n.cycle
+	// A pending or due workload packet means admission/injection work.
+	next := n.gen.NextTime()
+	if next >= 0 && next <= cy {
+		return 0
+	}
+	for _, q := range n.nics {
+		if q.pending() {
+			return 0
+		}
+	}
+	bound := int64(1) << 62
+	if next > cy {
+		bound = next - cy
+	}
+	for _, r := range n.routers {
+		if r.waking > 0 {
+			// The router ungates (and flushes static accounting) the
+			// cycle its countdown hits zero.
+			if r.waking == 1 {
+				return 0
+			}
+			if w := int64(r.waking) - 1; w < bound {
+				bound = w
+			}
+			continue
+		}
+		if !r.gated && n.cfg.Bypass && r.mode == ModeBypass {
+			return 0 // gates itself this cycle (buffers are empty)
+		}
+		// Channel flits: delivery (or gated-router wake) happens at the
+		// earliest readyAt; a flit already ready may be deliverable or
+		// credit-blocked — either way this cycle is not provably idle.
+		hasChTraffic := false
+		for p := 1; p < NumPorts; p++ {
+			ip := r.in[p]
+			if ip == nil || ip.ch == nil {
+				continue
+			}
+			e := ip.ch.earliestReady()
+			if e < 0 {
+				continue
+			}
+			hasChTraffic = true
+			if e <= cy {
+				return 0
+			}
+			if d := e - cy; d < bound {
+				bound = d
+			}
+		}
+		// CP-style idle gating: the idle streak counts up toward the
+		// gating threshold; the gating transition must not be skipped.
+		if n.cfg.PowerGating && !n.cfg.Bypass && !r.gated && !hasChTraffic {
+			left := int64(n.cfg.IdleGateCycles - r.idle)
+			if left <= 1 {
+				return 0
+			}
+			if left-1 < bound {
+				bound = left - 1
+			}
+		}
+	}
+	if d := n.untilBoundary(cy, int64(n.cfg.ThermalIntervalCycles)); d < bound {
+		bound = d
+	}
+	if d := n.untilBoundary(cy, int64(n.cfg.TimeStepCycles)); d < bound {
+		bound = d
+	}
+	return bound
+}
+
+// untilBoundary returns the distance from cy to the next multiple of
+// interval strictly after cy.
+func (n *Network) untilBoundary(cy, interval int64) int64 {
+	return interval - cy%interval
+}
+
+// fastForward batch-applies k idle cycles' worth of per-cycle accounting
+// and advances the clock, firing the thermal/control boundary exactly as
+// the cycle-by-cycle loop would. idleSpan guarantees no other state can
+// change during the span.
+func (n *Network) fastForward(k int64) {
+	for _, r := range n.routers {
+		r.staticCycles += uint64(k)
+		if r.gated {
+			n.gatedCycles += uint64(k)
+		}
+		if r.waking > 0 {
+			r.waking -= int(k) // idleSpan bounds k <= waking-1
+			continue
+		}
+		if r.gated {
+			continue
+		}
+		if n.cfg.PowerGating && !n.cfg.Bypass {
+			if n.hasChannelTraffic(r, n.cycle) {
+				r.idle = 0
+			} else {
+				r.idle += int(k) // idleSpan keeps this below the gate threshold
+			}
+		}
+	}
+	n.cycle += k
 	if n.cycle%int64(n.cfg.ThermalIntervalCycles) == 0 {
 		n.thermalStep()
 	}
@@ -437,14 +673,14 @@ func (n *Network) deliverChannels(r *Router, cy int64) {
 		if ip == nil || ip.ch == nil {
 			continue
 		}
-		idx := ip.ch.peekReady(cy, n.cfg.DynamicChannelAlloc, func(f *Flit) bool {
-			return len(ip.vcs[f.VC].buf) < n.cfg.BufDepth
-		})
+		idx := ip.ch.peekReady(cy, n.cfg.DynamicChannelAlloc, ip.acceptBuf)
 		if idx < 0 {
 			continue
 		}
 		f := ip.ch.remove(idx)
 		ip.vcs[f.VC].buf = append(ip.vcs[f.VC].buf, f)
+		r.bufCount++
+		n.bufferedFlits++
 		ip.winFlitsIn++
 		n.meters[r.id].Record(power.EventCounts{BufWrites: 1})
 		n.emitFlit(cy, EvDeliver, r.id, f)
@@ -520,12 +756,19 @@ func (n *Network) arbitrateOutput(r *Router, op *outputPort, outP int, cy int64,
 		if outP != PortLocal && op.credits[ivc.outVC] <= 0 {
 			continue
 		}
-		// Grant: pop the flit and traverse.
-		ivc.buf = ivc.buf[1:]
+		// Grant: pop the flit and traverse. Shifting down (rather than
+		// re-slicing forward) keeps the buffer's capacity anchored so
+		// the append on delivery never reallocates in steady state.
+		last := len(ivc.buf) - 1
+		copy(ivc.buf, ivc.buf[1:])
+		ivc.buf[last] = nil
+		ivc.buf = ivc.buf[:last]
+		r.bufCount--
+		n.bufferedFlits--
 		inputUsed[inP] = true
 		op.saRR = (slot + 1) % total
 		if f.Type.IsHead() {
-			if pi := n.packets[f.PacketID]; pi != nil {
+			if pi := n.packets.get(f.PacketID); pi != nil {
 				pi.path = append(pi.path, uint16(r.id))
 			}
 		}
@@ -678,13 +921,11 @@ func (n *Network) tryBypassPort(r *Router, p int, cy int64) bool {
 		if ip == nil || ip.ch == nil {
 			return false
 		}
-		chIdx = ip.ch.peekReady(cy, true, func(cand *Flit) bool {
-			return n.bypassCanForward(r, p, cand)
-		})
+		chIdx = ip.ch.peekReady(cy, true, ip.acceptBypass)
 		if chIdx < 0 {
 			return false
 		}
-		f = ip.ch.queue[chIdx].flit
+		f = ip.ch.at(chIdx).flit
 	}
 
 	ivc := &r.in[p].vcs[f.VC]
@@ -704,7 +945,7 @@ func (n *Network) tryBypassPort(r *Router, p int, cy int64) bool {
 	}
 	route, outVC := ivc.route, ivc.outVC
 	if f.Type.IsHead() {
-		if pi := n.packets[f.PacketID]; pi != nil {
+		if pi := n.packets.get(f.PacketID); pi != nil {
 			pi.path = append(pi.path, uint16(r.id))
 		}
 	}
@@ -803,16 +1044,34 @@ func (n *Network) sendOnLink(r *Router, op *outputPort, f *Flit, cy int64, viaBy
 	op.ch.push(f, readyAt)
 }
 
-// sampleLinkErrors draws the error-bit count for one link traversal.
+// sampleLinkErrors draws the error-bit count for one link traversal. The
+// per-bit rate comes from the per-router cache refreshed at thermal-step
+// boundaries (temperatures cannot change in between), so the hot path is
+// one table lookup instead of two exponentials per attempt.
 func (n *Network) sampleLinkErrors(r *Router, relaxed bool) int {
+	re := n.linkRe[r.id]
+	if relaxed {
+		re = n.linkReRelaxed[r.id]
+	}
+	return n.injector.SampleAtRate(n.cfg.FlitBits, re)
+}
+
+// refreshLinkRates recomputes the cached per-router link error rates from
+// the current temperatures (or the forced injection rate). Called at
+// construction and after every thermal step — the only points where the
+// inputs to the transient-fault model change.
+func (n *Network) refreshLinkRates() {
 	if n.cfg.ForcedErrorRate > 0 {
 		re := n.cfg.ForcedErrorRate
-		if relaxed {
-			re *= n.injector.Model.RelaxFactor
+		relaxed := re * n.injector.Model.RelaxFactor
+		for i := range n.linkRe {
+			n.linkRe[i], n.linkReRelaxed[i] = re, relaxed
 		}
-		return n.injector.SampleAtRate(n.cfg.FlitBits, re)
+		return
 	}
-	return n.injector.SampleErrorBits(n.cfg.FlitBits, n.grid.Temp(r.id), 1.0, relaxed)
+	for i := range n.linkRe {
+		n.linkRe[i], n.linkReRelaxed[i] = n.injector.Model.BitErrorRates(n.grid.Temp(i), 1.0)
+	}
 }
 
 // resolveErrors applies the active scheme to an injected error count,
@@ -876,19 +1135,22 @@ func (n *Network) resolveWithCodec(f *Flit, scheme ecc.Scheme, errBits int) ecc.
 	return worst
 }
 
-// eject delivers a flit to the destination NIC.
+// eject delivers a flit to the destination NIC. The flit itself returns
+// to the free-list here — ejection is the only place flits die.
 func (n *Network) eject(r *Router, f *Flit, cy int64) {
 	n.flitsDelivered++
 	n.emitFlit(cy, EvEject, r.id, f)
 	n.meters[r.id].Record(power.EventCounts{CRCChecks: 1})
-	pi := n.packets[f.PacketID]
+	pi := n.packets.get(f.PacketID)
+	pid, corrupt, seq := f.PacketID, f.Corrupt, f.Seq
+	n.recycleFlit(f)
 	if pi == nil {
 		return
 	}
-	if f.Corrupt {
+	if corrupt {
 		pi.corrupt = true
 	}
-	if f.Seq != pi.flitsArrived {
+	if seq != pi.flitsArrived {
 		// Wormhole routing must deliver a packet's flits in order;
 		// any inversion is a flow-control bug.
 		n.orderViolations++
@@ -898,7 +1160,6 @@ func (n *Network) eject(r *Router, f *Flit, cy int64) {
 		return
 	}
 	// Whole packet arrived: end-to-end CRC verdict.
-	delete(n.packets, f.PacketID)
 	if pi.corrupt && pi.job.retries < n.cfg.MaxPacketRetries {
 		// Destination NACKs to the source, which retransmits the
 		// packet (paper Section 2's CRC re-transmission scheme).
@@ -914,14 +1175,21 @@ func (n *Network) eject(r *Router, f *Flit, cy int64) {
 		pi.job.notBefore = cy + nack
 		n.emit(Event{Cycle: cy, Kind: EvE2ERetransmit, Router: r.id, PacketID: pi.job.id})
 		n.e2eRetransmits += uint64(pi.job.flits)
-		n.packets[pi.job.id] = &packetInfo{job: pi.job}
+		// The packet id stays live in the table; reset the delivery
+		// progress for the retransmitted copy.
+		pi.flitsArrived = 0
+		pi.corrupt = false
+		pi.path = pi.path[:0]
 		// Retries go to the queue front and bypass the dependency
 		// window: the transaction is already outstanding and blocking
 		// it on itself would wedge a closed loop.
 		q := n.nics[pi.job.src]
-		q.queue = append([]*packetJob{pi.job}, q.queue...)
+		q.queue = append(q.queue, nil)
+		copy(q.queue[1:], q.queue)
+		q.queue[0] = pi.job
 		return
 	}
+	n.packets.delete(pid)
 	if pi.corrupt {
 		n.pktsFailed++
 	} else {
@@ -942,6 +1210,8 @@ func (n *Network) eject(r *Router, f *Flit, cy int64) {
 		n.routers[rid].winEjectLatency.Add(lat)
 	}
 	n.outstanding--
+	n.recycleJob(pi.job)
+	n.recycleInfo(pi)
 }
 
 // peekNICFlit exposes (without consuming) the next flit the NIC wants to
@@ -969,7 +1239,13 @@ func (n *Network) peekNICFlit(r *Router, q *nic, cy int64) (*Flit, bool) {
 			q.lastInject = cy
 		}
 		q.cur = q.queue[0]
-		q.queue = q.queue[1:]
+		// Pop by shifting down so the queue's capacity stays anchored:
+		// a re-slicing pop would strand the front and make every later
+		// append reallocate. NIC queues are a handful of entries deep.
+		last := len(q.queue) - 1
+		copy(q.queue, q.queue[1:])
+		q.queue[last] = nil
+		q.queue = q.queue[:last]
 		q.nextIdx = 0
 		q.curVC = -1
 	}
@@ -1018,16 +1294,74 @@ func (n *Network) makeFlit(job *packetJob, idx, vc int) *Flit {
 	default:
 		t = FlitBody
 	}
-	f := &Flit{
+	var f *Flit
+	var payload []byte
+	if k := len(n.flitPool); k > 0 {
+		f = n.flitPool[k-1]
+		n.flitPool[k-1] = nil
+		n.flitPool = n.flitPool[:k-1]
+		payload = f.Payload // reuse the backing array across lives
+	} else {
+		f = &Flit{}
+	}
+	*f = Flit{
 		ID: n.nextFlitID, PacketID: job.id, Type: t,
 		Src: job.src, Dst: job.dst, VC: vc, Seq: idx,
 	}
 	n.nextFlitID++
 	if n.cfg.VerifyPayloads {
-		f.Payload = make([]byte, 16)
+		if cap(payload) >= 16 {
+			f.Payload = payload[:16]
+		} else {
+			f.Payload = make([]byte, 16)
+		}
 		n.rng.Read(f.Payload)
 	}
 	return f
+}
+
+// recycleFlit returns an ejected flit to the free-list. Callers must not
+// touch the flit afterwards.
+func (n *Network) recycleFlit(f *Flit) {
+	n.flitPool = append(n.flitPool, f)
+}
+
+// newJob and newInfo pop pooled packet bookkeeping records; recycleJob
+// and recycleInfo return them when a packet completes. packetInfo keeps
+// its path slice capacity across lives, so steady-state traffic records
+// forwarding paths without allocating.
+func (n *Network) newJob() *packetJob {
+	if k := len(n.jobPool); k > 0 {
+		j := n.jobPool[k-1]
+		n.jobPool[k-1] = nil
+		n.jobPool = n.jobPool[:k-1]
+		return j
+	}
+	return &packetJob{}
+}
+
+func (n *Network) recycleJob(j *packetJob) {
+	*j = packetJob{}
+	n.jobPool = append(n.jobPool, j)
+}
+
+func (n *Network) newInfo(job *packetJob) *packetInfo {
+	if k := len(n.infoPool); k > 0 {
+		pi := n.infoPool[k-1]
+		n.infoPool[k-1] = nil
+		n.infoPool = n.infoPool[:k-1]
+		pi.job = job
+		return pi
+	}
+	return &packetInfo{job: job}
+}
+
+func (n *Network) recycleInfo(pi *packetInfo) {
+	pi.job = nil
+	pi.flitsArrived = 0
+	pi.corrupt = false
+	pi.path = pi.path[:0]
+	n.infoPool = append(n.infoPool, pi)
 }
 
 // injectStep streams the NIC's current packet into the local input port,
@@ -1043,6 +1377,8 @@ func (n *Network) injectStep(r *Router, q *nic, cy int64) {
 	}
 	n.consumeNICFlit(r, q)
 	ivc.buf = append(ivc.buf, f)
+	r.bufCount++
+	n.bufferedFlits++
 	r.in[PortLocal].winFlitsIn++
 	n.meters[r.id].Record(power.EventCounts{BufWrites: 1})
 	n.emitFlit(cy, EvInject, r.id, f)
@@ -1053,7 +1389,7 @@ func (n *Network) injectStep(r *Router, q *nic, cy int64) {
 // elapsed interval.
 func (n *Network) thermalStep() {
 	dt := float64(n.cfg.ThermalIntervalCycles) / power.ClockHz
-	powers := make([]float64, len(n.routers))
+	powers := n.powersBuf
 	for i, m := range n.meters {
 		n.flushStatic(n.routers[i])
 		powers[i] = (m.TotalJoules() - n.lastTJ[i]) / dt
@@ -1071,6 +1407,8 @@ func (n *Network) thermalStep() {
 		n.tempSum += temp
 		n.tempSamples++
 	}
+	// Temperatures moved: refresh the cached per-router bit-error rates.
+	n.refreshLinkRates()
 }
 
 // controlStep closes one RL time step: builds each router's observation,
@@ -1150,6 +1488,24 @@ func (n *Network) applyMode(r *Router, mode Mode) {
 func (n *Network) CheckInvariants() error {
 	if n.orderViolations > 0 {
 		return fmt.Errorf("noc: %d out-of-order flit deliveries", n.orderViolations)
+	}
+	// The O(1) buffered-flit counters must mirror the buffers exactly at
+	// all times — the pipeline-skip and fast-forward paths rely on them.
+	total := 0
+	for id, r := range n.routers {
+		cnt := 0
+		for p := 0; p < NumPorts; p++ {
+			if ip := r.in[p]; ip != nil {
+				cnt += ip.occupancy()
+			}
+		}
+		if cnt != r.bufCount {
+			return fmt.Errorf("noc: router %d bufCount = %d, buffers hold %d", id, r.bufCount, cnt)
+		}
+		total += cnt
+	}
+	if total != n.bufferedFlits {
+		return fmt.Errorf("noc: bufferedFlits = %d, buffers hold %d", n.bufferedFlits, total)
 	}
 	if !n.Drained() {
 		return nil // the remaining checks only hold at quiescence
@@ -1257,7 +1613,7 @@ func (r Result) RetransmittedFlits() uint64 { return r.HopRetransmits + r.E2ERet
 func (n *Network) RunUntilDrained(maxCycles int64) (Result, error) {
 	const stallLimit = 100_000
 	for !n.Drained() && n.cycle < maxCycles {
-		n.Step()
+		n.step(maxCycles)
 		if n.cycle-n.lastProgress > stallLimit {
 			res := n.Snapshot()
 			res.Deadlocked = true

@@ -31,6 +31,13 @@ type inputPort struct {
 	upPort   int      // the upstream router's output port index
 	vcs      []inputVC
 
+	// acceptBuf and acceptBypass are the channel-delivery predicates for
+	// the active pipeline and the bypass switch. They are built once at
+	// wiring time so the per-cycle peekReady calls don't allocate a
+	// closure each (the delivery scan is on the hot path).
+	acceptBuf    func(*Flit) bool
+	acceptBypass func(*Flit) bool
+
 	// Window counters for the RL state vector.
 	winFlitsIn   uint64
 	winOccupancy uint64 // summed buffer occupancy per cycle
@@ -107,6 +114,11 @@ type Router struct {
 	bypassLock int // input port, or -1
 	bypassRR   int
 
+	// bufCount is the total number of flits across all input-port VC
+	// buffers. It lets the per-cycle pipeline skip the port/VC scans of
+	// quiescent routers entirely.
+	bufCount int
+
 	// Static-power accounting: cycles accumulated in the current
 	// (scheme, gated) state, flushed to the meter on transitions.
 	staticCycles uint64
@@ -124,20 +136,9 @@ type Router struct {
 func (r *Router) active() bool { return !r.gated && r.waking == 0 }
 
 // empty reports whether all input buffers are drained (the precondition
-// for gating: Section 3.3 gates only idle routers).
-func (r *Router) empty() bool {
-	for p := 0; p < NumPorts; p++ {
-		if r.in[p] == nil {
-			continue
-		}
-		for v := range r.in[p].vcs {
-			if len(r.in[p].vcs[v].buf) > 0 {
-				return false
-			}
-		}
-	}
-	return true
-}
+// for gating: Section 3.3 gates only idle routers). bufCount mirrors the
+// per-VC buffer contents exactly, so this is O(1).
+func (r *Router) empty() bool { return r.bufCount == 0 }
 
 // scheme returns the ECC scheme active on this router's output links.
 func (r *Router) scheme() ecc.Scheme {

@@ -179,10 +179,13 @@ func (c *EventCounts) Add(o EventCounts) {
 // DynamicEnergy converts event counts to joules for a router whose per-VC
 // buffer depth is slotsPerVC.
 func (p Params) DynamicEnergy(c EventCounts, slotsPerVC int) float64 {
-	return p.dynamicEnergy(c, slotsPerVC, false)
+	return p.dynamicEnergy(&c, slotsPerVC, false)
 }
 
-func (p Params) dynamicEnergy(c EventCounts, slotsPerVC int, elastic bool) float64 {
+// dynamicEnergy takes its arguments by pointer: it runs several times per
+// simulated cycle per router, and copying the 27-field Params (plus the
+// counts) per call showed up as runtime.duffcopy in profiles.
+func (p *Params) dynamicEnergy(c *EventCounts, slotsPerVC int, elastic bool) float64 {
 	stage := p.EChanStage
 	if elastic {
 		stage *= 2.5 // master-slave flip-flops vs tri-state repeaters
@@ -208,11 +211,26 @@ type Meter struct {
 	StaticJoules  float64
 	DynamicJoules float64
 	Events        EventCounts
+
+	// Per-event energies fixed by the router structure, precomputed so
+	// Record doesn't re-derive them on every call. The values are the
+	// exact same float64s the formulas produce, so results are
+	// bit-identical to recomputing inline.
+	eBufWrite  float64
+	eBufRead   float64
+	eChanStage float64
 }
 
 // NewMeter returns a meter for a router with the given structure.
 func NewMeter(params Params, cfg RouterConfig) *Meter {
-	return &Meter{params: params, cfg: cfg}
+	m := &Meter{params: params, cfg: cfg}
+	m.eBufWrite = params.BufWriteEnergy(cfg.SlotsPerVC)
+	m.eBufRead = params.BufReadEnergy(cfg.SlotsPerVC)
+	m.eChanStage = params.EChanStage
+	if cfg.ElasticChannel {
+		m.eChanStage *= 2.5
+	}
+	return m
 }
 
 // TickStatic integrates `cycles` clock cycles of leakage in the given
@@ -225,7 +243,19 @@ func (m *Meter) TickStatic(cycles uint64, scheme ecc.Scheme, gated bool) {
 // Record adds dynamic events.
 func (m *Meter) Record(c EventCounts) {
 	m.Events.Add(c)
-	m.DynamicJoules += m.params.dynamicEnergy(c, m.cfg.SlotsPerVC, m.cfg.ElasticChannel)
+	p := &m.params
+	m.DynamicJoules += float64(c.BufWrites)*m.eBufWrite +
+		float64(c.BufReads)*m.eBufRead +
+		float64(c.XbarTraverses)*p.EXbar +
+		float64(c.LinkHops)*p.ELinkHop +
+		float64(c.ChanStages)*m.eChanStage +
+		float64(c.CRCChecks)*p.ECRCCheck +
+		float64(c.SECDEDEncodes)*p.ESECDEDEnc +
+		float64(c.SECDEDDecodes)*p.ESECDEDDec +
+		float64(c.DECTEDEncodes)*p.EDECTEDEnc +
+		float64(c.DECTEDDecodes)*p.EDECTEDDec +
+		float64(c.RLSteps)*p.ERLStep +
+		float64(c.Wakeups)*p.EWakeup
 }
 
 // TotalJoules returns static + dynamic energy so far.

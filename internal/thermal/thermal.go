@@ -42,14 +42,16 @@ func DefaultParams() Params {
 // Grid is the thermal state of a W×H tile array. Tiles are indexed
 // row-major: tile (x, y) is index y*W+x, matching the NoC's node ids.
 type Grid struct {
-	w, h   int
-	params Params
-	temp   []float64
+	w, h    int
+	params  Params
+	temp    []float64
+	scratch []float64 // Euler double-buffer, reused across Step calls
 }
 
 // NewGrid returns a grid with every tile at ambient temperature.
 func NewGrid(w, h int, p Params) *Grid {
-	g := &Grid{w: w, h: h, params: p, temp: make([]float64, w*h)}
+	g := &Grid{w: w, h: h, params: p,
+		temp: make([]float64, w*h), scratch: make([]float64, w*h)}
 	for i := range g.temp {
 		g.temp[i] = p.AmbientC
 	}
@@ -117,7 +119,7 @@ func (g *Grid) Step(power []float64, dt float64) {
 		return
 	}
 	h := dt / float64(steps)
-	next := make([]float64, len(g.temp))
+	next := g.scratch
 	for s := 0; s < steps; s++ {
 		for i := range g.temp {
 			flux := power[i] + gVert*(p.AmbientC-g.temp[i])
@@ -138,6 +140,7 @@ func (g *Grid) Step(power []float64, dt float64) {
 		}
 		g.temp, next = next, g.temp
 	}
+	g.scratch = next
 }
 
 // settle iterates the network to its steady state under the given power

@@ -125,7 +125,10 @@ func (p *Parsec) Next() (Packet, bool) {
 	for {
 		if len(p.queue) > 0 {
 			pkt := p.queue[0]
-			p.queue = p.queue[1:]
+			// Shift-down pop: keeps the slice capacity anchored so the
+			// per-cycle refills below reuse it instead of reallocating.
+			copy(p.queue, p.queue[1:])
+			p.queue = p.queue[:len(p.queue)-1]
 			return pkt, true
 		}
 		if p.emitted >= p.budget {

@@ -112,7 +112,10 @@ func (s *Synthetic) Next() (Packet, bool) {
 	for {
 		if len(s.queue) > 0 {
 			p := s.queue[0]
-			s.queue = s.queue[1:]
+			// Shift-down pop: keeps the slice capacity anchored so the
+			// per-cycle refills below reuse it instead of reallocating.
+			copy(s.queue, s.queue[1:])
+			s.queue = s.queue[:len(s.queue)-1]
 			return p, true
 		}
 		if s.emitted >= s.cfg.Packets {
