@@ -1,0 +1,123 @@
+package main
+
+import (
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestParseArgsDefaults(t *testing.T) {
+	o, err := parseArgs(nil, io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o.packets != 60000 || o.quick || o.seed != 1 || o.workers <= 0 || !o.progress {
+		t.Fatalf("unexpected defaults: %+v", o)
+	}
+}
+
+func TestParseArgsQuickAndOnly(t *testing.T) {
+	o, err := parseArgs([]string{"-quick", "-only", " fig13 , table2 ", "-workers", "3"}, io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !o.quick || o.workers != 3 {
+		t.Fatalf("parsed: %+v", o)
+	}
+	ids := onlyIDs(o.only)
+	if len(ids) != 2 || ids[0] != "fig13" || ids[1] != "table2" {
+		t.Fatalf("onlyIDs = %v", ids)
+	}
+}
+
+func TestParseArgsRejectsBadInput(t *testing.T) {
+	if _, err := parseArgs([]string{"-nope"}, io.Discard); err == nil {
+		t.Fatal("unknown flag must error")
+	}
+	if _, err := parseArgs([]string{"positional"}, io.Discard); err == nil {
+		t.Fatal("positional args must error")
+	}
+	if _, err := parseArgs([]string{"-resume"}, io.Discard); err == nil {
+		t.Fatal("-resume without -results must error")
+	}
+}
+
+func TestRunRejectsUnknownExperimentName(t *testing.T) {
+	o, err := parseArgs([]string{"-only", "fig99", "-progress=false"}, io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = run(o, io.Discard, io.Discard)
+	if err == nil || !strings.Contains(err.Error(), "fig99") {
+		t.Fatalf("want unknown-experiment error naming fig99, got %v", err)
+	}
+}
+
+func TestRunTable2Only(t *testing.T) {
+	dir := t.TempDir()
+	md := filepath.Join(dir, "report.md")
+	o, err := parseArgs([]string{"-only", "table2", "-md", md, "-progress=false"}, io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out strings.Builder
+	if err := run(o, &out, io.Discard); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "table2") {
+		t.Fatalf("stdout missing table2:\n%s", out.String())
+	}
+	data, err := os.ReadFile(md)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"# IntelliNoC — Reproduced Evaluation", "table2", "## Known divergences"} {
+		if !strings.Contains(string(data), want) {
+			t.Fatalf("report missing %q", want)
+		}
+	}
+}
+
+// TestRunStreamsAndResumes drives the full binary path on a tiny budget:
+// stream to JSONL, then rerun with -resume and require a byte-identical
+// report with zero jobs re-run.
+func TestRunStreamsAndResumes(t *testing.T) {
+	dir := t.TempDir()
+	jsonl := filepath.Join(dir, "results.jsonl")
+	md1 := filepath.Join(dir, "report1.md")
+	md2 := filepath.Join(dir, "report2.md")
+
+	base := []string{"-only", "fig18a", "-packets", "600", "-seed", "7", "-progress=false", "-results", jsonl}
+	o1, err := parseArgs(append(base, "-md", md1), io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := run(o1, io.Discard, io.Discard); err != nil {
+		t.Fatal(err)
+	}
+
+	o2, err := parseArgs(append(base, "-md", md2, "-resume"), io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out strings.Builder
+	if err := run(o2, &out, io.Discard); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "0 run") {
+		t.Fatalf("resume should have reused everything:\n%s", out.String())
+	}
+	r1, err := os.ReadFile(md1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := os.ReadFile(md2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(r1) != string(r2) {
+		t.Fatal("resumed report is not byte-identical")
+	}
+}

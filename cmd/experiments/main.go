@@ -2,22 +2,25 @@
 // evaluation section (Figs. 9-18 and Table 2) and optionally writes the
 // results into EXPERIMENTS.md.
 //
-//	experiments                      # full suite, default budgets
-//	experiments -quick               # reduced budgets for a fast pass
-//	experiments -only fig13,table2   # selected experiments
-//	experiments -md EXPERIMENTS.md   # also write the markdown report
+// The suite is decomposed into independent, deterministically-seeded
+// simulation jobs executed on the internal/harness worker pool. The
+// markdown report is byte-identical for any -workers value, and a run
+// killed mid-sweep resumes from its -results JSONL to a byte-identical
+// report (cmd/regress gates this in CI).
+//
+//	experiments                         # full suite, default budgets
+//	experiments -quick                  # reduced budgets for a fast pass
+//	experiments -only fig13,table2      # selected experiments
+//	experiments -md EXPERIMENTS.md      # also write the markdown report
+//	experiments -results run.jsonl      # stream every finished job
+//	experiments -results run.jsonl -resume   # skip already-recorded jobs
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"os"
-	"runtime"
-	"strings"
-	"time"
-
-	"intellinoc/internal/core"
-	"intellinoc/internal/experiments"
 )
 
 // divergences records where this reproduction's shapes knowingly differ
@@ -62,125 +65,16 @@ Knowing differences:
 `
 
 func main() {
-	var (
-		packets = flag.Int("packets", 60000, "packets per run")
-		quick   = flag.Bool("quick", false, "reduced budgets (fewer packets, fewer sweep benchmarks)")
-		only    = flag.String("only", "", "comma-separated experiment ids (fig9..fig18b, table2)")
-		workers = flag.Int("workers", runtime.GOMAXPROCS(0), "parallel simulations")
-		mdPath  = flag.String("md", "", "write a markdown report to this path")
-		seed    = flag.Int64("seed", 1, "PRNG seed")
-	)
-	flag.Parse()
-
-	sim := core.SimConfig{Seed: *seed}
-	nPackets := *packets
-	sweepBenches := []string{"bodytrack", "canneal", "ferret", "swaptions"}
-	if *quick {
-		nPackets = 15000
-		sweepBenches = []string{"ferret", "swaptions"}
-	}
-
-	want := map[string]bool{}
-	if *only != "" {
-		for _, id := range strings.Split(*only, ",") {
-			want[strings.TrimSpace(id)] = true
+	o, err := parseArgs(os.Args[1:], os.Stderr)
+	if err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return
 		}
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(2)
 	}
-	selected := func(ids ...string) bool {
-		if len(want) == 0 {
-			return true
-		}
-		for _, id := range ids {
-			if want[id] {
-				return true
-			}
-		}
-		return false
-	}
-
-	var figs []experiments.Figure
-	add := func(fig experiments.Figure, err error) {
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "experiments: %s: %v\n", fig.ID, err)
-			os.Exit(1)
-		}
-		figs = append(figs, fig)
-		fmt.Println(fig.Format())
-	}
-
-	start := time.Now()
-	comparisonIDs := []string{"fig9", "fig10", "fig11", "fig12", "fig13", "fig14", "fig15", "fig16"}
-	if selected(comparisonIDs...) {
-		fmt.Printf("running 10-benchmark x 5-technique comparison (%d packets/run, %d workers)...\n",
-			nPackets, *workers)
-		cmp, err := experiments.RunComparison(sim, nPackets, *workers)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "experiments: comparison:", err)
-			os.Exit(1)
-		}
-		for _, fig := range cmp.AllComparisonFigures() {
-			if selected(fig.ID) {
-				figs = append(figs, fig)
-				fmt.Println(fig.Format())
-			}
-		}
-		fmt.Printf("IntelliNoC max Q-table: %d entries (paper budget: 350)\n\n", cmp.Policy.MaxTableSize())
-	}
-	if selected("fig17a") {
-		fig, err := experiments.Fig17aTimeStep(sim, nPackets/2, sweepBenches)
-		add(fig, err)
-	}
-	if selected("fig17b") {
-		fig, err := experiments.Fig17bErrorRate(sim, nPackets/2, sweepBenches)
-		add(fig, err)
-	}
-	if selected("fig18a") {
-		fig, err := experiments.Fig18aGamma(sim, nPackets/2)
-		add(fig, err)
-	}
-	if selected("fig18b") {
-		fig, err := experiments.Fig18bEpsilon(sim, nPackets/2)
-		add(fig, err)
-	}
-	if selected("table2") {
-		figs = append(figs, experiments.Table2Area())
-		fmt.Println(experiments.Table2Area().Format())
-	}
-	// Extensions beyond the paper's figures.
-	if selected("ablation") && !*quick {
-		fig, err := experiments.AblationStudy(sim, nPackets/3, sweepBenches[:2])
-		add(fig, err)
-	}
-	if selected("loadsweep") && !*quick {
-		fig, err := experiments.LoadLatencySweep(sim, nPackets/4, nil)
-		add(fig, err)
-	}
-	if selected("ext-ctrlfaults") && !*quick {
-		fig, err := experiments.ControlFaultSweep(sim, nPackets/3, "ferret")
-		add(fig, err)
-	}
-	if selected("ext-sarsa") && !*quick {
-		fig, err := experiments.QLearningVsSARSA(sim, nPackets/3, sweepBenches[:2])
-		add(fig, err)
-	}
-	fmt.Printf("total wall time: %v\n", time.Since(start).Round(time.Second))
-
-	if *mdPath != "" {
-		var b strings.Builder
-		b.WriteString("# IntelliNoC — Reproduced Evaluation\n\n")
-		fmt.Fprintf(&b, "Generated by `cmd/experiments` (packets/run: %d, seed: %d, quick: %v).\n",
-			nPackets, *seed, *quick)
-		b.WriteString("Each table reports this reproduction's measurements; the *Paper* line ")
-		b.WriteString("below each table records what the original reports, for shape comparison.\n\n")
-		for _, fig := range figs {
-			b.WriteString(fig.Markdown())
-			b.WriteString("\n")
-		}
-		b.WriteString(divergences)
-		if err := os.WriteFile(*mdPath, []byte(b.String()), 0o644); err != nil {
-			fmt.Fprintln(os.Stderr, "experiments: writing report:", err)
-			os.Exit(1)
-		}
-		fmt.Println("wrote", *mdPath)
+	if err := run(o, os.Stdout, os.Stderr); err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
 	}
 }

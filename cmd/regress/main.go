@@ -1,0 +1,174 @@
+// Command regress compares an experiment results JSONL (written by
+// `experiments -results`) against a checked-in golden digest file and
+// exits non-zero on drift. It is the CI gate behind PR 1's "seeded
+// results are bit-identical" guarantee: any change to the simulator
+// that shifts a single metric of a single seeded run changes that run's
+// payload hash and fails the gate.
+//
+//	regress -results run.jsonl -golden testdata/golden/quick.digests
+//	regress -results run.jsonl -golden ... -update   # rewrite the golden
+//
+// Golden file format: one "<job digest> <payload sha256> <name>" line
+// per job, sorted by digest; '#' lines are comments. The job digest
+// identifies the configuration (spec content hash), the payload hash
+// the result bytes — so the gate distinguishes "experiment disappeared"
+// from "experiment drifted".
+package main
+
+import (
+	"bufio"
+	"crypto/sha256"
+	"encoding/hex"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strings"
+
+	"intellinoc/internal/harness"
+)
+
+func main() {
+	var (
+		resultsPath = flag.String("results", "", "results JSONL to check (required)")
+		goldenPath  = flag.String("golden", "", "golden digest file (required)")
+		update      = flag.Bool("update", false, "rewrite the golden file from -results instead of checking")
+		strict      = flag.Bool("strict", false, "also fail on results not present in the golden file")
+	)
+	flag.Parse()
+	if *resultsPath == "" || *goldenPath == "" {
+		fmt.Fprintln(os.Stderr, "regress: -results and -golden are required")
+		flag.Usage()
+		os.Exit(2)
+	}
+	code, err := regress(*resultsPath, *goldenPath, *update, *strict, os.Stdout)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "regress:", err)
+		os.Exit(2)
+	}
+	os.Exit(code)
+}
+
+// regress performs the check (or update) and returns the process exit
+// code: 0 clean, 1 drift.
+func regress(resultsPath, goldenPath string, update, strict bool, out io.Writer) (int, error) {
+	recs, skipped, err := harness.LoadRecords(resultsPath)
+	if err != nil {
+		return 0, err
+	}
+	if len(recs) == 0 {
+		return 0, fmt.Errorf("no records in %s", resultsPath)
+	}
+	if skipped > 0 {
+		fmt.Fprintf(out, "note: %d unparsable line(s) in %s skipped\n", skipped, resultsPath)
+	}
+
+	if update {
+		if err := writeGolden(goldenPath, recs); err != nil {
+			return 0, err
+		}
+		fmt.Fprintf(out, "wrote %s (%d entries)\n", goldenPath, len(recs))
+		return 0, nil
+	}
+
+	golden, err := readGolden(goldenPath)
+	if err != nil {
+		return 0, err
+	}
+	var missing, drifted, extra int
+	for _, g := range golden {
+		rec, ok := recs[g.digest]
+		if !ok {
+			missing++
+			fmt.Fprintf(out, "MISSING %s %s\n", g.digest, g.name)
+			continue
+		}
+		if h := payloadHash(rec); h != g.hash {
+			drifted++
+			fmt.Fprintf(out, "DRIFT   %s %s (payload %s, golden %s)\n", g.digest, g.name, h[:12], g.hash[:12])
+		}
+	}
+	if strict {
+		known := make(map[string]bool, len(golden))
+		for _, g := range golden {
+			known[g.digest] = true
+		}
+		for d, rec := range recs {
+			if !known[d] {
+				extra++
+				fmt.Fprintf(out, "EXTRA   %s %s\n", d, rec.Name)
+			}
+		}
+	}
+	fmt.Fprintf(out, "regress: %d golden entries, %d results: %d missing, %d drifted, %d extra\n",
+		len(golden), len(recs), missing, drifted, extra)
+	if missing > 0 || drifted > 0 || (strict && extra > 0) {
+		return 1, nil
+	}
+	fmt.Fprintln(out, "regress: OK")
+	return 0, nil
+}
+
+type goldenEntry struct {
+	digest, hash, name string
+}
+
+// payloadHash hashes a record's result bytes. The harness writes
+// payloads via a single json.Marshal of the same Go types on every
+// platform, so equal results always produce equal bytes.
+func payloadHash(rec harness.Record) string {
+	h := sha256.Sum256(rec.Payload)
+	return hex.EncodeToString(h[:])
+}
+
+func writeGolden(path string, recs map[string]harness.Record) error {
+	digests := make([]string, 0, len(recs))
+	for d := range recs {
+		digests = append(digests, d)
+	}
+	sort.Strings(digests)
+	var b strings.Builder
+	b.WriteString("# Golden result digests for the seeded experiment suite.\n")
+	b.WriteString("# Regenerate: experiments -quick -workers 1 -results r.jsonl && regress -results r.jsonl -golden <this file> -update\n")
+	b.WriteString("# Format: <job digest> <payload sha256> <job name>\n")
+	for _, d := range digests {
+		rec := recs[d]
+		fmt.Fprintf(&b, "%s %s %s\n", d, payloadHash(rec), rec.Name)
+	}
+	return os.WriteFile(path, []byte(b.String()), 0o644)
+}
+
+func readGolden(path string) ([]goldenEntry, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	var out []goldenEntry
+	sc := bufio.NewScanner(f)
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || strings.HasPrefix(text, "#") {
+			continue
+		}
+		fields := strings.Fields(text)
+		if len(fields) < 2 {
+			return nil, fmt.Errorf("%s:%d: malformed golden line %q", path, line, text)
+		}
+		e := goldenEntry{digest: fields[0], hash: fields[1]}
+		if len(fields) > 2 {
+			e.name = strings.Join(fields[2:], " ")
+		}
+		out = append(out, e)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("%s: golden file has no entries", path)
+	}
+	return out, nil
+}

@@ -1,0 +1,130 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// writeJSONL writes a results stream with the given records.
+func writeJSONL(t *testing.T, path string, lines ...string) {
+	t.Helper()
+	if err := os.WriteFile(path, []byte(strings.Join(lines, "\n")+"\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+const (
+	recA  = `{"digest":"aaaa","kind":"run","name":"fig9/secded","seed":1,"payload":{"latency":12.5}}`
+	recB  = `{"digest":"bbbb","kind":"run","name":"fig9/intellinoc","seed":1,"payload":{"latency":9.25}}`
+	recB2 = `{"digest":"bbbb","kind":"run","name":"fig9/intellinoc","seed":1,"payload":{"latency":9.75}}`
+	recC  = `{"digest":"cccc","kind":"run","name":"fig13/extra","seed":1,"payload":{"latency":1}}`
+)
+
+func TestRegressUpdateThenClean(t *testing.T) {
+	dir := t.TempDir()
+	results := filepath.Join(dir, "r.jsonl")
+	golden := filepath.Join(dir, "golden.digests")
+	writeJSONL(t, results, recA, recB)
+
+	var out strings.Builder
+	code, err := regress(results, golden, true, false, &out)
+	if err != nil || code != 0 {
+		t.Fatalf("update: code=%d err=%v", code, err)
+	}
+	g, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(g), "aaaa ") || !strings.Contains(string(g), "fig9/intellinoc") {
+		t.Fatalf("golden content:\n%s", g)
+	}
+
+	out.Reset()
+	code, err = regress(results, golden, false, true, &out)
+	if err != nil || code != 0 {
+		t.Fatalf("clean check: code=%d err=%v\n%s", code, err, out.String())
+	}
+	if !strings.Contains(out.String(), "regress: OK") {
+		t.Fatalf("missing OK:\n%s", out.String())
+	}
+}
+
+func TestRegressDetectsDrift(t *testing.T) {
+	dir := t.TempDir()
+	results := filepath.Join(dir, "r.jsonl")
+	golden := filepath.Join(dir, "golden.digests")
+	writeJSONL(t, results, recA, recB)
+	if code, err := regress(results, golden, true, false, &strings.Builder{}); err != nil || code != 0 {
+		t.Fatalf("update: code=%d err=%v", code, err)
+	}
+
+	// Same digest, different payload: metric drift.
+	writeJSONL(t, results, recA, recB2)
+	var out strings.Builder
+	code, err := regress(results, golden, false, false, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if code != 1 || !strings.Contains(out.String(), "DRIFT") || !strings.Contains(out.String(), "fig9/intellinoc") {
+		t.Fatalf("code=%d out:\n%s", code, out.String())
+	}
+}
+
+func TestRegressDetectsMissingAndExtra(t *testing.T) {
+	dir := t.TempDir()
+	results := filepath.Join(dir, "r.jsonl")
+	golden := filepath.Join(dir, "golden.digests")
+	writeJSONL(t, results, recA, recB)
+	if code, err := regress(results, golden, true, false, &strings.Builder{}); err != nil || code != 0 {
+		t.Fatalf("update: code=%d err=%v", code, err)
+	}
+
+	// recB gone, recC new.
+	writeJSONL(t, results, recA, recC)
+	var out strings.Builder
+	code, err := regress(results, golden, false, false, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if code != 1 || !strings.Contains(out.String(), "MISSING") {
+		t.Fatalf("missing digest not flagged: code=%d\n%s", code, out.String())
+	}
+	// Non-strict ignores extras; strict flags them.
+	if strings.Contains(out.String(), "EXTRA") {
+		t.Fatalf("non-strict mode reported EXTRA:\n%s", out.String())
+	}
+	out.Reset()
+	code, err = regress(results, golden, false, true, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if code != 1 || !strings.Contains(out.String(), "EXTRA") || !strings.Contains(out.String(), "fig13/extra") {
+		t.Fatalf("strict mode missed extra record: code=%d\n%s", code, out.String())
+	}
+}
+
+func TestRegressRejectsEmptyAndMalformed(t *testing.T) {
+	dir := t.TempDir()
+	results := filepath.Join(dir, "r.jsonl")
+	golden := filepath.Join(dir, "golden.digests")
+
+	if _, err := regress(filepath.Join(dir, "absent.jsonl"), golden, false, false, &strings.Builder{}); err == nil {
+		t.Fatal("empty results must error")
+	}
+
+	writeJSONL(t, results, recA)
+	if err := os.WriteFile(golden, []byte("# only comments\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := regress(results, golden, false, false, &strings.Builder{}); err == nil {
+		t.Fatal("golden with no entries must error")
+	}
+	if err := os.WriteFile(golden, []byte("just-one-field\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := regress(results, golden, false, false, &strings.Builder{}); err == nil {
+		t.Fatal("malformed golden line must error")
+	}
+}

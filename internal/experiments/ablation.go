@@ -1,42 +1,58 @@
 package experiments
 
 import (
+	"fmt"
+
 	"intellinoc/internal/core"
 )
 
-// AblationStudy quantifies each IntelliNoC technique's contribution by
-// removing one at a time (an extension beyond the paper's figures,
-// indexed in DESIGN.md). Metrics are normalized to the SECDED baseline on
-// the same workloads, so the "full" row reproduces the headline deltas
-// and each ablated row shows what is lost without that technique.
-func AblationStudy(sim core.SimConfig, packets int, benchmarks []string) (Figure, error) {
+// ablationRunSpecs builds the baseline and the per-variant specs for one
+// benchmark; the policy (two pre-training epochs, as the comparison
+// matrix uses) is shared across variants.
+func ablationRunSpecs(sim core.SimConfig, packets int, bench string) (base RunSpec, variants []RunSpec) {
+	pol := PolicySpec{Sim: sim, Epochs: 2, PacketsPerEpoch: packets}
+	base = RunSpec{Tech: core.TechSECDED, Sim: sim, Workload: parsecWorkload(bench), Packets: packets}
+	for _, ab := range core.Ablations() {
+		variants = append(variants, RunSpec{
+			Tech: core.TechIntelliNoC, Sim: sim, Workload: parsecWorkload(bench),
+			Packets: packets, Policy: &pol, UseAblation: true, Ablation: ab,
+		})
+	}
+	return base, variants
+}
+
+func ablationSpecs(sim core.SimConfig, packets int, benchmarks []string) []LabeledSpec {
+	var specs []LabeledSpec
+	for _, b := range benchmarks {
+		base, variants := ablationRunSpecs(sim, packets, b)
+		specs = append(specs, LabeledSpec{Name: "ablation/base/" + b, Spec: base})
+		for i, v := range variants {
+			specs = append(specs, LabeledSpec{
+				Name: fmt.Sprintf("ablation/%s/%s", core.Ablations()[i], b), Spec: v,
+			})
+		}
+	}
+	return specs
+}
+
+func assembleAblation(sim core.SimConfig, packets int, benchmarks []string, look Lookup) (Figure, error) {
 	fig := Figure{
 		ID: "ablation", Title: "IntelliNoC ablation study (vs SECDED baseline)",
 		Columns:    []string{"latency", "static power", "dynamic power", "energy eff", "MTTF"},
 		PaperShape: "not in paper; quantifies each technique's share of the gains",
 	}
-	policy, err := core.Pretrain(sim, 2, packets)
-	if err != nil {
-		return Figure{}, err
-	}
 	type agg struct{ lat, ps, pd, ee, mttf float64 }
-	var rows []agg
 	abls := core.Ablations()
-	for range abls {
-		rows = append(rows, agg{})
-	}
+	rows := make([]agg, len(abls))
 	for _, b := range benchmarks {
-		base, err := runOne(core.TechSECDED, sim, b, packets, nil)
+		baseSpec, variants := ablationRunSpecs(sim, packets, b)
+		base, err := look(baseSpec)
 		if err != nil {
 			return Figure{}, err
 		}
 		baseSec := execSeconds(base)
-		for i, ab := range abls {
-			gen, err := core.ParsecWorkload(b, sim, packets)
-			if err != nil {
-				return Figure{}, err
-			}
-			res, err := core.RunAblation(ab, sim, gen, policy)
+		for i, v := range variants {
+			res, err := look(v)
 			if err != nil {
 				return Figure{}, err
 			}
@@ -57,4 +73,17 @@ func AblationStudy(sim core.SimConfig, packets int, benchmarks []string) (Figure
 		})
 	}
 	return fig, nil
+}
+
+// AblationStudy quantifies each IntelliNoC technique's contribution by
+// removing one at a time (an extension beyond the paper's figures,
+// indexed in DESIGN.md). Metrics are normalized to the SECDED baseline on
+// the same workloads, so the "full" row reproduces the headline deltas
+// and each ablated row shows what is lost without that technique.
+func AblationStudy(sim core.SimConfig, packets int, benchmarks []string) (Figure, error) {
+	look, err := runSpecs(ablationSpecs(sim, packets, benchmarks), NewPolicyStore(), 0)
+	if err != nil {
+		return Figure{}, err
+	}
+	return assembleAblation(sim, packets, benchmarks, look)
 }

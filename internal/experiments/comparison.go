@@ -1,10 +1,6 @@
 package experiments
 
 import (
-	"fmt"
-	"runtime"
-	"sync"
-
 	"intellinoc/internal/core"
 	"intellinoc/internal/noc"
 	"intellinoc/internal/power"
@@ -21,6 +17,70 @@ type Comparison struct {
 	Policy     *core.Policy
 }
 
+// comparisonPolicySpec is the matrix's shared pre-training pass: the
+// paper pre-trains the IntelliNoC policy on blackscholes for two epochs
+// before evaluating the other benchmarks (Section 6.3).
+func comparisonPolicySpec(sim core.SimConfig, packets int) PolicySpec {
+	return PolicySpec{Sim: sim, Epochs: 2, PacketsPerEpoch: packets}
+}
+
+// comparisonRunSpec builds the spec for one matrix cell.
+func comparisonRunSpec(sim core.SimConfig, packets int, bench string, tech core.Technique, pol *PolicySpec) RunSpec {
+	s := RunSpec{Tech: tech, Sim: sim, Workload: parsecWorkload(bench), Packets: packets}
+	if tech == core.TechIntelliNoC {
+		s.Policy = pol
+	}
+	return s
+}
+
+// comparisonSpecs decomposes the matrix into independent run specs.
+func comparisonSpecs(sim core.SimConfig, packets int, benchmarks []string, techs []core.Technique) []LabeledSpec {
+	var pol *PolicySpec
+	for _, t := range techs {
+		if t == core.TechIntelliNoC {
+			p := comparisonPolicySpec(sim, packets)
+			pol = &p
+		}
+	}
+	specs := make([]LabeledSpec, 0, len(benchmarks)*len(techs))
+	for _, b := range benchmarks {
+		for _, t := range techs {
+			specs = append(specs, LabeledSpec{
+				Name: "comparison/" + b + "/" + t.String(),
+				Spec: comparisonRunSpec(sim, packets, b, t, pol),
+			})
+		}
+	}
+	return specs
+}
+
+// assembleComparison rebuilds the result matrix from completed runs.
+func assembleComparison(sim core.SimConfig, packets int, benchmarks []string, techs []core.Technique, look Lookup) (*Comparison, error) {
+	cmp := &Comparison{
+		Sim: sim, Packets: packets, Benchmarks: benchmarks,
+		Results: make(map[string]map[core.Technique]noc.Result),
+	}
+	var pol *PolicySpec
+	for _, t := range techs {
+		if t == core.TechIntelliNoC {
+			p := comparisonPolicySpec(sim, packets)
+			pol = &p
+		}
+	}
+	for _, b := range benchmarks {
+		m := make(map[core.Technique]noc.Result, len(techs))
+		for _, t := range techs {
+			res, err := look(comparisonRunSpec(sim, packets, b, t, pol))
+			if err != nil {
+				return nil, err
+			}
+			m[t] = res
+		}
+		cmp.Results[b] = m
+	}
+	return cmp, nil
+}
+
 // RunComparison executes the full matrix, pre-training the IntelliNoC
 // policy on blackscholes first (Section 6.3) and fanning runs out over
 // workers goroutines (0 selects GOMAXPROCS).
@@ -29,85 +89,19 @@ func RunComparison(sim core.SimConfig, packets, workers int) (*Comparison, error
 }
 
 // RunComparisonSubset is RunComparison restricted to chosen benchmarks and
-// techniques (the bench targets use reduced subsets).
+// techniques (the bench targets use reduced subsets). It runs on the
+// harness worker pool; results are independent of the worker count.
 func RunComparisonSubset(sim core.SimConfig, packets, workers int, benchmarks []string, techs []core.Technique) (*Comparison, error) {
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
+	store := NewPolicyStore()
+	look, err := runSpecs(comparisonSpecs(sim, packets, benchmarks, techs), store, workers)
+	if err != nil {
+		return nil, err
 	}
-	cmp := &Comparison{
-		Sim: sim, Packets: packets, Benchmarks: benchmarks,
-		Results: make(map[string]map[core.Technique]noc.Result),
+	cmp, err := assembleComparison(sim, packets, benchmarks, techs, look)
+	if err != nil {
+		return nil, err
 	}
-	needRL := false
-	for _, t := range techs {
-		if t == core.TechIntelliNoC {
-			needRL = true
-		}
-	}
-	if needRL {
-		policy, err := core.Pretrain(sim, 2, packets)
-		if err != nil {
-			return nil, fmt.Errorf("experiments: pre-training: %w", err)
-		}
-		cmp.Policy = policy
-	}
-
-	type job struct {
-		bench string
-		tech  core.Technique
-	}
-	type outcome struct {
-		job
-		res noc.Result
-		err error
-	}
-	jobs := make(chan job)
-	results := make(chan outcome)
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for j := range jobs {
-				gen, err := core.ParsecWorkload(j.bench, sim, packets)
-				if err != nil {
-					results <- outcome{job: j, err: err}
-					continue
-				}
-				res, err := core.Run(j.tech, sim, gen, cmp.Policy)
-				results <- outcome{job: j, res: res, err: err}
-			}
-		}()
-	}
-	go func() {
-		for _, b := range benchmarks {
-			for _, t := range techs {
-				jobs <- job{bench: b, tech: t}
-			}
-		}
-		close(jobs)
-		wg.Wait()
-		close(results)
-	}()
-
-	var firstErr error
-	for out := range results {
-		if out.err != nil {
-			if firstErr == nil {
-				firstErr = fmt.Errorf("experiments: %s/%s: %w", out.bench, out.tech, out.err)
-			}
-			continue
-		}
-		m := cmp.Results[out.bench]
-		if m == nil {
-			m = make(map[core.Technique]noc.Result)
-			cmp.Results[out.bench] = m
-		}
-		m[out.tech] = out.res
-	}
-	if firstErr != nil {
-		return nil, firstErr
-	}
+	cmp.Policy = store.Cached(comparisonPolicySpec(sim, packets))
 	return cmp, nil
 }
 

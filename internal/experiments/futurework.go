@@ -6,6 +6,68 @@ import (
 	"intellinoc/internal/core"
 )
 
+// ctrlFaultCases are the swept control-plane fault rates; the first case
+// doubles as the fault-free normalization point.
+var ctrlFaultCases = []struct {
+	label      string
+	ctrl, qtab float64
+}{
+	{"none", 0, 0},
+	{"ctrl 1e-4", 1e-4, 0},
+	{"ctrl 1e-3", 1e-3, 0},
+	{"ctrl 1e-2", 1e-2, 0},
+	{"qtab 0.01", 0, 0.01},
+	{"qtab 0.10", 0, 0.10},
+	{"both heavy", 1e-2, 0.10},
+}
+
+// controlFaultRunSpec builds the IntelliNoC run at one fault point; the
+// policy is pre-trained fault-free and shared across points.
+func controlFaultRunSpec(sim core.SimConfig, packets int, bench string, ctrlRate, qRate float64) RunSpec {
+	pol := PolicySpec{Sim: sim, Epochs: 1, PacketsPerEpoch: packets}
+	s := sim
+	s.ControlFaultRate = ctrlRate
+	s.QTableFaultRate = qRate
+	return RunSpec{Tech: core.TechIntelliNoC, Sim: s, Workload: parsecWorkload(bench),
+		Packets: packets, Policy: &pol}
+}
+
+func controlFaultSpecs(sim core.SimConfig, packets int, bench string) []LabeledSpec {
+	var specs []LabeledSpec
+	for _, c := range ctrlFaultCases {
+		specs = append(specs, LabeledSpec{
+			Name: fmt.Sprintf("ext-ctrlfaults/%s", c.label),
+			Spec: controlFaultRunSpec(sim, packets, bench, c.ctrl, c.qtab),
+		})
+	}
+	return specs
+}
+
+func assembleControlFaults(sim core.SimConfig, packets int, bench string, look Lookup) (Figure, error) {
+	fig := Figure{
+		ID: "ext-ctrlfaults", Title: "Control-plane fault sensitivity (" + bench + ")",
+		Columns:    []string{"exec time", "e2e latency", "ctrl faults/kpkt"},
+		PaperShape: "future work in the paper; graceful degradation expected",
+	}
+	base, err := look(controlFaultRunSpec(sim, packets, bench, 0, 0))
+	if err != nil {
+		return Figure{}, err
+	}
+	baseExec, baseLat := float64(base.Cycles), base.AvgLatency
+	for _, c := range ctrlFaultCases {
+		res, err := look(controlFaultRunSpec(sim, packets, bench, c.ctrl, c.qtab))
+		if err != nil {
+			return Figure{}, fmt.Errorf("experiments: control-fault case %s: %w", c.label, err)
+		}
+		fig.Rows = append(fig.Rows, Row{
+			Label: c.label,
+			Values: []float64{float64(res.Cycles) / baseExec, res.AvgLatency / baseLat,
+				float64(res.ControlFaults) / float64(packets) * 1000},
+		})
+	}
+	return fig, nil
+}
+
 // ControlFaultSweep implements the paper's stated future work ("In future
 // work, we will consider faults in the control circuit, routing table,
 // state-action table"): it sweeps parity-detected routing-table upset
@@ -13,55 +75,9 @@ import (
 // relative to the fault-free run — measuring how gracefully the control
 // plane degrades.
 func ControlFaultSweep(sim core.SimConfig, packets int, bench string) (Figure, error) {
-	fig := Figure{
-		ID: "ext-ctrlfaults", Title: "Control-plane fault sensitivity (" + bench + ")",
-		Columns:    []string{"exec time", "e2e latency", "ctrl faults/kpkt"},
-		PaperShape: "future work in the paper; graceful degradation expected",
-	}
-	policy, err := core.Pretrain(sim, 1, packets)
+	look, err := runSpecs(controlFaultSpecs(sim, packets, bench), NewPolicyStore(), 0)
 	if err != nil {
 		return Figure{}, err
 	}
-	runAt := func(ctrlRate, qRate float64) (execRatio, latRatio, faultsPerK float64, err error) {
-		s := sim
-		s.ControlFaultRate = ctrlRate
-		s.QTableFaultRate = qRate
-		gen, err := core.ParsecWorkload(bench, s, packets)
-		if err != nil {
-			return 0, 0, 0, err
-		}
-		res, err := core.Run(core.TechIntelliNoC, s, gen, policy)
-		if err != nil {
-			return 0, 0, 0, err
-		}
-		return float64(res.Cycles), res.AvgLatency,
-			float64(res.ControlFaults) / float64(packets) * 1000, nil
-	}
-	baseExec, baseLat, _, err := runAt(0, 0)
-	if err != nil {
-		return Figure{}, err
-	}
-	cases := []struct {
-		label      string
-		ctrl, qtab float64
-	}{
-		{"none", 0, 0},
-		{"ctrl 1e-4", 1e-4, 0},
-		{"ctrl 1e-3", 1e-3, 0},
-		{"ctrl 1e-2", 1e-2, 0},
-		{"qtab 0.01", 0, 0.01},
-		{"qtab 0.10", 0, 0.10},
-		{"both heavy", 1e-2, 0.10},
-	}
-	for _, c := range cases {
-		exec, lat, fpk, err := runAt(c.ctrl, c.qtab)
-		if err != nil {
-			return Figure{}, fmt.Errorf("experiments: control-fault case %s: %w", c.label, err)
-		}
-		fig.Rows = append(fig.Rows, Row{
-			Label:  c.label,
-			Values: []float64{exec / baseExec, lat / baseLat, fpk},
-		})
-	}
-	return fig, nil
+	return assembleControlFaults(sim, packets, bench, look)
 }

@@ -7,17 +7,54 @@ import (
 	"intellinoc/internal/traffic"
 )
 
-// LoadLatencySweep produces the classic NoC load-latency curve for the
-// five designs under uniform-random traffic — not a paper figure, but the
-// standard sanity check for any NoC simulator: latency should sit flat in
-// the low-load region and blow up at each design's saturation point, with
-// the channel-buffered designs saturating later than the baseline.
-func LoadLatencySweep(sim core.SimConfig, packets int, rates []float64) (Figure, error) {
-	if len(rates) == 0 {
-		rates = []float64{0.02, 0.05, 0.1, 0.2, 0.3, 0.4}
-	}
-	// Injection-rate sweeps are open-loop by definition.
+// defaultLoadRates is the standard injection-rate ladder.
+var defaultLoadRates = []float64{0.02, 0.05, 0.1, 0.2, 0.3, 0.4}
+
+// loadSweepSim forces open-loop injection (rate sweeps are open-loop by
+// definition).
+func loadSweepSim(sim core.SimConfig) core.SimConfig {
 	sim.DependencyWindow = -1
+	return sim
+}
+
+// loadSweepRunSpec builds the spec for one (rate, technique) point.
+func loadSweepRunSpec(sim core.SimConfig, packets int, rate float64, tech core.Technique) RunSpec {
+	sim = loadSweepSim(sim)
+	spec := RunSpec{
+		Tech: tech, Sim: sim,
+		Workload: WorkloadSpec{
+			Kind: WorkloadSynthetic, Pattern: traffic.Uniform,
+			InjectionRate: rate, PacketFlits: 4, SeedDelta: 97,
+		},
+		Packets: packets,
+	}
+	if tech == core.TechIntelliNoC {
+		pol := PolicySpec{Sim: sim, Epochs: 1, PacketsPerEpoch: packets}
+		spec.Policy = &pol
+	}
+	return spec
+}
+
+func loadSweepSpecs(sim core.SimConfig, packets int, rates []float64) []LabeledSpec {
+	if len(rates) == 0 {
+		rates = defaultLoadRates
+	}
+	var specs []LabeledSpec
+	for _, rate := range rates {
+		for _, t := range core.Techniques() {
+			specs = append(specs, LabeledSpec{
+				Name: fmt.Sprintf("loadsweep/%.2f/%s", rate, t),
+				Spec: loadSweepRunSpec(sim, packets, rate, t),
+			})
+		}
+	}
+	return specs
+}
+
+func assembleLoadSweep(sim core.SimConfig, packets int, rates []float64, look Lookup) (Figure, error) {
+	if len(rates) == 0 {
+		rates = defaultLoadRates
+	}
 	techs := core.Techniques()
 	fig := Figure{
 		ID: "loadsweep", Title: "Load-latency curves, uniform random traffic",
@@ -27,29 +64,10 @@ func LoadLatencySweep(sim core.SimConfig, packets int, rates []float64) (Figure,
 	for _, t := range techs {
 		fig.Columns = append(fig.Columns, t.String())
 	}
-	var policy *core.Policy
-	for _, t := range techs {
-		if t == core.TechIntelliNoC {
-			p, err := core.Pretrain(sim, 1, packets)
-			if err != nil {
-				return Figure{}, err
-			}
-			policy = p
-		}
-	}
-	width, height := simWidth(sim), simHeight(sim)
 	for _, rate := range rates {
 		row := Row{Label: fmt.Sprintf("%.2f", rate)}
 		for _, t := range techs {
-			gen, err := traffic.NewSynthetic(traffic.SyntheticConfig{
-				Width: width, Height: height, Pattern: traffic.Uniform,
-				InjectionRate: rate, PacketFlits: 4, Packets: packets,
-				Seed: sim.Seed + 97,
-			})
-			if err != nil {
-				return Figure{}, err
-			}
-			res, err := core.Run(t, sim, gen, policy)
+			res, err := look(loadSweepRunSpec(sim, packets, rate, t))
 			if err != nil {
 				return Figure{}, err
 			}
@@ -58,4 +76,17 @@ func LoadLatencySweep(sim core.SimConfig, packets int, rates []float64) (Figure,
 		fig.Rows = append(fig.Rows, row)
 	}
 	return fig, nil
+}
+
+// LoadLatencySweep produces the classic NoC load-latency curve for the
+// five designs under uniform-random traffic — not a paper figure, but the
+// standard sanity check for any NoC simulator: latency should sit flat in
+// the low-load region and blow up at each design's saturation point, with
+// the channel-buffered designs saturating later than the baseline.
+func LoadLatencySweep(sim core.SimConfig, packets int, rates []float64) (Figure, error) {
+	look, err := runSpecs(loadSweepSpecs(sim, packets, rates), NewPolicyStore(), 0)
+	if err != nil {
+		return Figure{}, err
+	}
+	return assembleLoadSweep(sim, packets, rates, look)
 }

@@ -2,42 +2,52 @@ package experiments
 
 import (
 	"intellinoc/internal/core"
-	"intellinoc/internal/noc"
 )
 
-// QLearningVsSARSA compares the paper's off-policy Q-learning control
-// against on-policy SARSA on the same workloads — an extension probing
-// whether the choice of TD algorithm matters for NoC mode control. Both
-// are pre-trained identically and evaluated with online updates on.
-func QLearningVsSARSA(sim core.SimConfig, packets int, benchmarks []string) (Figure, error) {
+// sarsaRunSpecs builds the baseline, Q-learning and SARSA specs for one
+// benchmark. Each TD algorithm pre-trains its own policy (with matching
+// OnPolicySARSA), shared across benchmarks.
+func sarsaRunSpecs(sim core.SimConfig, packets int, bench string) (base, q, sarsa RunSpec) {
+	base = RunSpec{Tech: core.TechSECDED, Sim: sim, Workload: parsecWorkload(bench), Packets: packets}
+	variant := func(onPolicy bool) RunSpec {
+		s := sim
+		s.OnPolicySARSA = onPolicy
+		pol := PolicySpec{Sim: s, Epochs: 1, PacketsPerEpoch: packets}
+		return RunSpec{Tech: core.TechIntelliNoC, Sim: s, Workload: parsecWorkload(bench),
+			Packets: packets, Policy: &pol}
+	}
+	return base, variant(false), variant(true)
+}
+
+func sarsaSpecs(sim core.SimConfig, packets int, benchmarks []string) []LabeledSpec {
+	var specs []LabeledSpec
+	for _, b := range benchmarks {
+		base, q, sarsa := sarsaRunSpecs(sim, packets, b)
+		specs = append(specs,
+			LabeledSpec{Name: "ext-sarsa/base/" + b, Spec: base},
+			LabeledSpec{Name: "ext-sarsa/q/" + b, Spec: q},
+			LabeledSpec{Name: "ext-sarsa/sarsa/" + b, Spec: sarsa})
+	}
+	return specs
+}
+
+func assembleSARSA(sim core.SimConfig, packets int, benchmarks []string, look Lookup) (Figure, error) {
 	fig := Figure{
 		ID: "ext-sarsa", Title: "Q-learning vs SARSA control",
 		Columns:    []string{"exec (Q)", "exec (SARSA)", "EDP (Q)", "EDP (SARSA)"},
 		PaperShape: "not in paper; the paper uses Q-learning (eq. 2)",
 	}
-	run := func(onPolicy bool, bench string) (noc.Result, error) {
-		s := sim
-		s.OnPolicySARSA = onPolicy
-		policy, err := core.Pretrain(s, 1, packets)
-		if err != nil {
-			return noc.Result{}, err
-		}
-		gen, err := core.ParsecWorkload(bench, s, packets)
-		if err != nil {
-			return noc.Result{}, err
-		}
-		return core.Run(core.TechIntelliNoC, s, gen, policy)
-	}
 	for _, b := range benchmarks {
-		base, err := runOne(core.TechSECDED, sim, b, packets, nil)
+		baseSpec, qSpec, sarsaSpec := sarsaRunSpecs(sim, packets, b)
+		base, err := look(baseSpec)
 		if err != nil {
 			return Figure{}, err
 		}
-		q, err := run(false, b)
+		q, err := look(qSpec)
 		if err != nil {
 			return Figure{}, err
 		}
-		sarsa, err := run(true, b)
+		sarsa, err := look(sarsaSpec)
 		if err != nil {
 			return Figure{}, err
 		}
@@ -49,4 +59,16 @@ func QLearningVsSARSA(sim core.SimConfig, packets int, benchmarks []string) (Fig
 		}})
 	}
 	return fig.WithAverageRow(), nil
+}
+
+// QLearningVsSARSA compares the paper's off-policy Q-learning control
+// against on-policy SARSA on the same workloads — an extension probing
+// whether the choice of TD algorithm matters for NoC mode control. Both
+// are pre-trained identically and evaluated with online updates on.
+func QLearningVsSARSA(sim core.SimConfig, packets int, benchmarks []string) (Figure, error) {
+	look, err := runSpecs(sarsaSpecs(sim, packets, benchmarks), NewPolicyStore(), 0)
+	if err != nil {
+		return Figure{}, err
+	}
+	return assembleSARSA(sim, packets, benchmarks, look)
 }

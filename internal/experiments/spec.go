@@ -1,0 +1,193 @@
+package experiments
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"sync"
+
+	"intellinoc/internal/core"
+	"intellinoc/internal/noc"
+	"intellinoc/internal/traffic"
+)
+
+// digestVersion is folded into every content hash so that incompatible
+// spec-format changes invalidate old results files instead of silently
+// reusing them.
+const digestVersion = "intellinoc/v1"
+
+// WorkloadKind selects the traffic generator family of a RunSpec.
+type WorkloadKind string
+
+const (
+	// WorkloadParsec replays a PARSEC workload model.
+	WorkloadParsec WorkloadKind = "parsec"
+	// WorkloadSynthetic injects a classic synthetic pattern.
+	WorkloadSynthetic WorkloadKind = "synthetic"
+)
+
+// WorkloadSpec describes a traffic generator deterministically: kind,
+// shape parameters, and the delta added to the simulation seed (the
+// historical +271 for PARSEC models, +97 for load sweeps).
+type WorkloadSpec struct {
+	Kind          WorkloadKind    `json:"kind"`
+	Bench         string          `json:"bench,omitempty"`
+	Pattern       traffic.Pattern `json:"pattern,omitempty"`
+	InjectionRate float64         `json:"injection_rate,omitempty"`
+	PacketFlits   int             `json:"packet_flits,omitempty"`
+	SeedDelta     int64           `json:"seed_delta"`
+}
+
+// parsecWorkload is the standard PARSEC workload spec (seed delta 271,
+// matching core.ParsecWorkload).
+func parsecWorkload(bench string) WorkloadSpec {
+	return WorkloadSpec{Kind: WorkloadParsec, Bench: bench, SeedDelta: 271}
+}
+
+// generator materializes the traffic generator for a run.
+func (w WorkloadSpec) generator(sim core.SimConfig, packets int) (traffic.Generator, error) {
+	width, height := simWidth(sim), simHeight(sim)
+	switch w.Kind {
+	case WorkloadParsec:
+		return traffic.NewParsec(w.Bench, width, height, packets, sim.Seed+w.SeedDelta)
+	case WorkloadSynthetic:
+		return traffic.NewSynthetic(traffic.SyntheticConfig{
+			Width: width, Height: height, Pattern: w.Pattern,
+			InjectionRate: w.InjectionRate, PacketFlits: w.PacketFlits,
+			Packets: packets, Seed: sim.Seed + w.SeedDelta,
+		})
+	default:
+		return nil, fmt.Errorf("experiments: unknown workload kind %q", w.Kind)
+	}
+}
+
+// PolicySpec describes an IntelliNoC pre-training pass (core.Pretrain)
+// deterministically. Runs that share a PolicySpec share the trained
+// policy, exactly as the pre-harness code shared one pre-trained policy
+// across a comparison matrix.
+type PolicySpec struct {
+	Sim             core.SimConfig `json:"sim"`
+	Epochs          int            `json:"epochs"`
+	PacketsPerEpoch int            `json:"packets_per_epoch"`
+}
+
+// Digest content-hashes the pre-training configuration.
+func (p PolicySpec) Digest() string { return digestOf("pretrain", p) }
+
+// PretrainInfo is the JSONL payload of a pre-training job.
+type PretrainInfo struct {
+	MaxTableSize int `json:"max_table_size"`
+}
+
+// RunSpec fully describes one simulation: the technique (or ablation
+// variant), experiment-level configuration, workload, packet budget and
+// optional pre-trained policy. Everything a run's result depends on is
+// in here, so the digest is a complete cache key.
+type RunSpec struct {
+	Tech     core.Technique `json:"tech"`
+	Sim      core.SimConfig `json:"sim"`
+	Workload WorkloadSpec   `json:"workload"`
+	Packets  int            `json:"packets"`
+	Policy   *PolicySpec    `json:"policy,omitempty"`
+	// UseAblation routes through core.RunAblation with Ablation
+	// (IntelliNoC hardware with one technique removed).
+	UseAblation bool          `json:"use_ablation,omitempty"`
+	Ablation    core.Ablation `json:"ablation,omitempty"`
+}
+
+// Digest content-hashes the full run configuration.
+func (s RunSpec) Digest() string { return digestOf("run", s) }
+
+// Execute runs the simulation, resolving the pre-trained policy (if
+// any) through the store.
+func (s RunSpec) Execute(policies *PolicyStore) (noc.Result, error) {
+	var policy *core.Policy
+	if s.Policy != nil {
+		p, err := policies.Get(*s.Policy)
+		if err != nil {
+			return noc.Result{}, err
+		}
+		policy = p
+	}
+	gen, err := s.Workload.generator(s.Sim, s.Packets)
+	if err != nil {
+		return noc.Result{}, err
+	}
+	if s.UseAblation {
+		return core.RunAblation(s.Ablation, s.Sim, gen, policy)
+	}
+	return core.Run(s.Tech, s.Sim, gen, policy)
+}
+
+// LabeledSpec pairs a run spec with its human-readable name
+// ("fig17a/ferret/IntelliNoC"), used in progress lines and the results
+// stream. The label is deliberately excluded from the digest so that
+// identical runs shared by different figures deduplicate.
+type LabeledSpec struct {
+	Name string
+	Spec RunSpec
+}
+
+// digestOf canonically serializes v (Go struct field order is stable)
+// and hashes it under the given kind and format version.
+func digestOf(kind string, v any) string {
+	raw, err := json.Marshal(v)
+	if err != nil {
+		// Specs are plain data; marshaling cannot fail for any value
+		// constructed in this package.
+		panic(fmt.Sprintf("experiments: digesting %s spec: %v", kind, err))
+	}
+	h := sha256.Sum256([]byte(digestVersion + ":" + kind + ":" + string(raw)))
+	return hex.EncodeToString(h[:16])
+}
+
+// PolicyStore memoizes pre-trained policies by spec digest. Concurrent
+// Get calls for the same spec block until the single training pass
+// finishes, so a policy shared by many runs is trained exactly once per
+// process regardless of worker count.
+type PolicyStore struct {
+	mu      sync.Mutex
+	entries map[string]*policyEntry
+}
+
+type policyEntry struct {
+	once   sync.Once
+	policy *core.Policy
+	err    error
+}
+
+// NewPolicyStore builds an empty store.
+func NewPolicyStore() *PolicyStore {
+	return &PolicyStore{entries: make(map[string]*policyEntry)}
+}
+
+// Get returns the policy for spec, training it on first use.
+func (st *PolicyStore) Get(spec PolicySpec) (*core.Policy, error) {
+	st.mu.Lock()
+	e := st.entries[spec.Digest()]
+	if e == nil {
+		e = &policyEntry{}
+		st.entries[spec.Digest()] = e
+	}
+	st.mu.Unlock()
+	e.once.Do(func() {
+		e.policy, e.err = core.Pretrain(spec.Sim, spec.Epochs, spec.PacketsPerEpoch)
+	})
+	if e.err != nil {
+		return nil, fmt.Errorf("experiments: pre-training: %w", e.err)
+	}
+	return e.policy, nil
+}
+
+// Cached returns the already-trained policy for spec, or nil if Get was
+// never called (e.g. every dependent run was resumed from the results
+// stream).
+func (st *PolicyStore) Cached(spec PolicySpec) *core.Policy {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if e := st.entries[spec.Digest()]; e != nil {
+		return e.policy
+	}
+	return nil
+}

@@ -6,7 +6,6 @@ import (
 	"intellinoc/internal/core"
 	"intellinoc/internal/noc"
 	"intellinoc/internal/power"
-	"intellinoc/internal/traffic"
 )
 
 // edp returns the energy-delay product (J·s) of a run.
@@ -20,30 +19,49 @@ func retransmissionRate(r noc.Result) float64 {
 	return float64(r.RetransmittedFlits()) / float64(r.FlitsDelivered)
 }
 
-// Fig17aTimeStep reproduces Fig. 17(a): IntelliNoC's execution time,
-// end-to-end latency and energy across RL time-step lengths, normalized
-// to the SECDED baseline on the same workloads.
-func Fig17aTimeStep(sim core.SimConfig, packets int, benchmarks []string) (Figure, error) {
-	steps := []int{200, 500, 1000, 10000}
+// fig17aSteps are the swept RL decision-interval lengths.
+var fig17aSteps = []int{200, 500, 1000, 10000}
+
+// fig17aRunSpecs builds the baseline and IntelliNoC specs for one sweep
+// point. The baseline runs at the default time step (it has no RL
+// controller), so it is shared — and deduplicated — across all points.
+func fig17aRunSpecs(sim core.SimConfig, packets int, step int, bench string) (base, run RunSpec) {
+	s := sim
+	s.TimeStepCycles = step
+	pol := PolicySpec{Sim: s, Epochs: 1, PacketsPerEpoch: packets}
+	base = RunSpec{Tech: core.TechSECDED, Sim: sim, Workload: parsecWorkload(bench), Packets: packets}
+	run = RunSpec{Tech: core.TechIntelliNoC, Sim: s, Workload: parsecWorkload(bench), Packets: packets, Policy: &pol}
+	return base, run
+}
+
+func fig17aSpecs(sim core.SimConfig, packets int, benchmarks []string) []LabeledSpec {
+	var specs []LabeledSpec
+	for _, step := range fig17aSteps {
+		for _, b := range benchmarks {
+			base, run := fig17aRunSpecs(sim, packets, step, b)
+			specs = append(specs,
+				LabeledSpec{Name: fmt.Sprintf("fig17a/base/%s", b), Spec: base},
+				LabeledSpec{Name: fmt.Sprintf("fig17a/%dcyc/%s", step, b), Spec: run})
+		}
+	}
+	return specs
+}
+
+func assembleFig17a(sim core.SimConfig, packets int, benchmarks []string, look Lookup) (Figure, error) {
 	fig := Figure{
 		ID: "fig17a", Title: "Impact of RL time step (IntelliNoC vs SECDED)",
 		Columns:    []string{"exec time", "e2e latency", "energy"},
 		PaperShape: "u-shaped: 200 pays RL overhead, 10k reacts too slowly; ~1k best",
 	}
-	for _, step := range steps {
-		s := sim
-		s.TimeStepCycles = step
-		policy, err := core.Pretrain(s, 1, packets)
-		if err != nil {
-			return Figure{}, err
-		}
+	for _, step := range fig17aSteps {
 		var execR, latR, enR float64
 		for _, b := range benchmarks {
-			base, err := runOne(core.TechSECDED, sim, b, packets, nil)
+			baseSpec, runSpec := fig17aRunSpecs(sim, packets, step, b)
+			base, err := look(baseSpec)
 			if err != nil {
 				return Figure{}, err
 			}
-			res, err := runOne(core.TechIntelliNoC, s, b, packets, policy)
+			res, err := look(runSpec)
 			if err != nil {
 				return Figure{}, err
 			}
@@ -60,40 +78,67 @@ func Fig17aTimeStep(sim core.SimConfig, packets int, benchmarks []string) (Figur
 	return fig, nil
 }
 
-// Fig17bErrorRate reproduces Fig. 17(b): artificially injected bit error
-// rates from 1e-7 to 1e-10; IntelliNoC's latency and energy relative to
-// the SECDED baseline at the same rate. The paper's shape: the advantage
-// grows as errors become more frequent.
-func Fig17bErrorRate(sim core.SimConfig, packets int, benchmarks []string) (Figure, error) {
-	// The sweep is defined on per-bit rates; at our shorter trace
-	// lengths the same rates are exercised, scaled up 100x so the
-	// shorter runs see comparable error totals (documented in
-	// DESIGN.md).
-	rates := []struct {
-		label string
-		rate  float64
-	}{
-		{"1e-7", 1e-5}, {"1e-8", 1e-6}, {"1e-9", 1e-7}, {"1e-10", 1e-8},
+// Fig17aTimeStep reproduces Fig. 17(a): IntelliNoC's execution time,
+// end-to-end latency and energy across RL time-step lengths, normalized
+// to the SECDED baseline on the same workloads.
+func Fig17aTimeStep(sim core.SimConfig, packets int, benchmarks []string) (Figure, error) {
+	look, err := runSpecs(fig17aSpecs(sim, packets, benchmarks), NewPolicyStore(), 0)
+	if err != nil {
+		return Figure{}, err
 	}
+	return assembleFig17a(sim, packets, benchmarks, look)
+}
+
+// fig17bRates maps the paper's per-bit error-rate labels to the rates we
+// inject. The sweep is defined on per-bit rates; at our shorter trace
+// lengths the same rates are exercised, scaled up 100x so the shorter
+// runs see comparable error totals (documented in DESIGN.md).
+var fig17bRates = []struct {
+	label string
+	rate  float64
+}{
+	{"1e-7", 1e-5}, {"1e-8", 1e-6}, {"1e-9", 1e-7}, {"1e-10", 1e-8},
+}
+
+// fig17bRunSpecs builds the pair for one error rate; unlike Fig. 17(a)
+// the baseline also runs at the forced rate.
+func fig17bRunSpecs(sim core.SimConfig, packets int, rate float64, bench string) (base, run RunSpec) {
+	s := sim
+	s.ForcedErrorRate = rate
+	pol := PolicySpec{Sim: s, Epochs: 1, PacketsPerEpoch: packets}
+	base = RunSpec{Tech: core.TechSECDED, Sim: s, Workload: parsecWorkload(bench), Packets: packets}
+	run = RunSpec{Tech: core.TechIntelliNoC, Sim: s, Workload: parsecWorkload(bench), Packets: packets, Policy: &pol}
+	return base, run
+}
+
+func fig17bSpecs(sim core.SimConfig, packets int, benchmarks []string) []LabeledSpec {
+	var specs []LabeledSpec
+	for _, rc := range fig17bRates {
+		for _, b := range benchmarks {
+			base, run := fig17bRunSpecs(sim, packets, rc.rate, b)
+			specs = append(specs,
+				LabeledSpec{Name: fmt.Sprintf("fig17b/%s/base/%s", rc.label, b), Spec: base},
+				LabeledSpec{Name: fmt.Sprintf("fig17b/%s/%s", rc.label, b), Spec: run})
+		}
+	}
+	return specs
+}
+
+func assembleFig17b(sim core.SimConfig, packets int, benchmarks []string, look Lookup) (Figure, error) {
 	fig := Figure{
 		ID: "fig17b", Title: "Impact of transient error rate (IntelliNoC vs SECDED)",
 		Columns:    []string{"e2e latency", "energy"},
 		PaperShape: "better relative performance as the error rate increases",
 	}
-	for _, rc := range rates {
-		s := sim
-		s.ForcedErrorRate = rc.rate
-		policy, err := core.Pretrain(s, 1, packets)
-		if err != nil {
-			return Figure{}, err
-		}
+	for _, rc := range fig17bRates {
 		var latR, enR float64
 		for _, b := range benchmarks {
-			base, err := runOne(core.TechSECDED, s, b, packets, nil)
+			baseSpec, runSpec := fig17bRunSpecs(sim, packets, rc.rate, b)
+			base, err := look(baseSpec)
 			if err != nil {
 				return Figure{}, err
 			}
-			res, err := runOne(core.TechIntelliNoC, s, b, packets, policy)
+			res, err := look(runSpec)
 			if err != nil {
 				return Figure{}, err
 			}
@@ -106,48 +151,83 @@ func Fig17bErrorRate(sim core.SimConfig, packets int, benchmarks []string) (Figu
 	return fig, nil
 }
 
-// Fig18aGamma reproduces Fig. 18(a): the discount-rate sweep on
-// blackscholes — energy-delay product and retransmission rate of
-// IntelliNoC normalized to the SECDED baseline.
-func Fig18aGamma(sim core.SimConfig, packets int) (Figure, error) {
-	return rlParamSweep(sim, packets, "fig18a", "Impact of discount rate γ (blackscholes)",
-		"EDP improves with γ up to 0.9; γ=1 fails to converge",
-		[]float64{0, 0.1, 0.2, 0.5, 0.9, 1.0},
-		func(s *core.SimConfig, v float64) { s.Gamma = v })
-}
-
-// Fig18bEpsilon reproduces Fig. 18(b): the exploration-probability sweep
-// on blackscholes.
-func Fig18bEpsilon(sim core.SimConfig, packets int) (Figure, error) {
-	return rlParamSweep(sim, packets, "fig18b", "Impact of exploration probability ε (blackscholes)",
-		"best EDP at ε=0.05; ε=0 never explores, ε=1 acts randomly",
-		[]float64{0, 0.01, 0.05, 0.1, 0.2, 0.5, 1.0},
-		func(s *core.SimConfig, v float64) { s.Epsilon = v })
-}
-
-func rlParamSweep(sim core.SimConfig, packets int, id, title, shape string,
-	values []float64, apply func(*core.SimConfig, float64)) (Figure, error) {
-	fig := Figure{
-		ID: id, Title: title,
-		Columns:    []string{"EDP", "retransmission rate"},
-		PaperShape: shape,
+// Fig17bErrorRate reproduces Fig. 17(b): artificially injected bit error
+// rates from 1e-7 to 1e-10; IntelliNoC's latency and energy relative to
+// the SECDED baseline at the same rate. The paper's shape: the advantage
+// grows as errors become more frequent.
+func Fig17bErrorRate(sim core.SimConfig, packets int, benchmarks []string) (Figure, error) {
+	look, err := runSpecs(fig17bSpecs(sim, packets, benchmarks), NewPolicyStore(), 0)
+	if err != nil {
+		return Figure{}, err
 	}
-	base, err := runOne(core.TechSECDED, sim, "blackscholes", packets, nil)
+	return assembleFig17b(sim, packets, benchmarks, look)
+}
+
+// rlSweep is a hyper-parameter sweep on blackscholes: EDP and
+// retransmission rate of IntelliNoC normalized to the SECDED baseline,
+// with pre-training and evaluation both on blackscholes as in the
+// paper's tuning procedure.
+type rlSweep struct {
+	id, title, shape string
+	values           []float64
+	apply            func(*core.SimConfig, float64)
+}
+
+func gammaSweep() rlSweep {
+	return rlSweep{
+		id: "fig18a", title: "Impact of discount rate γ (blackscholes)",
+		shape:  "EDP improves with γ up to 0.9; γ=1 fails to converge",
+		values: []float64{0, 0.1, 0.2, 0.5, 0.9, 1.0},
+		apply:  func(s *core.SimConfig, v float64) { s.Gamma = v },
+	}
+}
+
+func epsilonSweep() rlSweep {
+	return rlSweep{
+		id: "fig18b", title: "Impact of exploration probability ε (blackscholes)",
+		shape:  "best EDP at ε=0.05; ε=0 never explores, ε=1 acts randomly",
+		values: []float64{0, 0.01, 0.05, 0.1, 0.2, 0.5, 1.0},
+		apply:  func(s *core.SimConfig, v float64) { s.Epsilon = v },
+	}
+}
+
+// baseSpec is the SECDED blackscholes baseline both Fig. 18 sweeps
+// normalize against (shared, so it deduplicates across them).
+func (sw rlSweep) baseSpec(sim core.SimConfig, packets int) RunSpec {
+	return RunSpec{Tech: core.TechSECDED, Sim: sim, Workload: parsecWorkload("blackscholes"), Packets: packets}
+}
+
+func (sw rlSweep) runSpec(sim core.SimConfig, packets int, v float64) RunSpec {
+	s := sim
+	sw.apply(&s, v)
+	pol := PolicySpec{Sim: s, Epochs: 1, PacketsPerEpoch: packets}
+	return RunSpec{Tech: core.TechIntelliNoC, Sim: s, Workload: parsecWorkload("blackscholes"), Packets: packets, Policy: &pol}
+}
+
+func (sw rlSweep) specs(sim core.SimConfig, packets int) []LabeledSpec {
+	specs := []LabeledSpec{{Name: sw.id + "/base", Spec: sw.baseSpec(sim, packets)}}
+	for _, v := range sw.values {
+		specs = append(specs, LabeledSpec{
+			Name: fmt.Sprintf("%s/%g", sw.id, v),
+			Spec: sw.runSpec(sim, packets, v),
+		})
+	}
+	return specs
+}
+
+func (sw rlSweep) assemble(sim core.SimConfig, packets int, look Lookup) (Figure, error) {
+	fig := Figure{
+		ID: sw.id, Title: sw.title,
+		Columns:    []string{"EDP", "retransmission rate"},
+		PaperShape: sw.shape,
+	}
+	base, err := look(sw.baseSpec(sim, packets))
 	if err != nil {
 		return Figure{}, err
 	}
 	baseEDP, baseRate := edp(base), retransmissionRate(base)
-	for _, v := range values {
-		s := sim
-		apply(&s, v)
-		// Epsilon/gamma sweeps tune the online policy: train on
-		// blackscholes and evaluate on blackscholes, as the paper's
-		// tuning procedure does.
-		policy, err := core.Pretrain(s, 1, packets)
-		if err != nil {
-			return Figure{}, err
-		}
-		res, err := runOne(core.TechIntelliNoC, s, "blackscholes", packets, policy)
+	for _, v := range sw.values {
+		res, err := look(sw.runSpec(sim, packets, v))
 		if err != nil {
 			return Figure{}, err
 		}
@@ -162,6 +242,27 @@ func rlParamSweep(sim core.SimConfig, packets int, id, title, shape string,
 		})
 	}
 	return fig, nil
+}
+
+func (sw rlSweep) run(sim core.SimConfig, packets int) (Figure, error) {
+	look, err := runSpecs(sw.specs(sim, packets), NewPolicyStore(), 0)
+	if err != nil {
+		return Figure{}, err
+	}
+	return sw.assemble(sim, packets, look)
+}
+
+// Fig18aGamma reproduces Fig. 18(a): the discount-rate sweep on
+// blackscholes — energy-delay product and retransmission rate of
+// IntelliNoC normalized to the SECDED baseline.
+func Fig18aGamma(sim core.SimConfig, packets int) (Figure, error) {
+	return gammaSweep().run(sim, packets)
+}
+
+// Fig18bEpsilon reproduces Fig. 18(b): the exploration-probability sweep
+// on blackscholes.
+func Fig18bEpsilon(sim core.SimConfig, packets int) (Figure, error) {
+	return epsilonSweep().run(sim, packets)
 }
 
 // Table2Area reproduces Table 2: per-router component areas and %change.
@@ -182,14 +283,6 @@ func Table2Area() Figure {
 		})
 	}
 	return fig
-}
-
-func runOne(tech core.Technique, sim core.SimConfig, bench string, packets int, policy *core.Policy) (noc.Result, error) {
-	gen, err := traffic.NewParsec(bench, simWidth(sim), simHeight(sim), packets, sim.Seed+271)
-	if err != nil {
-		return noc.Result{}, err
-	}
-	return core.Run(tech, sim, gen, policy)
 }
 
 func simWidth(s core.SimConfig) int {

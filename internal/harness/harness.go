@@ -1,0 +1,208 @@
+// Package harness runs a set of independent, deterministically-seeded
+// jobs on a bounded worker pool with panic isolation and per-job retry,
+// streaming every finished job as a JSON-lines record so that a killed
+// run can be resumed by skipping already-recorded job digests.
+//
+// The harness is the substrate under cmd/experiments: each simulation
+// run (and each policy pre-training pass) becomes one Job, keyed by a
+// content digest of its full configuration. Because jobs are pure
+// functions of their spec, a results file doubles as both a crash-resume
+// checkpoint and a regression artifact (see cmd/regress).
+package harness
+
+import (
+	"encoding/json"
+	"fmt"
+	"runtime"
+	"runtime/debug"
+	"sync"
+	"time"
+)
+
+// Job is one unit of work. Digest must be a content hash of everything
+// that determines the result; two jobs with equal digests are assumed
+// interchangeable (the runner executes only the first).
+type Job struct {
+	// Digest uniquely identifies the job's full configuration.
+	Digest string
+	// Kind groups jobs for reporting ("run", "pretrain", ...).
+	Kind string
+	// Name is a human label for progress and error messages.
+	Name string
+	// Seed records the job's PRNG seed in the results stream.
+	Seed int64
+	// Run produces the job's JSON-marshalable payload.
+	Run func() (any, error)
+}
+
+// Record is one line of the JSONL results stream.
+type Record struct {
+	Digest   string          `json:"digest"`
+	Kind     string          `json:"kind"`
+	Name     string          `json:"name"`
+	Seed     int64           `json:"seed"`
+	WallMS   float64         `json:"wall_ms"`
+	Attempts int             `json:"attempts"`
+	Payload  json.RawMessage `json:"payload"`
+}
+
+// Options configures a Run call.
+type Options struct {
+	// Workers bounds pool size; <=0 selects GOMAXPROCS.
+	Workers int
+	// Retries is the number of re-attempts after a failed or panicked
+	// first attempt (so Retries=1 means up to two attempts). Negative
+	// disables retry.
+	Retries int
+	// Stream, when non-nil, receives every finished record.
+	Stream *Writer
+	// Progress, when non-nil, is notified as jobs finish.
+	Progress *Progress
+}
+
+const defaultRetries = 1
+
+// Run executes jobs (deduplicated by digest) and returns the payloads
+// keyed by digest. On the first job that exhausts its retries the pool
+// stops dispatching, drains in-flight work, and returns that error;
+// already-finished records remain in the stream, so a rerun resumes past
+// them. The returned map is complete only when err is nil.
+func Run(jobs []Job, opts Options) (map[string]json.RawMessage, error) {
+	workers := opts.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	retries := opts.Retries
+	if retries == 0 {
+		retries = defaultRetries
+	} else if retries < 0 {
+		retries = 0
+	}
+
+	unique := make([]Job, 0, len(jobs))
+	seen := make(map[string]bool, len(jobs))
+	for _, j := range jobs {
+		if j.Digest == "" {
+			return nil, fmt.Errorf("harness: job %q has no digest", j.Name)
+		}
+		if seen[j.Digest] {
+			continue
+		}
+		seen[j.Digest] = true
+		unique = append(unique, j)
+	}
+	if opts.Progress != nil {
+		opts.Progress.begin(len(unique), workers)
+	}
+
+	var (
+		mu       sync.Mutex
+		firstErr error
+		out      = make(map[string]json.RawMessage, len(unique))
+		abort    = make(chan struct{})
+		closed   bool
+	)
+	fail := func(err error) {
+		mu.Lock()
+		defer mu.Unlock()
+		if firstErr == nil {
+			firstErr = err
+		}
+		if !closed {
+			closed = true
+			close(abort)
+		}
+	}
+
+	feed := make(chan Job)
+	go func() {
+		defer close(feed)
+		for _, j := range unique {
+			select {
+			case feed <- j:
+			case <-abort:
+				return
+			}
+		}
+	}()
+
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := range feed {
+				rec, err := execute(j, retries)
+				if err != nil {
+					fail(err)
+					continue
+				}
+				if opts.Stream != nil {
+					if err := opts.Stream.Write(rec); err != nil {
+						fail(fmt.Errorf("harness: streaming %s: %w", j.Name, err))
+						continue
+					}
+				}
+				mu.Lock()
+				out[j.Digest] = rec.Payload
+				mu.Unlock()
+				if opts.Progress != nil {
+					opts.Progress.jobDone(time.Duration(rec.WallMS * float64(time.Millisecond)))
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if opts.Progress != nil {
+		opts.Progress.finish()
+	}
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	return out, nil
+}
+
+// execute runs one job with panic isolation and retry, and marshals its
+// payload into a record.
+func execute(j Job, retries int) (Record, error) {
+	start := time.Now()
+	var (
+		payload any
+		err     error
+	)
+	attempts := 0
+	for try := 0; try <= retries; try++ {
+		attempts++
+		payload, err = attempt(j)
+		if err == nil {
+			break
+		}
+	}
+	if err != nil {
+		return Record{}, fmt.Errorf("harness: job %s failed after %d attempt(s): %w", j.Name, attempts, err)
+	}
+	raw, err := json.Marshal(payload)
+	if err != nil {
+		return Record{}, fmt.Errorf("harness: job %s: marshaling payload: %w", j.Name, err)
+	}
+	return Record{
+		Digest:   j.Digest,
+		Kind:     j.Kind,
+		Name:     j.Name,
+		Seed:     j.Seed,
+		WallMS:   float64(time.Since(start)) / float64(time.Millisecond),
+		Attempts: attempts,
+		Payload:  raw,
+	}, nil
+}
+
+// attempt invokes the job once, converting a panic into an error so one
+// bad run cannot take down the whole sweep.
+func attempt(j Job) (payload any, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("panic: %v\n%s", r, debug.Stack())
+		}
+	}()
+	return j.Run()
+}

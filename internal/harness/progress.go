@@ -1,0 +1,86 @@
+package harness
+
+import (
+	"fmt"
+	"io"
+	"sync"
+	"time"
+)
+
+// Progress reports live sweep status — jobs done/total, ETA, and worker
+// utilization — to a writer (normally stderr), throttled to at most one
+// line per interval. A nil *Progress is never dereferenced by the
+// runner, so callers that want silence simply pass nil.
+type Progress struct {
+	mu       sync.Mutex
+	w        io.Writer
+	label    string
+	interval time.Duration
+	now      func() time.Time
+
+	total    int
+	done     int
+	workers  int
+	busy     time.Duration
+	start    time.Time
+	lastLine time.Time
+}
+
+// NewProgress builds a reporter writing to w under the given label.
+func NewProgress(w io.Writer, label string) *Progress {
+	return &Progress{w: w, label: label, interval: time.Second, now: time.Now}
+}
+
+func (p *Progress) begin(total, workers int) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.total = total
+	p.workers = workers
+	p.done = 0
+	p.busy = 0
+	p.start = p.now()
+	p.lastLine = time.Time{}
+}
+
+func (p *Progress) jobDone(wall time.Duration) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.done++
+	p.busy += wall
+	if p.done < p.total && p.now().Sub(p.lastLine) < p.interval {
+		return
+	}
+	p.lastLine = p.now()
+	p.print()
+}
+
+func (p *Progress) finish() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.total == 0 {
+		return
+	}
+	if p.done < p.total { // aborted early; emit a final snapshot
+		p.print()
+	}
+}
+
+// print assumes p.mu is held.
+func (p *Progress) print() {
+	elapsed := p.now().Sub(p.start)
+	var eta time.Duration
+	if p.done > 0 && p.done < p.total {
+		perJob := p.busy / time.Duration(p.done)
+		eta = perJob * time.Duration(p.total-p.done) / time.Duration(p.workers)
+	}
+	util := 0.0
+	if elapsed > 0 && p.workers > 0 {
+		util = float64(p.busy) / (float64(elapsed) * float64(p.workers)) * 100
+		if util > 100 {
+			util = 100
+		}
+	}
+	fmt.Fprintf(p.w, "%s: %d/%d jobs | elapsed %s | eta %s | workers %d | util %.0f%%\n",
+		p.label, p.done, p.total, elapsed.Round(time.Second), eta.Round(time.Second),
+		p.workers, util)
+}

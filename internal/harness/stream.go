@@ -1,0 +1,136 @@
+package harness
+
+import (
+	"bufio"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io/fs"
+	"os"
+	"sync"
+)
+
+// Writer appends records to a JSONL results file, flushing after every
+// line so a killed process loses at most the record being written.
+type Writer struct {
+	mu sync.Mutex
+	f  *os.File
+	bw *bufio.Writer
+}
+
+// OpenWriter opens path for streaming. With resume true the file is
+// appended to (records already present are preserved); otherwise it is
+// truncated.
+func OpenWriter(path string, resume bool) (*Writer, error) {
+	flags := os.O_CREATE | os.O_WRONLY
+	if resume {
+		flags |= os.O_APPEND
+	} else {
+		flags |= os.O_TRUNC
+	}
+	f, err := os.OpenFile(path, flags, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("harness: opening results stream: %w", err)
+	}
+	if resume {
+		// A killed process may have left a partial line without a
+		// trailing newline; terminate it so the next record starts on
+		// its own line (LoadRecords skips the corrupt fragment).
+		if ok, err := endsWithNewline(path); err != nil {
+			f.Close()
+			return nil, fmt.Errorf("harness: inspecting results stream: %w", err)
+		} else if !ok {
+			if _, err := f.Write([]byte{'\n'}); err != nil {
+				f.Close()
+				return nil, fmt.Errorf("harness: healing results stream: %w", err)
+			}
+		}
+	}
+	return &Writer{f: f, bw: bufio.NewWriter(f)}, nil
+}
+
+// endsWithNewline reports whether the file is empty or newline-terminated.
+func endsWithNewline(path string) (bool, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return false, err
+	}
+	defer f.Close()
+	st, err := f.Stat()
+	if err != nil {
+		return false, err
+	}
+	if st.Size() == 0 {
+		return true, nil
+	}
+	buf := make([]byte, 1)
+	if _, err := f.ReadAt(buf, st.Size()-1); err != nil {
+		return false, err
+	}
+	return buf[0] == '\n', nil
+}
+
+// Write appends one record and flushes.
+func (w *Writer) Write(rec Record) error {
+	line, err := json.Marshal(rec)
+	if err != nil {
+		return err
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if _, err := w.bw.Write(line); err != nil {
+		return err
+	}
+	if err := w.bw.WriteByte('\n'); err != nil {
+		return err
+	}
+	return w.bw.Flush()
+}
+
+// Close flushes and closes the underlying file.
+func (w *Writer) Close() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if err := w.bw.Flush(); err != nil {
+		w.f.Close()
+		return err
+	}
+	return w.f.Close()
+}
+
+// LoadRecords reads a JSONL results file into a digest-keyed map. A
+// missing file yields an empty map (a fresh run). Unparsable lines —
+// e.g. a partial last line left by a killed process — are skipped and
+// counted, not fatal: resume must tolerate exactly that corruption.
+// Duplicate digests keep the first occurrence.
+func LoadRecords(path string) (recs map[string]Record, skipped int, err error) {
+	recs = make(map[string]Record)
+	f, err := os.Open(path)
+	if err != nil {
+		if errors.Is(err, fs.ErrNotExist) {
+			return recs, 0, nil
+		}
+		return nil, 0, fmt.Errorf("harness: opening results for resume: %w", err)
+	}
+	defer f.Close()
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<24)
+	for sc.Scan() {
+		line := sc.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		var rec Record
+		if err := json.Unmarshal(line, &rec); err != nil || rec.Digest == "" {
+			skipped++
+			continue
+		}
+		if _, dup := recs[rec.Digest]; !dup {
+			recs[rec.Digest] = rec
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, 0, fmt.Errorf("harness: reading results for resume: %w", err)
+	}
+	return recs, skipped, nil
+}
