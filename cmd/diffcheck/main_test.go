@@ -1,0 +1,65 @@
+package main
+
+import (
+	"bytes"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func TestParseArgsDefaults(t *testing.T) {
+	var stderr bytes.Buffer
+	o, err := parseArgs(nil, &stderr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o.pairs != "all" || o.campaign != 10 || o.seed != 1 || o.max != 10 {
+		t.Fatalf("unexpected defaults: %+v", o)
+	}
+}
+
+func TestParseArgsRejectsPositionalAndNegativeCampaign(t *testing.T) {
+	var stderr bytes.Buffer
+	if _, err := parseArgs([]string{"stray"}, &stderr); err == nil {
+		t.Fatal("positional arguments must be rejected")
+	}
+	if _, err := parseArgs([]string{"-campaign", "-1"}, &stderr); err == nil {
+		t.Fatal("negative campaign must be rejected")
+	}
+}
+
+func TestChecksFromSplitsAndTrims(t *testing.T) {
+	got := checksFrom(" ff, verify ,,rl ")
+	if !reflect.DeepEqual(got, []string{"ff", "verify", "rl"}) {
+		t.Fatalf("checksFrom = %v", got)
+	}
+}
+
+func TestRunCleanTreeExitsWithoutFindings(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	o, err := parseArgs([]string{"-pairs", "rl", "-campaign", "2", "-seed", "3"}, &stderr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	findings, err := run(o, &stdout, &stderr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(findings) != 0 {
+		t.Fatalf("clean tree produced findings: %v", findings)
+	}
+	if !strings.Contains(stdout.String(), "all checks passed") {
+		t.Fatalf("missing pass banner: %q", stdout.String())
+	}
+}
+
+func TestRunRejectsUnknownPair(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	o, err := parseArgs([]string{"-pairs", "bogus"}, &stderr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := run(o, &stdout, &stderr); err == nil || !strings.Contains(err.Error(), "bogus") {
+		t.Fatalf("want unknown-check error naming bogus, got %v", err)
+	}
+}

@@ -17,8 +17,6 @@ package main
 
 import (
 	"bufio"
-	"crypto/sha256"
-	"encoding/hex"
 	"flag"
 	"fmt"
 	"io"
@@ -84,7 +82,7 @@ func regress(resultsPath, goldenPath string, update, strict bool, out io.Writer)
 			fmt.Fprintf(out, "MISSING %s %s\n", g.digest, g.name)
 			continue
 		}
-		if h := payloadHash(rec); h != g.hash {
+		if h := harness.PayloadHash(rec); h != g.hash {
 			drifted++
 			fmt.Fprintf(out, "DRIFT   %s %s (payload %s, golden %s)\n", g.digest, g.name, h[:12], g.hash[:12])
 		}
@@ -114,14 +112,6 @@ type goldenEntry struct {
 	digest, hash, name string
 }
 
-// payloadHash hashes a record's result bytes. The harness writes
-// payloads via a single json.Marshal of the same Go types on every
-// platform, so equal results always produce equal bytes.
-func payloadHash(rec harness.Record) string {
-	h := sha256.Sum256(rec.Payload)
-	return hex.EncodeToString(h[:])
-}
-
 func writeGolden(path string, recs map[string]harness.Record) error {
 	digests := make([]string, 0, len(recs))
 	for d := range recs {
@@ -134,7 +124,7 @@ func writeGolden(path string, recs map[string]harness.Record) error {
 	b.WriteString("# Format: <job digest> <payload sha256> <job name>\n")
 	for _, d := range digests {
 		rec := recs[d]
-		fmt.Fprintf(&b, "%s %s %s\n", d, payloadHash(rec), rec.Name)
+		fmt.Fprintf(&b, "%s %s %s\n", d, harness.PayloadHash(rec), rec.Name)
 	}
 	return os.WriteFile(path, []byte(b.String()), 0o644)
 }

@@ -1,0 +1,102 @@
+package diffcheck
+
+import (
+	"bytes"
+	"fmt"
+	"strings"
+	"testing"
+
+	"intellinoc/internal/traffic"
+)
+
+// TestEmbeddedCorpusReplaysClean is the CI regression gate: every seed
+// that ever diverged must stay clean on the fixed tree.
+func TestEmbeddedCorpusReplaysClean(t *testing.T) {
+	entries, err := EmbeddedCorpus()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) == 0 {
+		t.Fatal("the regression corpus must not be empty")
+	}
+	for _, e := range entries {
+		t.Run(fmt.Sprintf("%s-%d", e.Check, e.Seed), func(t *testing.T) {
+			t.Parallel()
+			f, err := RunCheck(e.Check, e.Seed)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if f != nil {
+				t.Fatalf("corpus regression (%s):\n%s", e.Note, f)
+			}
+		})
+	}
+}
+
+func TestRunRejectsUnknownCheck(t *testing.T) {
+	if _, err := Run(Options{Checks: []string{"nosuch"}, Campaign: 1, Seed: 1}); err == nil ||
+		!strings.Contains(err.Error(), "nosuch") {
+		t.Fatalf("want unknown-check error naming nosuch, got %v", err)
+	}
+	if _, err := RunCheck("nosuch", 1); err == nil {
+		t.Fatal("RunCheck must reject unknown checks")
+	}
+}
+
+func TestScenarioForSeedIsDeterministicAndValid(t *testing.T) {
+	for seed := int64(0); seed < 300; seed++ {
+		sc := ScenarioForSeed(seed)
+		if sc.String() != ScenarioForSeed(seed).String() {
+			t.Fatalf("seed %d: scenario not deterministic", seed)
+		}
+		if err := sc.Cfg.Validate(); err != nil {
+			t.Fatalf("seed %d: sampled config invalid: %v\n%s", seed, err, sc)
+		}
+		if _, err := traffic.NewSynthetic(sc.Traf); err != nil {
+			t.Fatalf("seed %d: sampled traffic invalid: %v\n%s", seed, err, sc)
+		}
+	}
+}
+
+func TestRunCampaignIsCleanAndLogsProgress(t *testing.T) {
+	var log bytes.Buffer
+	findings, err := Run(Options{Checks: []string{"rl", "invariants"}, Campaign: 3, Seed: 99, Log: &log})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range findings {
+		t.Errorf("unexpected finding: %s", f)
+	}
+	if got := strings.Count(log.String(), "diffcheck: ok"); got != 6 {
+		t.Fatalf("want 6 progress lines (2 checks × 3 scenarios), got %d:\n%s", got, log.String())
+	}
+}
+
+func TestFindingStringNamesCycleRouterField(t *testing.T) {
+	f := Finding{Check: "ff", Seed: 5, Cycle: 1234, Router: 3,
+		Field: "in.vc.bufLen[2][0]", A: "1", B: "2", Scenario: "mesh=4x4"}
+	s := f.String()
+	for _, want := range []string{"first divergent cycle=1234", "router=3", "in.vc.bufLen[2][0]", "a=1 b=2", "mesh=4x4"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("finding %q must mention %q", s, want)
+		}
+	}
+}
+
+// FuzzDiffConfig fuzzes the scenario seed through the two cheap
+// whole-simulation properties: fast-forward exactness and the invariant
+// campaign. Counterexamples persist under testdata/fuzz/FuzzDiffConfig
+// and replay on every regular `go test` run.
+func FuzzDiffConfig(f *testing.F) {
+	f.Add(int64(1))
+	f.Add(int64(961471455017131496))  // ff corpus seed
+	f.Add(int64(1911757070458292434)) // invariants corpus seed
+	f.Fuzz(func(t *testing.T, seed int64) {
+		if fd := checkFF(seed); fd != nil {
+			t.Fatalf("ff divergence:\n%s", fd)
+		}
+		if fd := checkInvariants(seed); fd != nil {
+			t.Fatalf("invariant violation:\n%s", fd)
+		}
+	})
+}

@@ -1,0 +1,120 @@
+package diffcheck
+
+import (
+	"fmt"
+	"math"
+	"reflect"
+	"strings"
+
+	"intellinoc/internal/noc"
+)
+
+// Finding is one verified divergence or invariant violation. Cycle is
+// the first divergent cycle (or -1 when the check has no cycle notion),
+// Router the first divergent router (-1 for network-global state), and
+// Field the first divergent state field in the fixed visitation order of
+// noc.StateRecords.
+type Finding struct {
+	Check    string `json:"check"`
+	Seed     int64  `json:"seed"`
+	Scenario string `json:"scenario,omitempty"`
+	Cycle    int64  `json:"cycle"`
+	Router   int    `json:"router"`
+	Field    string `json:"field"`
+	A        string `json:"a,omitempty"`
+	B        string `json:"b,omitempty"`
+}
+
+// String renders the finding as the divergence report line cmd/diffcheck
+// prints.
+func (f Finding) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "[%s] seed=%d", f.Check, f.Seed)
+	if f.Cycle >= 0 {
+		fmt.Fprintf(&b, " first divergent cycle=%d", f.Cycle)
+	}
+	if f.Router >= 0 {
+		fmt.Fprintf(&b, " router=%d", f.Router)
+	}
+	if f.Field != "" {
+		fmt.Fprintf(&b, " field=%s", f.Field)
+	}
+	if f.A != "" || f.B != "" {
+		fmt.Fprintf(&b, ": a=%s b=%s", f.A, f.B)
+	}
+	if f.Scenario != "" {
+		fmt.Fprintf(&b, "\n    scenario: %s", f.Scenario)
+	}
+	return b.String()
+}
+
+// formatStateValue renders one raw state word. Many fields are
+// Float64bits-encoded; values in the float exponent range get a float
+// reading appended so reports stay legible without knowing the field's
+// type.
+func formatStateValue(v uint64) string {
+	if v > 1<<53 {
+		if f := math.Float64frombits(v); !math.IsNaN(f) && !math.IsInf(f, 0) {
+			return fmt.Sprintf("%d (as float %g)", v, f)
+		}
+	}
+	return fmt.Sprintf("%d", v)
+}
+
+// localize turns a fingerprint mismatch between two supposedly
+// equivalent networks into a precise finding by walking their aligned
+// state records and reporting the first entry that differs.
+func localize(check string, sc Scenario, a, b *noc.Network) Finding {
+	f := Finding{Check: check, Seed: sc.Seed, Scenario: sc.String(), Cycle: a.Cycle(), Router: -1}
+	ra, rb := a.StateRecords(), b.StateRecords()
+	n := len(ra)
+	if len(rb) < n {
+		n = len(rb)
+	}
+	for i := 0; i < n; i++ {
+		if ra[i] == rb[i] {
+			continue
+		}
+		if ra[i].Router == rb[i].Router && ra[i].Field == rb[i].Field {
+			f.Router = ra[i].Router
+			f.Field = ra[i].Field
+			f.A = formatStateValue(ra[i].Value)
+			f.B = formatStateValue(rb[i].Value)
+			return f
+		}
+		// The record streams themselves diverged structurally (e.g. a
+		// live packet exists on one side only).
+		f.Router = ra[i].Router
+		f.Field = "state-structure"
+		f.A = fmt.Sprintf("%s[r%d]=%s", ra[i].Field, ra[i].Router, formatStateValue(ra[i].Value))
+		f.B = fmt.Sprintf("%s[r%d]=%s", rb[i].Field, rb[i].Router, formatStateValue(rb[i].Value))
+		return f
+	}
+	if len(ra) != len(rb) {
+		f.Field = "state-structure"
+		f.A = fmt.Sprintf("%d records", len(ra))
+		f.B = fmt.Sprintf("%d records", len(rb))
+		return f
+	}
+	// Fingerprints differed but every record matches: the fingerprint
+	// and the record walk have drifted apart, which is itself a bug.
+	f.Field = "fingerprint"
+	f.A = fmt.Sprintf("%#x", a.Fingerprint())
+	f.B = fmt.Sprintf("%#x", b.Fingerprint())
+	return f
+}
+
+// diffResult compares two final Results field by field and reports the
+// first mismatch by struct field name.
+func diffResult(a, b noc.Result) (field, av, bv string, equal bool) {
+	va, vb := reflect.ValueOf(a), reflect.ValueOf(b)
+	t := va.Type()
+	for i := 0; i < t.NumField(); i++ {
+		fa := fmt.Sprintf("%v", va.Field(i).Interface())
+		fb := fmt.Sprintf("%v", vb.Field(i).Interface())
+		if fa != fb {
+			return t.Field(i).Name, fa, fb, false
+		}
+	}
+	return "", "", "", true
+}

@@ -97,6 +97,19 @@ func (f Figure) Markdown() string {
 	return b.String()
 }
 
+// RenderMarkdown concatenates the figures' markdown tables in order,
+// one blank line apart — the body of every generated report. Keeping
+// the concatenation here means every consumer (cmd/experiments, the
+// diffcheck worker-count pair) renders byte-identically.
+func RenderMarkdown(figs []Figure) string {
+	var b strings.Builder
+	for _, fig := range figs {
+		b.WriteString(fig.Markdown())
+		b.WriteString("\n")
+	}
+	return b.String()
+}
+
 // MeanOver averages a column across all rows (used for the "average" bars
 // the paper's figures end with).
 func (f Figure) MeanOver(col int) float64 {

@@ -1,0 +1,16 @@
+package harness
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+)
+
+// PayloadHash hashes a record's result bytes. The harness writes
+// payloads via a single json.Marshal of the same Go types on every
+// platform, so equal results always produce equal bytes — which makes
+// this hash the unit of "bit-identical result" for cmd/regress's golden
+// gate and internal/diffcheck's worker-count pair.
+func PayloadHash(rec Record) string {
+	h := sha256.Sum256(rec.Payload)
+	return hex.EncodeToString(h[:])
+}

@@ -32,6 +32,14 @@ type channelFlit struct {
 	readyAt int64
 }
 
+// vcTrackLimit sizes peekReady's per-VC "seen" scratch array. Every VC id
+// a validated Config can produce must fit, or the dynamic-allocation scan
+// could not enforce per-VC ordering; the conversion below fails to
+// compile if maxVCs ever outgrows the tracked range.
+const vcTrackLimit = 64
+
+const _ = uint(vcTrackLimit - maxVCs) // compile-time: maxVCs <= vcTrackLimit
+
 func newChannel() *Channel {
 	return &Channel{}
 }
@@ -77,11 +85,24 @@ func (c *Channel) peekReady(cycle int64, dynamicAlloc bool, accept func(*Flit) b
 		}
 		return -1
 	}
-	var seen [64]bool // VCs are small; fixed array avoids allocation
+	var seen [vcTrackLimit]bool // VCs are small; fixed array avoids allocation
+	seenUntracked := false
 	for i := 0; i < c.n; i++ {
 		cf := c.at(i)
 		vc := cf.flit.VC
 		if vc < 0 || vc >= len(seen) {
+			// A VC id outside the tracked range (impossible for a
+			// validated Config, which caps VCs at maxVCs) cannot be
+			// followed per VC. Collapse all untracked ids into one
+			// pessimistic lane: the first such flit shields every later
+			// one, so per-VC order still cannot be violated.
+			if seenUntracked {
+				continue
+			}
+			if cf.readyAt <= cycle && accept(cf.flit) {
+				return i
+			}
+			seenUntracked = true
 			continue
 		}
 		if seen[vc] {
@@ -99,17 +120,25 @@ func (c *Channel) peekReady(cycle int64, dynamicAlloc bool, accept func(*Flit) b
 }
 
 // remove extracts the flit at index i (counted from the head), preserving
-// order. Removing the head is O(1); a mid-queue removal shifts the short
-// prefix in front of it.
+// order. Removing the head is O(1); a mid-queue removal shifts whichever
+// side of the hole is shorter — the prefix in front of it (advancing the
+// head) or the suffix behind it.
 func (c *Channel) remove(i int) *Flit {
 	f := c.at(i).flit
-	for j := i; j > 0; j-- {
-		*c.at(j) = *c.at(j - 1)
-	}
-	c.at(0).flit = nil // release the reference for the flit free-list
-	c.head++
-	if c.head == len(c.buf) {
-		c.head = 0
+	if i <= c.n-1-i {
+		for j := i; j > 0; j-- {
+			*c.at(j) = *c.at(j - 1)
+		}
+		c.at(0).flit = nil // release the reference for the flit free-list
+		c.head++
+		if c.head == len(c.buf) {
+			c.head = 0
+		}
+	} else {
+		for j := i; j < c.n-1; j++ {
+			*c.at(j) = *c.at(j + 1)
+		}
+		c.at(c.n - 1).flit = nil
 	}
 	c.n--
 	return f

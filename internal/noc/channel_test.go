@@ -194,3 +194,89 @@ func TestPortNamesAndOpposite(t *testing.T) {
 		names[n] = true
 	}
 }
+
+func TestChannelRemoveShiftsShorterSideAcrossWrap(t *testing.T) {
+	// Build a wrapped ring: fill the 8-slot backing array, drain the
+	// first five, refill — the live window now spans the wrap point.
+	mk := func() *Channel {
+		ch := newChannel()
+		for i := 0; i < 8; i++ {
+			ch.push(mkFlit(uint64(i), 0, FlitBody), 0)
+		}
+		for i := 0; i < 5; i++ {
+			ch.remove(0)
+		}
+		for i := 8; i < 13; i++ {
+			ch.push(mkFlit(uint64(i), 0, FlitBody), 0)
+		}
+		return ch
+	}
+	check := func(t *testing.T, ch *Channel, want []uint64) {
+		t.Helper()
+		if ch.len() != len(want) {
+			t.Fatalf("len = %d, want %d", ch.len(), len(want))
+		}
+		for i, id := range want {
+			if got := ch.at(i).flit.ID; got != id {
+				t.Fatalf("slot %d: got flit %d, want %d", i, got, id)
+			}
+		}
+	}
+
+	// Queue is flits 5..12. Removing index 1 shifts the shorter prefix
+	// (one slot) toward the tail of the ring.
+	ch := mk()
+	if f := ch.remove(1); f.ID != 6 {
+		t.Fatalf("remove(1) returned flit %d", f.ID)
+	}
+	check(t, ch, []uint64{5, 7, 8, 9, 10, 11, 12})
+
+	// Removing index 6 of 8 shifts the shorter suffix instead; the
+	// removal crosses the wrap point either way.
+	ch = mk()
+	if f := ch.remove(6); f.ID != 11 {
+		t.Fatalf("remove(6) returned flit %d", f.ID)
+	}
+	check(t, ch, []uint64{5, 6, 7, 8, 9, 10, 12})
+
+	// Interior removals from a wrapped ring, repeated until empty,
+	// always preserve relative order.
+	ch = mk()
+	ch.remove(3) // flit 8
+	ch.remove(3) // flit 9
+	check(t, ch, []uint64{5, 6, 7, 10, 11, 12})
+}
+
+func TestChannelPeekReadyUntrackedVCBarrier(t *testing.T) {
+	// VC ids at or above vcTrackLimit don't fit the scan's "seen"
+	// array (a validated Config can never produce them — see the
+	// compile-time guard — but the scan must stay order-safe for any
+	// input). All untracked VCs collapse into one pessimistic lane: a
+	// blocked untracked flit bars every later untracked flit, so a
+	// same-VC overtake can never slip through the fallback.
+	ch := newChannel()
+	ch.push(mkFlit(1, vcTrackLimit+6, FlitHead), 100) // untracked, not ready
+	ch.push(mkFlit(2, vcTrackLimit+6, FlitBody), 0)   // untracked, ready: must NOT overtake
+	ch.push(mkFlit(3, vcTrackLimit+9, FlitHead), 0)   // other untracked VC: still barred
+	ch.push(mkFlit(4, 1, FlitHead), 0)                // tracked VC: deliverable
+	accept := func(*Flit) bool { return true }
+	if idx := ch.peekReady(5, true, accept); idx != 3 {
+		t.Fatalf("scan must bar untracked VCs behind their blocked head and pick the tracked flit: idx=%d", idx)
+	}
+	// The first untracked flit itself delivers normally once ready.
+	if idx := ch.peekReady(100, true, accept); idx != 0 {
+		t.Fatalf("ready untracked head must deliver: idx=%d", idx)
+	}
+}
+
+func TestConfigValidateBoundsVCs(t *testing.T) {
+	cfg := testConfig()
+	cfg.VCs = maxVCs + 1
+	if err := cfg.Validate(); err == nil {
+		t.Fatalf("VCs=%d must be rejected (vcTrackLimit guard depends on it)", cfg.VCs)
+	}
+	cfg.VCs = maxVCs
+	if err := cfg.Validate(); err != nil {
+		t.Fatalf("VCs=%d must validate: %v", cfg.VCs, err)
+	}
+}

@@ -102,13 +102,18 @@ type Network struct {
 
 	injector *fault.Injector
 	rng      *rand.Rand
-	grid     *thermal.Grid
-	aging    fault.AgingParams
-	wear     []fault.Wear
-	pparams  power.Params
-	meters   []*power.Meter
-	lastTJ   []float64 // meter joules at last thermal step
-	thermAct []uint64  // flits forwarded since last thermal step
+	// payloadRng drives everything that exists only when VerifyPayloads
+	// is on (payload byte fill, codec upset-bit placement). Keeping it a
+	// separate stream means the knob cannot perturb n.rng, so a seeded
+	// run's fault outcomes are bit-identical with the codecs on or off.
+	payloadRng *rand.Rand
+	grid       *thermal.Grid
+	aging      fault.AgingParams
+	wear       []fault.Wear
+	pparams    power.Params
+	meters     []*power.Meter
+	lastTJ     []float64 // meter joules at last thermal step
+	thermAct   []uint64  // flits forwarded since last thermal step
 
 	secded ecc.Code
 	dected ecc.Code
@@ -152,6 +157,7 @@ type Network struct {
 	pktsFailed      uint64
 	hopRetransmits  uint64
 	e2eRetransmits  uint64
+	codecDisagree   uint64
 	modeBreakdown   stats.ModeBreakdown
 	gatedCycles     uint64
 	controlFaults   uint64
@@ -184,22 +190,23 @@ func New(cfg Config, gen traffic.Generator, ctrl Controller) (*Network, error) {
 	}
 	nodes := cfg.Nodes()
 	n := &Network{
-		cfg:      cfg,
-		ctrl:     ctrl,
-		gen:      traffic.NewPeeker(gen),
-		injector: fault.NewInjector(fault.DefaultTransientModel(cfg.BaseErrorRate), cfg.Seed+1),
-		rng:      rand.New(rand.NewSource(cfg.Seed + 2)),
-		grid:     thermal.NewGrid(cfg.Width, cfg.Height, tp),
-		aging:    ap,
-		wear:     make([]fault.Wear, nodes),
-		pparams:  pp,
-		meters:   make([]*power.Meter, nodes),
-		lastTJ:   make([]float64, nodes),
-		thermAct: make([]uint64, nodes),
-		latency:  stats.NewLatencyHistogram(),
-		nics:     make([]*nic, nodes),
-		secded:   ecc.NewSECDED(),
-		dected:   ecc.NewDECTED(),
+		cfg:        cfg,
+		ctrl:       ctrl,
+		gen:        traffic.NewPeeker(gen),
+		injector:   fault.NewInjector(fault.DefaultTransientModel(cfg.BaseErrorRate), cfg.Seed+1),
+		rng:        rand.New(rand.NewSource(cfg.Seed + 2)),
+		payloadRng: rand.New(rand.NewSource(cfg.Seed + 3)),
+		grid:       thermal.NewGrid(cfg.Width, cfg.Height, tp),
+		aging:      ap,
+		wear:       make([]fault.Wear, nodes),
+		pparams:    pp,
+		meters:     make([]*power.Meter, nodes),
+		lastTJ:     make([]float64, nodes),
+		thermAct:   make([]uint64, nodes),
+		latency:    stats.NewLatencyHistogram(),
+		nics:       make([]*nic, nodes),
+		secded:     ecc.NewSECDED(),
+		dected:     ecc.NewDECTED(),
 
 		linkRe:        make([]float64, nodes),
 		linkReRelaxed: make([]float64, nodes),
@@ -1087,53 +1094,72 @@ func (n *Network) resolveErrors(f *Flit, scheme ecc.Scheme, capab ecc.Capability
 		f.Corrupt = true
 		return ecc.OutcomeSilent
 	}
-	if n.cfg.VerifyPayloads && f.Payload != nil {
-		return n.resolveWithCodec(f, scheme, errBits)
-	}
 	outcome := capab.Resolve(errBits)
+	if n.cfg.VerifyPayloads && f.Payload != nil {
+		n.verifyWithCodec(f, scheme, capab, errBits, outcome)
+	}
 	if outcome == ecc.OutcomeSilent {
 		f.Corrupt = true
 	}
 	return outcome
 }
 
-// resolveWithCodec runs the real encode→corrupt→decode path on the flit's
-// payload: the flit's 128 bits are protected as two 64-bit ECC words.
-func (n *Network) resolveWithCodec(f *Flit, scheme ecc.Scheme, errBits int) ecc.Outcome {
+// verifyWithCodec runs the real encode→corrupt→decode path on the flit's
+// payload as a cross-check of the capability fast path: the upset burst
+// lands as errBits distinct bits of one of the two 64-bit ECC words
+// protecting the flit's 128 payload bits. The capability table stays
+// authoritative for the hop outcome (so VerifyPayloads cannot change a
+// seeded run's results); any in-envelope disagreement between the codec
+// and the table is counted in codecDisagree instead of silently steering
+// the simulation. On a Silent outcome the payload is left carrying the
+// mis-decoded bytes so the end-to-end CRC has real damage to catch.
+func (n *Network) verifyWithCodec(f *Flit, scheme ecc.Scheme, capab ecc.Capability, errBits int, outcome ecc.Outcome) {
 	code := n.secded
 	if scheme == ecc.SchemeDECTED {
 		code = n.dected
 	}
-	words := [2]*ecc.BitVector{
-		ecc.FromBytes(f.Payload[:8]),
-		ecc.FromBytes(f.Payload[8:16]),
-	}
-	encoded := [2]*ecc.BitVector{code.Encode(words[0]), code.Encode(words[1])}
-	// Distribute the injected upsets over the two codewords.
-	for i := 0; i < errBits; i++ {
-		w := n.rng.Intn(2)
-		encoded[w].FlipBit(n.rng.Intn(encoded[w].Len()))
-	}
-	worst := ecc.OutcomeClean
-	for w := 0; w < 2; w++ {
-		data, res := code.Decode(encoded[w])
-		switch res {
-		case ecc.ResultDetected:
-			return ecc.OutcomeDetected
-		case ecc.ResultCorrected:
-			if worst == ecc.OutcomeClean {
-				worst = ecc.OutcomeCorrected
-			}
+	w := n.payloadRng.Intn(2)
+	word := ecc.FromBytes(f.Payload[w*8 : w*8+8])
+	encoded := code.Encode(word)
+	// Flip errBits distinct codeword bits (a repeated position would
+	// cancel itself and silently weaken the injected burst).
+	flipped := make(map[int]bool, errBits)
+	for len(flipped) < errBits && len(flipped) < encoded.Len() {
+		b := n.payloadRng.Intn(encoded.Len())
+		if flipped[b] {
+			continue
 		}
-		if !data.Equal(words[w]) {
-			// Miscorrection: the payload is now silently wrong.
-			copy(f.Payload[w*8:], data.Bytes())
-			f.Corrupt = true
-			worst = ecc.OutcomeSilent
-		}
+		flipped[b] = true
+		encoded.FlipBit(b)
 	}
-	return worst
+	data, res := code.Decode(encoded)
+	// Inside the code's guaranteed envelope the decoder must reproduce
+	// the table's verdict exactly; beyond it (errBits > Detect) any
+	// decoder behaviour is legal and only the table's Silent stands.
+	if errBits <= capab.Detect {
+		want := ecc.ResultCorrected
+		if errBits > capab.Correct {
+			want = ecc.ResultDetected
+		}
+		if res != want || (res == ecc.ResultCorrected && !data.Equal(word)) {
+			n.codecDisagree++
+		}
+		return
+	}
+	// Silent: carry forward whatever the decoder produced; if it happens
+	// to reconstruct the original word, force one payload bit wrong so
+	// the corruption the table promised is physically present.
+	copy(f.Payload[w*8:], data.Bytes())
+	if data.Equal(word) {
+		f.Payload[w*8] ^= 1 << uint(n.payloadRng.Intn(8))
+	}
 }
+
+// CodecDisagreements returns how many protected hops saw the bit-exact
+// codec disagree with the capability table inside the scheme's guaranteed
+// correct/detect envelope. It must be zero on any run; internal/diffcheck
+// asserts this as part of the VerifyPayloads pair check.
+func (n *Network) CodecDisagreements() uint64 { return n.codecDisagree }
 
 // eject delivers a flit to the destination NIC. The flit itself returns
 // to the free-list here — ejection is the only place flits die.
@@ -1315,7 +1341,7 @@ func (n *Network) makeFlit(job *packetJob, idx, vc int) *Flit {
 		} else {
 			f.Payload = make([]byte, 16)
 		}
-		n.rng.Read(f.Payload)
+		n.payloadRng.Read(f.Payload)
 	}
 	return f
 }

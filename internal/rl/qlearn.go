@@ -149,12 +149,16 @@ func (a *Agent) stateValue(s State) float64 {
 	return best
 }
 
-// Q returns the current estimate Q(s, action).
+// Q returns the current estimate Q(s, action). A never-seen state has no
+// row yet; its actions are all valued at the same running-reward baseline
+// that stateValue, Update's row initialization, and the bootstrap use —
+// returning 0 here instead would report phantom optimism under eq. 1's
+// always-negative rewards (and would disagree with max_a Q(s,a)).
 func (a *Agent) Q(s State, action int) float64 {
 	if r, ok := a.q[s]; ok {
 		return r[action]
 	}
-	return 0
+	return a.stateValue(s)
 }
 
 // Greedy returns argmax_a Q(s,a), breaking ties toward the configured

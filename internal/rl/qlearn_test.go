@@ -277,3 +277,41 @@ func TestAgentPanicsWithoutActions(t *testing.T) {
 	}()
 	NewAgent(Config{Actions: 0})
 }
+
+func TestQUnseenStateMatchesBaselineNotZero(t *testing.T) {
+	// Regression: Q on a never-seen state used to report 0, phantom
+	// optimism under eq. 1's always-negative rewards — disagreeing with
+	// stateValue's baseline, Greedy's tie-break, and the bootstrap that
+	// Update itself uses.
+	cfg := Config{Actions: 3, Alpha: 0.1, Gamma: 0.9, Epsilon: 0, Seed: 1, DefaultAction: 1}
+	ag := NewAgent(cfg)
+	for i := 0; i < 50; i++ {
+		ag.Update(State(i%5), i%3, -4, State((i+1)%5))
+	}
+	unseen := State(999)
+	if _, trained := ag.DebugRows()[uint64(unseen)]; trained {
+		t.Fatal("probe state unexpectedly trained")
+	}
+	base := ag.Q(unseen, 0)
+	if base >= 0 {
+		t.Fatalf("Q(unseen) = %g; with strictly negative rewards the baseline must be negative, not phantom-zero", base)
+	}
+	for a := 1; a < cfg.Actions; a++ {
+		if got := ag.Q(unseen, a); got != base {
+			t.Fatalf("Q(unseen,%d) = %g, want the shared baseline %g", a, got, base)
+		}
+	}
+	// Consistency with Update's own bootstrap: a probe update whose
+	// only value source is V(unseen) must read back γ·Q(unseen,·).
+	fresh := State(998)
+	ag.Update(fresh, 0, 0, unseen)
+	got := ag.Q(fresh, 0)
+	want := cfg.Gamma * ag.Q(unseen, 0)
+	if math.Abs(got-want) > 1e-9*(1+math.Abs(want)) {
+		t.Fatalf("TD target %g disagrees with γ·Q(unseen,·) = %g", got, want)
+	}
+	// Greedy on the unseen state keeps the configured default.
+	if g := ag.Greedy(unseen); g != cfg.DefaultAction {
+		t.Fatalf("Greedy(unseen) = %d, want default %d", g, cfg.DefaultAction)
+	}
+}

@@ -91,6 +91,18 @@ func (h *Histogram) Add(v float64) {
 	h.counts[i]++
 }
 
+// VisitCounts calls fn for every bucket in ascending order, including
+// the final overflow bucket (index len(edges)). It exposes the exact
+// bucket occupancy without copying, for state fingerprinting and tests.
+func (h *Histogram) VisitCounts(fn func(bucket int, count uint64)) {
+	for i, c := range h.counts {
+		fn(i, c)
+	}
+}
+
+// NumBuckets returns the bucket count including the overflow bucket.
+func (h *Histogram) NumBuckets() int { return len(h.counts) }
+
 // Percentile returns an upper-bound estimate of the p-th percentile
 // (0 < p < 100). Empty histograms return 0.
 func (h *Histogram) Percentile(p float64) float64 {

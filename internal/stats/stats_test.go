@@ -154,3 +154,74 @@ func TestWindowPower(t *testing.T) {
 		t.Fatal("reset failed")
 	}
 }
+
+func TestHistogramValuesExactlyOnEdges(t *testing.T) {
+	h := NewHistogram([]float64{1, 10, 100})
+	// sort.SearchFloat64s places a value equal to an edge at that
+	// edge's own bucket index, so an on-edge observation counts toward
+	// the bucket whose upper bound it names.
+	h.Add(1)
+	h.Add(10)
+	h.Add(100)
+	h.Add(0.5)                   // below the first edge: bucket 0
+	h.Add(100.5)                 // above the last edge: overflow bucket
+	want := []uint64{2, 1, 1, 1} // {0.5,1}, {10}, {100}, {100.5}
+	got := make([]uint64, 0, h.NumBuckets())
+	h.VisitCounts(func(bucket int, count uint64) {
+		if bucket != len(got) {
+			t.Fatalf("VisitCounts bucket %d out of order (want %d)", bucket, len(got))
+		}
+		got = append(got, count)
+	})
+	if len(got) != h.NumBuckets() || h.NumBuckets() != 4 {
+		t.Fatalf("NumBuckets = %d, visited %d; want 4 (3 edges + overflow)", h.NumBuckets(), len(got))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("bucket %d: count %d, want %d (on-edge values must land at their edge's index)", i, got[i], want[i])
+		}
+	}
+	// An on-edge percentile reports that same edge as its upper bound.
+	h2 := NewHistogram([]float64{1, 10, 100})
+	h2.Add(10)
+	if p := h2.Percentile(50); p != 10 {
+		t.Fatalf("single on-edge sample: P50 = %g, want 10", p)
+	}
+}
+
+func TestHistogramPercentileExtremes(t *testing.T) {
+	h := NewHistogram([]float64{1, 10, 100})
+	for i := 0; i < 10; i++ {
+		h.Add(5)
+	}
+	h.Add(1e6) // one overflow sample
+	// p→0 clamps the rank to the first sample rather than rank 0.
+	if p := h.Percentile(0.0001); p != 10 {
+		t.Fatalf("P(0+) = %g, want the first occupied bucket's edge 10", p)
+	}
+	// p=100 walks to the overflow bucket, which reports the true max.
+	if p := h.Percentile(100); p != 1e6 {
+		t.Fatalf("P100 = %g, want the overflow max 1e6", p)
+	}
+	// Only-overflow histograms report the max at any percentile.
+	h2 := NewHistogram([]float64{1})
+	h2.Add(7)
+	if p := h2.Percentile(50); p != 7 {
+		t.Fatalf("overflow-only P50 = %g, want max 7", p)
+	}
+}
+
+func TestSummaryMergeBothEmptyAndEmptyRight(t *testing.T) {
+	var a, b Summary
+	a.Merge(b)
+	if a.Count != 0 || a.Sum != 0 || a.Min != 0 || a.Max != 0 {
+		t.Fatalf("empty⊕empty must stay zero: %+v", a)
+	}
+	a.Add(3)
+	a.Add(-2)
+	snap := a
+	a.Merge(Summary{})
+	if a != snap {
+		t.Fatalf("merging an empty right side changed the summary: %+v vs %+v", a, snap)
+	}
+}

@@ -97,12 +97,36 @@ func NewSynthetic(cfg SyntheticConfig) (*Synthetic, error) {
 		return nil, fmt.Errorf("traffic: packet budget must be positive")
 	}
 	nodes := cfg.Width * cfg.Height
+	if nodes < 2 {
+		return nil, fmt.Errorf("traffic: mesh %dx%d has no destination to send to", cfg.Width, cfg.Height)
+	}
 	s := &Synthetic{
 		cfg:      cfg,
 		nodes:    nodes,
 		addrBits: bits.Len(uint(nodes - 1)),
 		rng:      rand.New(rand.NewSource(cfg.Seed)),
 		hotspots: []int{0, cfg.Width - 1, nodes - cfg.Width, nodes - 1},
+	}
+	// A deterministic pattern that maps every node onto itself (e.g.
+	// Tornado on a width-2 mesh) can never emit a packet: Next skips
+	// self-addressed trials without consuming the budget and would spin
+	// forever. Uniform and Hotspot redraw through the PRNG and always
+	// make progress on a 2+-node mesh; the deterministic patterns are
+	// probed without touching the PRNG.
+	switch cfg.Pattern {
+	case Uniform, Hotspot:
+	default:
+		progress := false
+		for src := 0; src < nodes; src++ {
+			if s.destination(src) != src {
+				progress = true
+				break
+			}
+		}
+		if !progress {
+			return nil, fmt.Errorf("traffic: pattern %v maps every node of a %dx%d mesh onto itself",
+				cfg.Pattern, cfg.Width, cfg.Height)
+		}
 	}
 	return s, nil
 }
