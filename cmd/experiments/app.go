@@ -11,19 +11,22 @@ import (
 
 	"intellinoc/internal/core"
 	"intellinoc/internal/experiments"
+	"intellinoc/internal/harness"
 )
 
 // options carries the parsed command line.
 type options struct {
-	packets  int
-	quick    bool
-	only     string
-	workers  int
-	mdPath   string
-	seed     int64
-	results  string
-	resume   bool
-	progress bool
+	packets       int
+	quick         bool
+	only          string
+	workers       int
+	mdPath        string
+	seed          int64
+	results       string
+	resume        bool
+	progress      bool
+	telemetryDir  string
+	telemetryAddr string
 }
 
 // parseArgs parses the command line into options. It uses a dedicated
@@ -41,6 +44,8 @@ func parseArgs(args []string, stderr io.Writer) (options, error) {
 	fs.StringVar(&o.results, "results", "", "stream finished jobs to this JSONL file (enables resume and cmd/regress)")
 	fs.BoolVar(&o.resume, "resume", false, "skip jobs already recorded in -results and append the rest")
 	fs.BoolVar(&o.progress, "progress", true, "print live progress (jobs done/total, ETA, utilization) to stderr")
+	fs.StringVar(&o.telemetryDir, "telemetry-dir", "", "write a metrics.prom snapshot and a timeline.json Chrome trace of the job schedule to this directory")
+	fs.StringVar(&o.telemetryAddr, "telemetry-addr", "", "serve /metrics, /debug/vars, and /debug/pprof on this address while the suite runs (e.g. localhost:6060)")
 	if err := fs.Parse(args); err != nil {
 		return o, err
 	}
@@ -91,15 +96,35 @@ func run(o options, stdout, stderr io.Writer) error {
 	if o.progress {
 		progress = stderr
 	}
+	var tap *telemetryTap
+	var observer func(harness.Record)
+	if o.telemetryDir != "" || o.telemetryAddr != "" {
+		tap = newTelemetryTap()
+		observer = tap.observe
+		if o.telemetryAddr != "" {
+			bound, err := tap.serve(o.telemetryAddr, stderr)
+			if err != nil {
+				return fmt.Errorf("telemetry server: %w", err)
+			}
+			fmt.Fprintf(stderr, "telemetry: serving /metrics, /debug/vars, /debug/pprof on %s\n", bound)
+		}
+	}
 	start := time.Now()
 	res, err := suite.Run(experiments.RunOptions{
 		Workers:     o.workers,
 		ResultsPath: o.results,
 		Resume:      o.resume,
 		Progress:    progress,
+		Observer:    observer,
 	})
 	if err != nil {
 		return err
+	}
+	if tap != nil && o.telemetryDir != "" {
+		if err := tap.writeDir(o.telemetryDir); err != nil {
+			return fmt.Errorf("writing telemetry: %w", err)
+		}
+		fmt.Fprintln(stdout, "wrote telemetry snapshot to", o.telemetryDir)
 	}
 
 	for _, fig := range res.Figures {

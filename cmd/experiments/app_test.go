@@ -2,6 +2,7 @@ package main
 
 import (
 	"io"
+	"net/http"
 	"os"
 	"path/filepath"
 	"strings"
@@ -77,6 +78,83 @@ func TestRunTable2Only(t *testing.T) {
 		if !strings.Contains(string(data), want) {
 			t.Fatalf("report missing %q", want)
 		}
+	}
+}
+
+// TestRunWritesTelemetryDir drives a tiny suite with -telemetry-dir and
+// -telemetry-addr and checks the snapshot files and the live /metrics
+// endpoint.
+func TestRunWritesTelemetryDir(t *testing.T) {
+	dir := t.TempDir()
+	tdir := filepath.Join(dir, "telemetry")
+	o, err := parseArgs([]string{"-only", "fig18a", "-packets", "600", "-seed", "7",
+		"-progress=false", "-telemetry-dir", tdir, "-telemetry-addr", "localhost:0"}, io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out, errBuf strings.Builder
+	if err := run(o, &out, &errBuf); err != nil {
+		t.Fatal(err)
+	}
+
+	prom, err := os.ReadFile(filepath.Join(tdir, "metrics.prom"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"# TYPE experiments_jobs_completed_total counter",
+		"experiments_job_wall_ms_bucket{le=\"+Inf\"}",
+		"experiments_job_wall_ms_count",
+	} {
+		if !strings.Contains(string(prom), want) {
+			t.Fatalf("metrics.prom missing %q:\n%s", want, prom)
+		}
+	}
+
+	tl, err := os.ReadFile(filepath.Join(tdir, "timeline.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{`"traceEvents"`, `"experiment harness"`, `"worker 0"`, `"ph":"X"`} {
+		if !strings.Contains(string(tl), want) {
+			t.Fatalf("timeline.json missing %q:\n%s", want, tl)
+		}
+	}
+
+	// The bound address is reported on stderr; fetch /metrics live.
+	var addr string
+	for _, line := range strings.Split(errBuf.String(), "\n") {
+		if strings.Contains(line, "telemetry: serving") {
+			fields := strings.Fields(line)
+			addr = fields[len(fields)-1]
+		}
+	}
+	if addr == "" {
+		t.Fatalf("stderr missing telemetry server line:\n%s", errBuf.String())
+	}
+	resp, err := http.Get("http://" + addr + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(body), "experiments_jobs_completed_total") {
+		t.Fatalf("/metrics missing job counter:\n%s", body)
+	}
+	resp, err = http.Get("http://" + addr + "/debug/vars")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, err = io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(body), "experiments") {
+		t.Fatalf("/debug/vars missing published registry:\n%s", body)
 	}
 }
 

@@ -14,6 +14,9 @@ import (
 	"os"
 
 	"intellinoc"
+	"intellinoc/internal/core"
+	"intellinoc/internal/noc"
+	"intellinoc/internal/telemetry"
 	"intellinoc/internal/traffic"
 )
 
@@ -38,6 +41,8 @@ func main() {
 		loadPol       = flag.String("load-policy", "", "load a policy saved earlier instead of pre-training")
 		perRouterFlag = flag.Bool("per-router", false, "print the per-router summary table")
 		heatmap       = flag.Bool("heatmap", false, "print the die temperature grid")
+		chromeTrace   = flag.String("chrome-trace", "", "write a Chrome trace-event JSON timeline of the run to this file (load in Perfetto or chrome://tracing)")
+		traceFlits    = flag.Bool("trace-flits", false, "include per-flit instants in -chrome-trace output (large)")
 	)
 	flag.Parse()
 
@@ -96,9 +101,35 @@ func main() {
 	}
 
 	fmt.Printf("running %s on %s (%dx%d mesh)...\n", technique, desc, *width, *height)
-	res, perRouter, err := intellinoc.RunDetailed(technique, sim, gen, policy)
+	var (
+		res       intellinoc.Result
+		perRouter []intellinoc.RouterSummary
+		tracer    *telemetry.NetworkTracer
+	)
+	if *chromeTrace != "" {
+		tracer = telemetry.NewNetworkTracer(*width**height, telemetry.TracerOptions{
+			FlitEvents: *traceFlits, TempCounters: true,
+		})
+		res, perRouter, err = core.RunInstrumented(technique, sim, gen, policy,
+			func(n *noc.Network, _ noc.Controller) { tracer.Attach(n) })
+	} else {
+		res, perRouter, err = intellinoc.RunDetailed(technique, sim, gen, policy)
+	}
 	if err != nil {
 		fatal(err)
+	}
+	if tracer != nil {
+		f, err := os.Create(*chromeTrace)
+		if err != nil {
+			fatal(err)
+		}
+		if err := tracer.WriteJSON(f); err != nil {
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+		fmt.Println("wrote Chrome trace to", *chromeTrace)
 	}
 
 	execSeconds := float64(res.Cycles) / 2e9

@@ -61,6 +61,12 @@ type RLController struct {
 	// overwritten by subsequent TD updates.
 	QTableFaultRate float64
 	faultRNG        *rand.Rand
+
+	// DecisionHook, when non-nil, receives one rl.DecisionSample per
+	// controller decision (telemetry flight recorder). It is deliberately
+	// not copied by Clone: instrumentation attaches to the controller
+	// instance that actually runs, never travels with a saved policy.
+	DecisionHook func(rl.DecisionSample)
 }
 
 var _ noc.Controller = (*RLController)(nil)
@@ -98,15 +104,25 @@ func (c *RLController) NextMode(obs noc.Observation) noc.Mode {
 	}
 	state := c.disc.Discretize(obs.Features[:])
 	action := agent.SelectAction(state)
+	var reward float64
+	updated := false
 	if !c.Frozen && c.last[i].valid {
-		reward := rl.Reward(obs.AvgLatencyCycles, obs.PowerMilliwatts, obs.AgingFactor)
+		reward = rl.Reward(obs.AvgLatencyCycles, obs.PowerMilliwatts, obs.AgingFactor)
 		if c.OnPolicy {
 			agent.UpdateOnPolicy(c.last[i].state, c.last[i].action, reward, state, action)
 		} else {
 			agent.Update(c.last[i].state, c.last[i].action, reward, state)
 		}
+		updated = true
 	}
 	c.last[i].state, c.last[i].action, c.last[i].valid = state, action, true
+	if c.DecisionHook != nil {
+		c.DecisionHook(rl.DecisionSample{
+			Router: i, Cycle: obs.Cycle, State: state, Action: action,
+			Reward: reward, Updated: updated,
+			TableSize: agent.TableSize(), Row: agent.RowStats(state),
+		})
+	}
 	return noc.Mode(action)
 }
 

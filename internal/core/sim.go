@@ -114,6 +114,17 @@ func Run(tech Technique, sim SimConfig, gen traffic.Generator, policy *Policy) (
 // RunDetailed is Run plus per-router summaries (temperatures, wear, MTTF,
 // energy, traffic) for heatmaps and hotspot analysis.
 func RunDetailed(tech Technique, sim SimConfig, gen traffic.Generator, policy *Policy) (noc.Result, []noc.RouterSummary, error) {
+	return RunInstrumented(tech, sim, gen, policy, nil)
+}
+
+// RunInstrumented is RunDetailed with an instrumentation callback invoked
+// after the network and controller are built but before the first cycle,
+// so telemetry (flight recorder, trace exporter, metrics) can attach hooks
+// to the exact instances that run. The controller passed to instrument is
+// the deployed one — for a pre-trained policy that is the post-Clone
+// controller, not the policy's. A nil instrument is exactly RunDetailed;
+// an instrument that installs no hooks leaves results bit-identical.
+func RunInstrumented(tech Technique, sim SimConfig, gen traffic.Generator, policy *Policy, instrument func(*noc.Network, noc.Controller)) (noc.Result, []noc.RouterSummary, error) {
 	sim = sim.withDefaults()
 	cfg := tech.NetworkConfig(sim.Width, sim.Height)
 	cfg.TimeStepCycles = sim.TimeStepCycles
@@ -130,6 +141,9 @@ func RunDetailed(tech Technique, sim SimConfig, gen traffic.Generator, policy *P
 		return noc.Result{}, nil, fmt.Errorf("core: building %s network: %w", tech, err)
 	}
 	n.SetInitialMode(initial)
+	if instrument != nil {
+		instrument(n, ctrl)
+	}
 	res, err := n.RunUntilDrained(sim.MaxCycles)
 	if err != nil {
 		return res, nil, fmt.Errorf("core: running %s: %w", tech, err)

@@ -4,9 +4,11 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"sort"
 
 	"intellinoc/internal/noc"
 	"intellinoc/internal/rl"
+	"intellinoc/internal/telemetry"
 )
 
 // checkInvariants runs one fuzzed scenario to completion while watching
@@ -21,6 +23,17 @@ func checkInvariants(seed int64) *Finding {
 	n, err := sc.network(nil)
 	if err != nil {
 		return buildFailure("invariants", sc, err)
+	}
+
+	// A flight recorder tees off the event hook below (and takes the
+	// epoch hook outright) so every finding ships the tail leading into
+	// the violation. Recording stops once an order violation is latched,
+	// leaving the tail ending at the offending event.
+	rec := telemetry.NewRecorder(telemetry.DefaultCapacity)
+	n.SetEpochHook(rec.RecordEpoch)
+	withTail := func(f *Finding) *Finding {
+		f.Tail = rec.TailLines(0)
+		return f
 	}
 
 	// Per (kind, router, packet) flit-sequence tracking. A flit stream
@@ -38,6 +51,7 @@ func checkInvariants(seed int64) *Finding {
 		if orderBad != nil {
 			return
 		}
+		rec.RecordEvent(e)
 		switch e.Kind {
 		case noc.EvDeliver, noc.EvBypass, noc.EvEject, noc.EvTraverse:
 		default:
@@ -65,72 +79,104 @@ func checkInvariants(seed int64) *Finding {
 		for i := 0; i < 4096 && !n.Drained(); i++ {
 			n.Step()
 			if orderBad != nil {
-				return orderBad
+				return withTail(orderBad)
 			}
 		}
 		// bufCount mirrors and energy monotonicity hold at any cycle.
 		if err := n.CheckInvariants(); err != nil {
-			return &Finding{Check: "invariants", Seed: sc.Seed, Scenario: sc.String(),
-				Cycle: n.Cycle(), Router: -1, Field: "CheckInvariants", B: err.Error()}
+			return withTail(&Finding{Check: "invariants", Seed: sc.Seed, Scenario: sc.String(),
+				Cycle: n.Cycle(), Router: -1, Field: "CheckInvariants", B: err.Error()})
 		}
 		j := n.Snapshot().TotalJoules()
 		if j < lastJoules*(1-1e-12) {
-			return &Finding{Check: "invariants", Seed: sc.Seed, Scenario: sc.String(),
+			return withTail(&Finding{Check: "invariants", Seed: sc.Seed, Scenario: sc.String(),
 				Cycle: n.Cycle(), Router: -1, Field: "energy-monotonic",
-				A: fmt.Sprintf("%g", lastJoules), B: fmt.Sprintf("%g", j)}
+				A: fmt.Sprintf("%g", lastJoules), B: fmt.Sprintf("%g", j)})
 		}
 		lastJoules = j
 	}
 	if !n.Drained() {
-		return &Finding{Check: "invariants", Seed: sc.Seed, Scenario: sc.String(),
-			Cycle: n.Cycle(), Router: -1, Field: "drained", A: "true", B: "stalled"}
+		return withTail(&Finding{Check: "invariants", Seed: sc.Seed, Scenario: sc.String(),
+			Cycle: n.Cycle(), Router: -1, Field: "drained", A: "true", B: "stalled"})
 	}
 	if err := n.CheckInvariants(); err != nil {
-		return &Finding{Check: "invariants", Seed: sc.Seed, Scenario: sc.String(),
-			Cycle: n.Cycle(), Router: -1, Field: "CheckInvariants", B: err.Error()}
+		return withTail(&Finding{Check: "invariants", Seed: sc.Seed, Scenario: sc.String(),
+			Cycle: n.Cycle(), Router: -1, Field: "CheckInvariants", B: err.Error()})
 	}
 
 	res := n.Snapshot()
 	packets := uint64(sc.Traf.Packets)
 	if res.PacketsDelivered+res.PacketsFailed != packets {
-		return &Finding{Check: "invariants", Seed: sc.Seed, Scenario: sc.String(),
+		return withTail(&Finding{Check: "invariants", Seed: sc.Seed, Scenario: sc.String(),
 			Cycle: n.Cycle(), Router: -1, Field: "packet-conservation",
 			A: fmt.Sprintf("%d offered", packets),
-			B: fmt.Sprintf("%d delivered + %d failed", res.PacketsDelivered, res.PacketsFailed)}
+			B: fmt.Sprintf("%d delivered + %d failed", res.PacketsDelivered, res.PacketsFailed)})
 	}
 	wantFlits := packets*uint64(sc.Traf.PacketFlits) + res.E2ERetransmits
 	if res.FlitsDelivered != wantFlits {
-		return &Finding{Check: "invariants", Seed: sc.Seed, Scenario: sc.String(),
+		return withTail(&Finding{Check: "invariants", Seed: sc.Seed, Scenario: sc.String(),
 			Cycle: n.Cycle(), Router: -1, Field: "flit-conservation",
 			A: fmt.Sprintf("%d (packets×flits + e2e retransmits)", wantFlits),
-			B: fmt.Sprintf("%d delivered", res.FlitsDelivered)}
+			B: fmt.Sprintf("%d delivered", res.FlitsDelivered)})
 	}
 	return nil
 }
 
-// checkRL runs a metamorphic consistency campaign over a randomly
-// trained tabular agent. The properties hold for any correct
-// implementation regardless of the training history:
+// checkRL runs a metamorphic consistency campaign over randomly trained
+// tabular agents — one trained off-policy (Update, eq. 2) and one
+// on-policy (UpdateOnPolicy, SARSA; sarsa.go). The table identities hold
+// for any correct implementation regardless of the training history:
 //
 //  1. Greedy(s) is an argmax of Q(s,·) for every trained state.
 //  2. Q on a trained state reads back the table row exactly.
-//  3. Q on a never-seen state equals the agent's internal unseen-state
-//     baseline V(s). V is recovered without touching private state by a
-//     probe on a clone: after Update(fresh, a, 0, unseen) the TD target
-//     is exactly γ·V(unseen), so Q(unseen, ·) on the original must be
-//     target/γ. (The historical bug returned 0 here, disagreeing with
-//     Greedy, stateValue, and Update's own bootstrap.)
+//  3. Q on a never-seen state is one uniform baseline across all actions,
+//     negative under eq. 1-style strictly negative rewards, and Greedy
+//     falls back to the configured default action. (The historical bug
+//     returned phantom 0 here, disagreeing with Greedy, stateValue, and
+//     Update's own bootstrap.)
+//
+// Each learning rule's bootstrap is then probed on a clone, so both sides
+// of the identity see the same running-reward state:
+//
+//  4. After Update/UpdateOnPolicy(fresh, 0, 0, unseen[, a']), Q(fresh,0)
+//     is exactly the TD target γ·V(unseen), so γ·Q(unseen,·) must read it
+//     back — the same baseline must feed row initialization, the
+//     bootstrap, and Q. For SARSA the identity is additionally
+//     independent of which nextAction was fed.
+//  5. SARSA only: with a trained successor, the bootstrap must be the
+//     value of the action actually taken, not the row maximum — feeding a
+//     deliberately non-greedy nextAction distinguishes UpdateOnPolicy
+//     from an off-policy (max) leak.
 func checkRL(seed int64) *Finding {
 	rng := rand.New(rand.NewSource(seed))
 	cfg := rl.Config{Actions: 5, Alpha: 0.1, Gamma: 0.9, Epsilon: 0.05,
 		Seed: seed, DefaultAction: 1}
+
+	if f := rlTableIdentities(seed, "q", cfg, rng, false); f != nil {
+		return f
+	}
+	return rlTableIdentities(seed, "sarsa", cfg, rng, true)
+}
+
+// rlTableIdentities trains one agent with the selected update rule and
+// checks the identities documented on checkRL. Finding fields are
+// prefixed with the variant so a report names the learning rule.
+func rlTableIdentities(seed int64, variant string, cfg rl.Config, rng *rand.Rand, onPolicy bool) *Finding {
+	fail := func(field, a, b string) *Finding {
+		return &Finding{Check: "rl", Seed: seed, Cycle: -1, Router: -1,
+			Field: variant + "/" + field, A: a, B: b}
+	}
 	ag := rl.NewAgent(cfg)
 	// Train on a small state space with eq. 1-style strictly negative
 	// rewards so the unseen-state baseline is firmly non-zero.
 	for i := 0; i < 300; i++ {
 		s := rl.State(rng.Intn(40))
 		next := rl.State(rng.Intn(40))
-		ag.Update(s, rng.Intn(cfg.Actions), -1-5*rng.Float64(), next)
+		if onPolicy {
+			ag.UpdateOnPolicy(s, rng.Intn(cfg.Actions), -1-5*rng.Float64(), next, rng.Intn(cfg.Actions))
+		} else {
+			ag.Update(s, rng.Intn(cfg.Actions), -1-5*rng.Float64(), next)
+		}
 	}
 
 	rows := ag.DebugRows()
@@ -139,15 +185,13 @@ func checkRL(seed int64) *Finding {
 		g := ag.Greedy(s)
 		for act := 0; act < cfg.Actions; act++ {
 			if ag.Q(s, act) != row[act] {
-				return &Finding{Check: "rl", Seed: seed, Cycle: -1, Router: -1,
-					Field: fmt.Sprintf("Q(seen %d,%d)", sU, act),
-					A:     fmt.Sprintf("%g", row[act]), B: fmt.Sprintf("%g", ag.Q(s, act))}
+				return fail(fmt.Sprintf("Q(seen %d,%d)", sU, act),
+					fmt.Sprintf("%g", row[act]), fmt.Sprintf("%g", ag.Q(s, act)))
 			}
 			if ag.Q(s, act) > ag.Q(s, g) {
-				return &Finding{Check: "rl", Seed: seed, Cycle: -1, Router: -1,
-					Field: fmt.Sprintf("Greedy(%d)", sU),
-					A:     fmt.Sprintf("action %d (Q=%g)", act, ag.Q(s, act)),
-					B:     fmt.Sprintf("action %d (Q=%g)", g, ag.Q(s, g))}
+				return fail(fmt.Sprintf("Greedy(%d)", sU),
+					fmt.Sprintf("action %d (Q=%g)", act, ag.Q(s, act)),
+					fmt.Sprintf("action %d (Q=%g)", g, ag.Q(s, g)))
 			}
 		}
 	}
@@ -155,45 +199,96 @@ func checkRL(seed int64) *Finding {
 	// States >= 1000 are never generated above.
 	unseen, fresh := rl.State(1000), rl.State(1001)
 	if _, trained := rows[uint64(unseen)]; trained {
-		return &Finding{Check: "rl", Seed: seed, Cycle: -1, Router: -1,
-			Field: "probe-setup", B: "probe state unexpectedly trained"}
+		return fail("probe-setup", "", "probe state unexpectedly trained")
 	}
 	// All actions of a never-seen state share one baseline value, and
 	// with strictly negative training rewards that baseline must be
-	// negative — the historical bug reported exactly 0 here.
+	// negative.
 	base := ag.Q(unseen, 0)
 	for act := 1; act < cfg.Actions; act++ {
 		if got := ag.Q(unseen, act); got != base {
-			return &Finding{Check: "rl", Seed: seed, Cycle: -1, Router: -1,
-				Field: fmt.Sprintf("Q(unseen,%d)", act),
-				A:     fmt.Sprintf("%g (= Q(unseen,0))", base), B: fmt.Sprintf("%g", got)}
+			return fail(fmt.Sprintf("Q(unseen,%d)", act),
+				fmt.Sprintf("%g (= Q(unseen,0))", base), fmt.Sprintf("%g", got))
 		}
 	}
 	if base >= 0 {
-		return &Finding{Check: "rl", Seed: seed, Cycle: -1, Router: -1,
-			Field: "Q(unseen,·)", A: "< 0 (negative-reward baseline)",
-			B: fmt.Sprintf("%g", base)}
+		return fail("Q(unseen,·)", "< 0 (negative-reward baseline)", fmt.Sprintf("%g", base))
 	}
-	// Metamorphic probe, entirely within one clone so both sides of the
-	// identity see the same running-reward state: Update(fresh, 0, 0,
-	// unseen) sets Q(fresh,0) to the TD target 0 + γ·V(unseen), and a
-	// subsequent read of Q(unseen,·) must report that same V.
-	probe := ag.Clone(seed + 1)
-	probe.Update(fresh, 0, 0, unseen)
-	wantQ := probe.Q(fresh, 0)
-	for act := 0; act < cfg.Actions; act++ {
-		got := cfg.Gamma * probe.Q(unseen, act)
-		if math.Abs(got-wantQ) > 1e-9*(1+math.Abs(wantQ)) {
-			return &Finding{Check: "rl", Seed: seed, Cycle: -1, Router: -1,
-				Field: fmt.Sprintf("γ·Q(unseen,%d)", act),
-				A:     fmt.Sprintf("%g (= TD target of the probe update)", wantQ),
-				B:     fmt.Sprintf("%g", got)}
+	// RowStats must agree with the row (telemetry reads it every decision).
+	if rs := ag.RowStats(unseen); rs.Seen || rs.Min != base || rs.Max != base || rs.Mean != base {
+		return fail("RowStats(unseen)", fmt.Sprintf("{false %g %g %g}", base, base, base),
+			fmt.Sprintf("{%v %g %g %g}", rs.Seen, rs.Min, rs.Max, rs.Mean))
+	}
+
+	// Identity 4: the unseen-successor bootstrap. For SARSA, feed every
+	// possible nextAction — the baseline must not depend on it.
+	nextActions := []int{0}
+	if onPolicy {
+		nextActions = make([]int, cfg.Actions)
+		for i := range nextActions {
+			nextActions[i] = i
+		}
+	}
+	for probeN, nextAct := range nextActions {
+		probe := ag.Clone(seed + 1 + int64(probeN))
+		if onPolicy {
+			probe.UpdateOnPolicy(fresh, 0, 0, unseen, nextAct)
+		} else {
+			probe.Update(fresh, 0, 0, unseen)
+		}
+		wantQ := probe.Q(fresh, 0)
+		for act := 0; act < cfg.Actions; act++ {
+			got := cfg.Gamma * probe.Q(unseen, act)
+			if math.Abs(got-wantQ) > 1e-9*(1+math.Abs(wantQ)) {
+				return fail(fmt.Sprintf("γ·Q(unseen,%d) [nextAction=%d]", act, nextAct),
+					fmt.Sprintf("%g (= TD target of the probe update)", wantQ),
+					fmt.Sprintf("%g", got))
+			}
 		}
 	}
 	if g := ag.Greedy(unseen); g != cfg.DefaultAction {
-		return &Finding{Check: "rl", Seed: seed, Cycle: -1, Router: -1,
-			Field: "Greedy(unseen)",
-			A:     fmt.Sprintf("%d", cfg.DefaultAction), B: fmt.Sprintf("%d", g)}
+		return fail("Greedy(unseen)", fmt.Sprintf("%d", cfg.DefaultAction), fmt.Sprintf("%d", g))
+	}
+	if !onPolicy {
+		return nil
+	}
+
+	// Identity 5 (SARSA only): bootstrap from a trained successor must use
+	// the fed action's value. Pick a trained state with a non-uniform row
+	// and deliberately feed its *worst* action; an off-policy leak
+	// (bootstrapping from the max) would miss the target exactly when
+	// worst != best.
+	keys := make([]uint64, 0, len(rows))
+	for sU := range rows {
+		keys = append(keys, sU)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	for _, sU := range keys {
+		row := rows[sU]
+		worst, best := 0, 0
+		for act, v := range row {
+			if v < row[worst] {
+				worst = act
+			}
+			if v > row[best] {
+				best = act
+			}
+		}
+		if row[worst] == row[best] {
+			continue // uniform row cannot distinguish the rules
+		}
+		probe := ag.Clone(seed + 101)
+		qNext := probe.Q(rl.State(sU), worst)
+		reward := -2.0
+		probe.UpdateOnPolicy(fresh, 1, reward, rl.State(sU), worst)
+		want := reward + cfg.Gamma*qNext
+		got := probe.Q(fresh, 1)
+		if math.Abs(got-want) > 1e-9*(1+math.Abs(want)) {
+			return fail(fmt.Sprintf("on-policy bootstrap Q(fresh,1) [next=%d action=%d]", sU, worst),
+				fmt.Sprintf("%g (= r + γ·Q(next, fed action))", want),
+				fmt.Sprintf("%g (max leak would give %g)", got, reward+cfg.Gamma*row[best]))
+		}
+		return nil
 	}
 	return nil
 }

@@ -6,6 +6,7 @@ import (
 	"strings"
 	"testing"
 
+	"intellinoc/internal/noc"
 	"intellinoc/internal/traffic"
 )
 
@@ -80,6 +81,31 @@ func TestFindingStringNamesCycleRouterField(t *testing.T) {
 		if !strings.Contains(s, want) {
 			t.Fatalf("finding %q must mention %q", s, want)
 		}
+	}
+}
+
+// TestLockstepFindingCarriesFlightRecorderTail forces a real divergence
+// (two networks that differ only in fault-PRNG seed) and checks that the
+// finding ships the flight-recorder tail from the run that produced it.
+func TestLockstepFindingCarriesFlightRecorderTail(t *testing.T) {
+	sc := ScenarioForSeed(42)
+	a, err := sc.network(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := sc.network(func(c *noc.Config) { c.Seed++ })
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := lockstep("ff", sc, a, b)
+	if f == nil {
+		t.Fatal("networks with different fault seeds must diverge")
+	}
+	if len(f.Tail) == 0 {
+		t.Fatalf("finding must carry a flight-recorder tail:\n%s", f)
+	}
+	if s := f.String(); !strings.Contains(s, "flight recorder (last") {
+		t.Fatalf("String() must render the tail header, got:\n%s", s)
 	}
 }
 

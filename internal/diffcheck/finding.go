@@ -23,6 +23,10 @@ type Finding struct {
 	Field    string `json:"field"`
 	A        string `json:"a,omitempty"`
 	B        string `json:"b,omitempty"`
+	// Tail is the flight-recorder tail of the run that produced the
+	// finding: the most recent events, epoch samples, and control
+	// decisions leading into the divergent cycle, oldest first.
+	Tail []string `json:"tail,omitempty"`
 }
 
 // String renders the finding as the divergence report line cmd/diffcheck
@@ -44,6 +48,13 @@ func (f Finding) String() string {
 	}
 	if f.Scenario != "" {
 		fmt.Fprintf(&b, "\n    scenario: %s", f.Scenario)
+	}
+	if len(f.Tail) > 0 {
+		fmt.Fprintf(&b, "\n    flight recorder (last %d entries):", len(f.Tail))
+		for _, line := range f.Tail {
+			b.WriteString("\n      ")
+			b.WriteString(line)
+		}
 	}
 	return b.String()
 }

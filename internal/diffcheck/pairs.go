@@ -11,6 +11,7 @@ import (
 	"intellinoc/internal/experiments"
 	"intellinoc/internal/harness"
 	"intellinoc/internal/noc"
+	"intellinoc/internal/telemetry"
 )
 
 // buildFailure wraps a network-construction error as a finding; the
@@ -26,29 +27,36 @@ func buildFailure(check string, sc Scenario, err error) *Finding {
 // cycle to the same point, and their fingerprints are compared at every
 // boundary. The first mismatch is localized to a cycle, router, and
 // field; if the runs stay identical the final drained Results are
-// cross-checked too.
+// cross-checked too. A flight recorder rides side a throughout, so every
+// finding carries the event/epoch tail leading into the divergence.
 func lockstep(check string, sc Scenario, a, b *noc.Network) *Finding {
+	rec := telemetry.NewRecorder(telemetry.DefaultCapacity)
+	rec.Attach(a)
+	withTail := func(f *Finding) *Finding {
+		f.Tail = rec.TailLines(0)
+		return f
+	}
 	for !a.Drained() && a.Cycle() < sc.MaxCycles {
 		a.Step()
 		b.StepUntil(a.Cycle())
 		if a.Fingerprint() != b.Fingerprint() {
 			f := localize(check, sc, a, b)
-			return &f
+			return withTail(&f)
 		}
 	}
 	b.StepUntil(a.Cycle())
 	if a.Fingerprint() != b.Fingerprint() {
 		f := localize(check, sc, a, b)
-		return &f
+		return withTail(&f)
 	}
 	if !a.Drained() {
-		return &Finding{Check: check, Seed: sc.Seed, Scenario: sc.String(),
+		return withTail(&Finding{Check: check, Seed: sc.Seed, Scenario: sc.String(),
 			Cycle: a.Cycle(), Router: -1, Field: "drained",
-			A: "stalled", B: "stalled"}
+			A: "stalled", B: "stalled"})
 	}
 	if field, av, bv, equal := diffResult(a.Snapshot(), b.Snapshot()); !equal {
-		return &Finding{Check: check, Seed: sc.Seed, Scenario: sc.String(),
-			Cycle: a.Cycle(), Router: -1, Field: "Result." + field, A: av, B: bv}
+		return withTail(&Finding{Check: check, Seed: sc.Seed, Scenario: sc.String(),
+			Cycle: a.Cycle(), Router: -1, Field: "Result." + field, A: av, B: bv})
 	}
 	return nil
 }

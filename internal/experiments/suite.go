@@ -222,6 +222,11 @@ type RunOptions struct {
 	Progress io.Writer
 	// Retries is passed to the harness (0 selects its default).
 	Retries int
+	// Observer, when non-nil, receives every finished harness record
+	// (pretrain and run phases alike) — the telemetry tap. Called
+	// concurrently from worker goroutines; must be safe for concurrent
+	// use. Has no effect on results.
+	Observer func(harness.Record)
 }
 
 // SuiteResult is the outcome of a suite run.
@@ -335,6 +340,7 @@ func (s *Suite) Run(opts RunOptions) (*SuiteResult, error) {
 		}
 		out, err := harness.Run(pretrainJobs, harness.Options{
 			Workers: opts.Workers, Retries: opts.Retries, Stream: stream, Progress: prog,
+			Observer: opts.Observer,
 		})
 		if err != nil {
 			return nil, err
@@ -361,6 +367,7 @@ func (s *Suite) Run(opts RunOptions) (*SuiteResult, error) {
 		}
 		out, err := harness.Run(runJobs, harness.Options{
 			Workers: opts.Workers, Retries: opts.Retries, Stream: stream, Progress: prog,
+			Observer: opts.Observer,
 		})
 		if err != nil {
 			return nil, err

@@ -58,6 +58,11 @@ type Options struct {
 	Stream *Writer
 	// Progress, when non-nil, is notified as jobs finish.
 	Progress *Progress
+	// Observer, when non-nil, receives every finished record after it has
+	// been streamed — the telemetry tap (metrics, job timelines). It is
+	// called concurrently from worker goroutines and must be safe for
+	// concurrent use. Results are unaffected by the observer.
+	Observer func(Record)
 }
 
 const defaultRetries = 1
@@ -142,6 +147,9 @@ func Run(jobs []Job, opts Options) (map[string]json.RawMessage, error) {
 						fail(fmt.Errorf("harness: streaming %s: %w", j.Name, err))
 						continue
 					}
+				}
+				if opts.Observer != nil {
+					opts.Observer(rec)
 				}
 				mu.Lock()
 				out[j.Digest] = rec.Payload

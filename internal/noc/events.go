@@ -92,6 +92,51 @@ func (n *Network) StreamEvents(w io.Writer) {
 	n.SetEventHook(func(e Event) { fmt.Fprintln(w, e.String()) })
 }
 
+// EpochSample summarizes one router's just-closed RL control window. One
+// sample per router is delivered at every control step (every
+// Config.TimeStepCycles cycles), giving telemetry the per-epoch trajectory
+// the end-of-run Result aggregates away: mode decisions, temperature,
+// threshold-voltage shift, and the window's error/retransmission activity.
+type EpochSample struct {
+	// Cycle is the control-step cycle closing the window.
+	Cycle  int64
+	Router int
+	// WindowMode is the mode that was in force during the window;
+	// NextMode is the controller's choice for the next one.
+	WindowMode Mode
+	NextMode   Mode
+	// Gated reports whether the router is powered off after the step.
+	Gated bool
+	// TempC is the tile temperature fed to the controller.
+	TempC float64
+	// DeltaVth is the accumulated NBTI+HCI threshold-voltage shift (V).
+	DeltaVth float64
+	// AgingFactor is the error-rate multiplier derived from DeltaVth.
+	AgingFactor float64
+	// AvgLatencyCycles and PowerMilliwatts are the window observables the
+	// reward function consumed (latency falls back to the last non-empty
+	// window, exactly as the controller sees it).
+	AvgLatencyCycles float64
+	PowerMilliwatts  float64
+	// ErrHist counts link traversals by error-bit class (0, 1, 2, ≥3)
+	// within the window; HopRetransmits counts the detected-error NACK
+	// re-sends among them.
+	ErrHist        [4]uint64
+	HopRetransmits uint64
+}
+
+// String renders the sample as one trace line.
+func (s EpochSample) String() string {
+	return fmt.Sprintf("%8d epoch          router=%d mode=%s->%s temp=%.1fC dVth=%.4g lat=%.1f pwr=%.2fmW retrans=%d",
+		s.Cycle, s.Router, s.WindowMode, s.NextMode, s.TempC, s.DeltaVth, s.AvgLatencyCycles, s.PowerMilliwatts, s.HopRetransmits)
+}
+
+// SetEpochHook installs a callback invoked with every router's EpochSample
+// at each control step. Pass nil to disable. Like SetEventHook, the hook
+// runs synchronously on the simulation thread; the disabled cost is a
+// single nil check per router per control step, off the per-cycle path.
+func (n *Network) SetEpochHook(hook func(EpochSample)) { n.epochHook = hook }
+
 // emit delivers an event to the hook, if any. The nil check is the only
 // cost on the hot path when tracing is off.
 func (n *Network) emit(e Event) {

@@ -77,6 +77,7 @@ const (
 	fRLastGated
 	fRWinEjectLat
 	fRWinErrHist
+	fRWinHopRetrans
 	fRWinEnergyStart
 	fRLastAvgLatency
 	fInWinFlitsIn
@@ -153,6 +154,7 @@ var stateFieldNames = [numStateFields]string{
 	fRLastGated:      "router.lastGated",
 	fRWinEjectLat:    "router.winEjectLatency",
 	fRWinErrHist:     "router.winErrHist",
+	fRWinHopRetrans:  "router.winHopRetrans",
 	fRWinEnergyStart: "router.winEnergyStart",
 	fRLastAvgLatency: "router.lastAvgLatency",
 	fInWinFlitsIn:    "in.winFlitsIn",
@@ -299,6 +301,7 @@ func (n *Network) visitState(emit func(f stateField, router, a, b int, v uint64)
 		for i, c := range r.winErrHist {
 			emit(fRWinErrHist, id, i, 0, c)
 		}
+		emit(fRWinHopRetrans, id, 0, 0, r.winHopRetrans)
 		for p := 0; p < NumPorts; p++ {
 			if ip := r.in[p]; ip != nil {
 				emit(fInWinFlitsIn, id, p, 0, ip.winFlitsIn)

@@ -148,6 +148,7 @@ type Network struct {
 	powersBuf []float64 // thermalStep scratch
 
 	eventHook func(Event)
+	epochHook func(EpochSample)
 
 	// Aggregate statistics.
 	latency         *stats.Histogram
@@ -1033,6 +1034,7 @@ func (n *Network) sendOnLink(r *Router, op *outputPort, f *Flit, cy int64, viaBy
 		// traversal's worth of energy.
 		readyAt += 3
 		n.hopRetransmits++
+		r.winHopRetrans++
 		n.emitFlit(cy, EvHopRetransmit, r.id, f)
 		ev.LinkHops++
 		ev.ChanStages += uint64(n.cfg.ChannelStages)
@@ -1468,15 +1470,34 @@ func (n *Network) controlStep() {
 		obs.ErrorHistogram = r.winErrHist
 
 		n.modeBreakdown.AddCycles(int(r.mode), win)
+		windowMode := r.mode
 		mode := n.ctrl.NextMode(obs)
 		if n.cfg.RLTable {
 			n.meters[i].Record(power.EventCounts{RLSteps: 1})
 		}
 		n.applyMode(r, mode)
+		if n.epochHook != nil {
+			_, _, dVth := n.aging.DeltaVth(n.wear[i])
+			n.epochHook(EpochSample{
+				Cycle:            n.cycle,
+				Router:           i,
+				WindowMode:       windowMode,
+				NextMode:         mode,
+				Gated:            r.gated,
+				TempC:            obs.Features[15],
+				DeltaVth:         dVth,
+				AgingFactor:      obs.AgingFactor,
+				AvgLatencyCycles: obs.AvgLatencyCycles,
+				PowerMilliwatts:  obs.PowerMilliwatts,
+				ErrHist:          r.winErrHist,
+				HopRetransmits:   r.winHopRetrans,
+			})
+		}
 
 		// Reset the window.
 		r.winEjectLatency = stats.Summary{}
 		r.winErrHist = [4]uint64{}
+		r.winHopRetrans = 0
 		r.winEnergyStart = n.meters[i].TotalJoules()
 		for p := 0; p < NumPorts; p++ {
 			if r.in[p] != nil {

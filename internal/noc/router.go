@@ -128,6 +128,7 @@ type Router struct {
 	// Per-window observables.
 	winEjectLatency stats.Summary
 	winErrHist      [4]uint64
+	winHopRetrans   uint64
 	winEnergyStart  float64
 	lastAvgLatency  float64
 }

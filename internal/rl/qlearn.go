@@ -278,6 +278,51 @@ func (a *Agent) FlipRandomBit(rng *rand.Rand) bool {
 	return true
 }
 
+// RowStats summarizes one Q-row without exposing the table. For a state
+// the agent has never valued, Seen is false and Min/Max/Mean all carry the
+// running-reward baseline that Q and stateValue would report.
+type RowStats struct {
+	Seen           bool
+	Min, Max, Mean float64
+}
+
+// RowStats returns the summary of Q(s, ·), cheap enough to sample every
+// decision (telemetry flight-recorder epoch records).
+func (a *Agent) RowStats(s State) RowStats {
+	r, ok := a.q[s]
+	if !ok {
+		v := a.stateValue(s)
+		return RowStats{Min: v, Max: v, Mean: v}
+	}
+	st := RowStats{Seen: true, Min: math.Inf(1), Max: math.Inf(-1)}
+	sum := 0.0
+	for _, v := range r {
+		if v < st.Min {
+			st.Min = v
+		}
+		if v > st.Max {
+			st.Max = v
+		}
+		sum += v
+	}
+	st.Mean = sum / float64(len(r))
+	return st
+}
+
+// DecisionSample is one controller decision as seen by telemetry: the
+// discretized state, the ε-greedy action taken, the reward applied to the
+// previous step (when Updated), and a summary of the deciding Q-row.
+type DecisionSample struct {
+	Router    int
+	Cycle     int64
+	State     State
+	Action    int
+	Reward    float64
+	Updated   bool
+	TableSize int
+	Row       RowStats
+}
+
 // DebugRows exposes a copy of the Q-table for diagnostics and tooling
 // (cmd/intellinoc's -dump-policy flag).
 func (a *Agent) DebugRows() map[uint64][]float64 {

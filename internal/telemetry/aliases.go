@@ -1,0 +1,19 @@
+package telemetry
+
+import (
+	"intellinoc/internal/noc"
+	"intellinoc/internal/rl"
+)
+
+// Aliases for the hook payload types telemetry consumes, so call sites can
+// stay within this package's vocabulary.
+type (
+	// Event is a simulator event (noc.SetEventHook).
+	Event = noc.Event
+	// EpochSample is a per-router control-window sample (noc.SetEpochHook).
+	EpochSample = noc.EpochSample
+	// DecisionSample is an RL controller decision (core.RLController.DecisionHook).
+	DecisionSample = rl.DecisionSample
+	// Network is the simulator the hooks attach to.
+	Network = noc.Network
+)

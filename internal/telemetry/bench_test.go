@@ -1,0 +1,64 @@
+package telemetry_test
+
+import (
+	"testing"
+
+	"intellinoc/internal/noc"
+	"intellinoc/internal/telemetry"
+	"intellinoc/internal/traffic"
+)
+
+func benchNetwork(b *testing.B) *noc.Network {
+	b.Helper()
+	cfg := noc.Config{
+		Width: 8, Height: 8,
+		VCs: 2, BufDepth: 4,
+		HasVAStage:            true,
+		FlitBits:              128,
+		TimeStepCycles:        500,
+		ThermalIntervalCycles: 100,
+		MaxPacketRetries:      8,
+		WakeupCycles:          8,
+		IdleGateCycles:        64,
+		Seed:                  1,
+	}
+	gen, err := traffic.NewSynthetic(traffic.SyntheticConfig{
+		Width: 8, Height: 8, Pattern: traffic.Uniform,
+		InjectionRate: 0.1, PacketFlits: 4, Packets: 1 << 30, Seed: 1,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	n, err := noc.New(cfg, gen, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return n
+}
+
+// BenchmarkTelemetryOverhead pins the flight recorder's hot-path cost: the
+// "off" variant is the plain simulator, the "on" variant records every
+// event and epoch sample into a warmed ring. CI's bench-smoke job bounds
+// on/off at <10% ns-per-cycle overhead and both at 0 allocs/op — the
+// telemetry overhead contract of DESIGN.md §9.
+func BenchmarkTelemetryOverhead(b *testing.B) {
+	run := func(b *testing.B, attach func(*noc.Network)) {
+		n := benchNetwork(b)
+		if attach != nil {
+			attach(n)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		start := n.Cycle()
+		for i := 0; i < b.N; i++ {
+			n.Step()
+		}
+		b.StopTimer()
+		b.ReportMetric(float64(n.Cycle()-start)/b.Elapsed().Seconds(), "cycles/s")
+	}
+	b.Run("off", func(b *testing.B) { run(b, nil) })
+	b.Run("on", func(b *testing.B) {
+		rec := telemetry.NewRecorder(telemetry.DefaultCapacity)
+		run(b, rec.Attach)
+	})
+}

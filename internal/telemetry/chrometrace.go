@@ -1,0 +1,159 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+)
+
+// Trace accumulates Chrome trace-event JSON (the chrome://tracing /
+// Perfetto "JSON Array Format"). Timestamps are microseconds; the
+// simulator's convention, documented in DESIGN.md §9, is 1 cycle = 1 µs so
+// cycle numbers read directly off the trace ruler.
+//
+// Trace is safe for concurrent use — the experiment harness feeds it from
+// worker goroutines.
+type Trace struct {
+	mu     sync.Mutex
+	events []traceEvent
+}
+
+// traceEvent is one entry of the traceEvents array. Field names are fixed
+// by the trace-event format.
+type traceEvent struct {
+	Name  string         `json:"name"`
+	Cat   string         `json:"cat,omitempty"`
+	Phase string         `json:"ph"`
+	Ts    float64        `json:"ts"`
+	Dur   float64        `json:"dur,omitempty"`
+	Pid   int            `json:"pid"`
+	Tid   int            `json:"tid"`
+	Scope string         `json:"s,omitempty"`
+	Args  map[string]any `json:"args,omitempty"`
+}
+
+// NewTrace returns an empty trace.
+func NewTrace() *Trace { return &Trace{} }
+
+func (t *Trace) add(e traceEvent) {
+	t.mu.Lock()
+	t.events = append(t.events, e)
+	t.mu.Unlock()
+}
+
+// SetProcessName names a pid's track group ("M" metadata event).
+func (t *Trace) SetProcessName(pid int, name string) {
+	t.add(traceEvent{Name: "process_name", Phase: "M", Pid: pid, Args: map[string]any{"name": name}})
+}
+
+// SetThreadName names one track ("M" metadata event).
+func (t *Trace) SetThreadName(pid, tid int, name string) {
+	t.add(traceEvent{Name: "thread_name", Phase: "M", Pid: pid, Tid: tid, Args: map[string]any{"name": name}})
+}
+
+// Complete adds an "X" slice spanning [ts, ts+dur) on track (pid, tid).
+func (t *Trace) Complete(pid, tid int, name, cat string, ts, dur float64, args map[string]any) {
+	if dur <= 0 {
+		dur = 1 // zero-width slices vanish in viewers; clamp to one tick
+	}
+	t.add(traceEvent{Name: name, Cat: cat, Phase: "X", Ts: ts, Dur: dur, Pid: pid, Tid: tid, Args: args})
+}
+
+// Instant adds an "i" thread-scoped instant marker at ts on track (pid, tid).
+func (t *Trace) Instant(pid, tid int, name, cat string, ts float64, args map[string]any) {
+	t.add(traceEvent{Name: name, Cat: cat, Phase: "i", Ts: ts, Pid: pid, Tid: tid, Scope: "t", Args: args})
+}
+
+// Counter adds a "C" counter sample; viewers chart each (pid, name) series.
+func (t *Trace) Counter(pid int, name string, ts float64, values map[string]any) {
+	t.add(traceEvent{Name: name, Phase: "C", Ts: ts, Pid: pid, Args: values})
+}
+
+// Len returns the number of accumulated events.
+func (t *Trace) Len() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.events)
+}
+
+// WriteJSON emits the trace as {"traceEvents": [...]}. Events are sorted
+// by timestamp (metadata first) — not required by the format, but it makes
+// the output stable and diffable.
+func (t *Trace) WriteJSON(w io.Writer) error {
+	t.mu.Lock()
+	evs := make([]traceEvent, len(t.events))
+	copy(evs, t.events)
+	t.mu.Unlock()
+	sort.SliceStable(evs, func(i, j int) bool {
+		mi, mj := evs[i].Phase == "M", evs[j].Phase == "M"
+		if mi != mj {
+			return mi
+		}
+		return evs[i].Ts < evs[j].Ts
+	})
+	out := struct {
+		TraceEvents     []traceEvent `json:"traceEvents"`
+		DisplayTimeUnit string       `json:"displayTimeUnit"`
+	}{TraceEvents: evs, DisplayTimeUnit: "ms"}
+	enc := json.NewEncoder(w)
+	return enc.Encode(out)
+}
+
+// Span is one unit of work for lane assignment (AssignLanes).
+type Span struct {
+	Name     string
+	Start    float64 // µs
+	Duration float64 // µs
+	Args     map[string]any
+}
+
+// AssignLanes packs possibly-overlapping spans onto the fewest tracks such
+// that no track overlaps, returning each span's lane index (greedy
+// interval coloring by start time). Used to render the experiment
+// harness's job timeline when the worker that ran each job is not
+// identifiable from the outside.
+func AssignLanes(spans []Span) []int {
+	order := make([]int, len(spans))
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool { return spans[order[a]].Start < spans[order[b]].Start })
+	var laneEnd []float64 // busy-until time per lane
+	out := make([]int, len(spans))
+	for _, i := range order {
+		s := spans[i]
+		placed := -1
+		for l, end := range laneEnd {
+			if s.Start >= end {
+				placed = l
+				break
+			}
+		}
+		if placed < 0 {
+			placed = len(laneEnd)
+			laneEnd = append(laneEnd, 0)
+		}
+		laneEnd[placed] = s.Start + s.Duration
+		out[i] = placed
+	}
+	return out
+}
+
+// AddSpans lane-assigns the spans and emits them as "X" slices under pid,
+// naming each lane "worker N". Returns the number of lanes used.
+func (t *Trace) AddSpans(pid int, cat string, spans []Span) int {
+	lanes := AssignLanes(spans)
+	maxLane := -1
+	for i, s := range spans {
+		t.Complete(pid, lanes[i], s.Name, cat, s.Start, s.Duration, s.Args)
+		if lanes[i] > maxLane {
+			maxLane = lanes[i]
+		}
+	}
+	for l := 0; l <= maxLane; l++ {
+		t.SetThreadName(pid, l, fmt.Sprintf("worker %d", l))
+	}
+	return maxLane + 1
+}

@@ -1,0 +1,273 @@
+package telemetry
+
+import (
+	"expvar"
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"intellinoc/internal/stats"
+)
+
+// Counter is a monotonically increasing metric, safe for concurrent use.
+type Counter struct{ v atomic.Uint64 }
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n.
+func (c *Counter) Add(n uint64) { c.v.Add(n) }
+
+// Value returns the current count.
+func (c *Counter) Value() uint64 { return c.v.Load() }
+
+// Gauge is a settable float metric, safe for concurrent use.
+type Gauge struct{ bits atomic.Uint64 }
+
+// Set replaces the value.
+func (g *Gauge) Set(v float64) { g.bits.Store(math.Float64bits(v)) }
+
+// Value returns the current value.
+func (g *Gauge) Value() float64 { return math.Float64frombits(g.bits.Load()) }
+
+// Histogram buckets observations over fixed edges (a mutex-guarded
+// stats.Histogram, which supplies the bucketing, summary, and percentile
+// machinery the simulator already uses).
+type Histogram struct {
+	mu    sync.Mutex
+	edges []float64
+	h     *stats.Histogram
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	h.mu.Lock()
+	h.h.Add(v)
+	h.mu.Unlock()
+}
+
+// Percentile returns an upper-bound estimate of the p-th percentile.
+func (h *Histogram) Percentile(p float64) float64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.h.Percentile(p)
+}
+
+// Registry holds named metrics and renders Prometheus-text snapshots.
+// Registration is idempotent: asking for an existing name returns the
+// existing metric, so packages can look metrics up where they use them.
+type Registry struct {
+	mu       sync.Mutex
+	counters map[string]*Counter
+	gauges   map[string]*Gauge
+	hists    map[string]*Histogram
+	help     map[string]string
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters: make(map[string]*Counter),
+		gauges:   make(map[string]*Gauge),
+		hists:    make(map[string]*Histogram),
+		help:     make(map[string]string),
+	}
+}
+
+// Counter returns the counter registered under name, creating it on first
+// use. Names must be valid Prometheus identifiers; a name already used by
+// a different metric kind panics (a programming error, like a duplicate
+// flag registration).
+func (r *Registry) Counter(name, help string) *Counter {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.claim(name, help, "counter")
+	c := r.counters[name]
+	if c == nil {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns the gauge registered under name, creating it on first use.
+func (r *Registry) Gauge(name, help string) *Gauge {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.claim(name, help, "gauge")
+	g := r.gauges[name]
+	if g == nil {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// Histogram returns the histogram registered under name, creating it over
+// the given ascending bucket edges on first use.
+func (r *Registry) Histogram(name, help string, edges []float64) *Histogram {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.claim(name, help, "histogram")
+	h := r.hists[name]
+	if h == nil {
+		h = &Histogram{edges: append([]float64(nil), edges...), h: stats.NewHistogram(edges)}
+		r.hists[name] = h
+	}
+	return h
+}
+
+func (r *Registry) claim(name, help, kind string) {
+	if !validMetricName(name) {
+		panic(fmt.Sprintf("telemetry: invalid metric name %q", name))
+	}
+	var existing string
+	switch {
+	case r.counters[name] != nil:
+		existing = "counter"
+	case r.gauges[name] != nil:
+		existing = "gauge"
+	case r.hists[name] != nil:
+		existing = "histogram"
+	default:
+		r.help[name] = help
+		return
+	}
+	if existing != kind {
+		panic(fmt.Sprintf("telemetry: metric %q already registered as a %s", name, existing))
+	}
+}
+
+func validMetricName(name string) bool {
+	if name == "" {
+		return false
+	}
+	for i, c := range name {
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c == '_', c == ':':
+		case c >= '0' && c <= '9':
+			if i == 0 {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// WritePrometheus renders every metric in the Prometheus text exposition
+// format, sorted by name so snapshots are diffable.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	r.mu.Lock()
+	names := make([]string, 0, len(r.help))
+	for n := range r.help {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	type row struct {
+		name, help, kind string
+		counter          *Counter
+		gauge            *Gauge
+		hist             *Histogram
+	}
+	rows := make([]row, 0, len(names))
+	for _, n := range names {
+		rw := row{name: n, help: r.help[n]}
+		switch {
+		case r.counters[n] != nil:
+			rw.kind, rw.counter = "counter", r.counters[n]
+		case r.gauges[n] != nil:
+			rw.kind, rw.gauge = "gauge", r.gauges[n]
+		default:
+			rw.kind, rw.hist = "histogram", r.hists[n]
+		}
+		rows = append(rows, rw)
+	}
+	r.mu.Unlock()
+
+	for _, rw := range rows {
+		if rw.help != "" {
+			if _, err := fmt.Fprintf(w, "# HELP %s %s\n", rw.name, rw.help); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", rw.name, rw.kind); err != nil {
+			return err
+		}
+		var err error
+		switch rw.kind {
+		case "counter":
+			_, err = fmt.Fprintf(w, "%s %d\n", rw.name, rw.counter.Value())
+		case "gauge":
+			_, err = fmt.Fprintf(w, "%s %g\n", rw.name, rw.gauge.Value())
+		case "histogram":
+			err = rw.hist.writePrometheus(w, rw.name)
+		}
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// writePrometheus renders the cumulative bucket form Prometheus expects
+// (name_bucket{le="edge"} …, name_sum, name_count).
+func (h *Histogram) writePrometheus(w io.Writer, name string) error {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	var cum uint64
+	var err error
+	h.h.VisitCounts(func(bucket int, count uint64) {
+		if err != nil {
+			return
+		}
+		cum += count
+		le := "+Inf"
+		if bucket < len(h.edges) {
+			le = fmt.Sprintf("%g", h.edges[bucket])
+		}
+		_, err = fmt.Fprintf(w, "%s_bucket{le=%q} %d\n", name, le, cum)
+	})
+	if err != nil {
+		return err
+	}
+	if _, err = fmt.Fprintf(w, "%s_sum %g\n", name, h.h.Sum); err != nil {
+		return err
+	}
+	_, err = fmt.Fprintf(w, "%s_count %d\n", name, h.h.Count)
+	return err
+}
+
+// Handler serves the registry as a Prometheus-text /metrics endpoint.
+func (r *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+		_ = r.WritePrometheus(w)
+	})
+}
+
+// PublishExpvar exposes the registry under the given expvar name (served
+// at /debug/vars alongside the runtime's memstats). Expvar panics on
+// duplicate names, so publish once per process.
+func (r *Registry) PublishExpvar(name string) {
+	expvar.Publish(name, expvar.Func(func() any {
+		out := make(map[string]any)
+		r.mu.Lock()
+		for n, c := range r.counters {
+			out[n] = c.Value()
+		}
+		for n, g := range r.gauges {
+			out[n] = g.Value()
+		}
+		for n, h := range r.hists {
+			out[n] = map[string]any{"p50": h.Percentile(50), "p99": h.Percentile(99)}
+		}
+		r.mu.Unlock()
+		return out
+	}))
+}

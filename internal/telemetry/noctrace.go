@@ -1,0 +1,166 @@
+package telemetry
+
+import (
+	"fmt"
+	"io"
+
+	"intellinoc/internal/noc"
+)
+
+// Track/slice schema (documented in DESIGN.md §9 and README):
+//
+//	pid 1 "network"  — one tid per router ("router N").
+//	  "X" slices, cat "mode":  coalesced operation-mode windows, named
+//	                           after the mode (bypass/crc/secded/…).
+//	  "X" slices, cat "power": gated windows ("gated", EvGate→EvWake).
+//	  "i" instants, cat "error": hop-retransmit / e2e-retransmit, with
+//	                           args {pkt, seq}.
+//	  "i" instants, cat "flit" (opt-in): inject/deliver/traverse/bypass/
+//	                           eject, with args {pkt, seq}.
+//	pid 2 "thermal"  — "C" counters "temp router N" (°C per epoch).
+//
+// Timestamps: 1 simulated cycle = 1 µs.
+const (
+	// TracePidNetwork is the router-track process group.
+	TracePidNetwork = 1
+	// TracePidThermal is the temperature-counter process group.
+	TracePidThermal = 2
+)
+
+// TracerOptions configures a NetworkTracer.
+type TracerOptions struct {
+	// FlitEvents includes per-flit instants (inject/deliver/traverse/
+	// bypass/eject). Off by default: a busy 8×8 mesh emits millions of
+	// flit events, and the mode/gating/error timeline is usually what a
+	// trace is opened for.
+	FlitEvents bool
+	// TempCounters emits one temperature counter sample per router per
+	// control epoch under pid 2.
+	TempCounters bool
+}
+
+// NetworkTracer converts a network's event and epoch hook streams into a
+// Chrome trace. Attach it before the first cycle, run the simulation, then
+// WriteTo (which closes still-open windows).
+type NetworkTracer struct {
+	tr   *Trace
+	opts TracerOptions
+
+	// Per-router open-window state.
+	curMode   []noc.Mode
+	modeStart []int64
+	modeOpen  []bool
+	lastEpoch []int64
+	gateStart []int64 // -1 when not gated
+
+	lastCycle int64
+}
+
+// NewNetworkTracer builds a tracer for a nodes-router network.
+func NewNetworkTracer(nodes int, opts TracerOptions) *NetworkTracer {
+	nt := &NetworkTracer{
+		tr:        NewTrace(),
+		opts:      opts,
+		curMode:   make([]noc.Mode, nodes),
+		modeStart: make([]int64, nodes),
+		modeOpen:  make([]bool, nodes),
+		lastEpoch: make([]int64, nodes),
+		gateStart: make([]int64, nodes),
+	}
+	for i := range nt.gateStart {
+		nt.gateStart[i] = -1
+	}
+	nt.tr.SetProcessName(TracePidNetwork, "network")
+	for i := 0; i < nodes; i++ {
+		nt.tr.SetThreadName(TracePidNetwork, i, fmt.Sprintf("router %d", i))
+	}
+	if opts.TempCounters {
+		nt.tr.SetProcessName(TracePidThermal, "thermal")
+	}
+	return nt
+}
+
+// Attach installs the tracer on the network's event and epoch hooks,
+// replacing any hooks already present.
+func (nt *NetworkTracer) Attach(n *noc.Network) {
+	n.SetEventHook(nt.HandleEvent)
+	n.SetEpochHook(nt.HandleEpoch)
+}
+
+// HandleEvent consumes one simulator event.
+func (nt *NetworkTracer) HandleEvent(e noc.Event) {
+	if e.Cycle > nt.lastCycle {
+		nt.lastCycle = e.Cycle
+	}
+	switch e.Kind {
+	case noc.EvGate:
+		nt.gateStart[e.Router] = e.Cycle
+	case noc.EvWake:
+		if start := nt.gateStart[e.Router]; start >= 0 {
+			nt.tr.Complete(TracePidNetwork, e.Router, "gated", "power",
+				float64(start), float64(e.Cycle-start), nil)
+			nt.gateStart[e.Router] = -1
+		}
+	case noc.EvHopRetransmit, noc.EvE2ERetransmit:
+		nt.tr.Instant(TracePidNetwork, e.Router, e.Kind.String(), "error",
+			float64(e.Cycle), map[string]any{"pkt": e.PacketID, "seq": e.FlitSeq})
+	case noc.EvModeChange:
+		// Mode windows are reconstructed from epoch samples (the mode is
+		// constant within a control window); the change event itself is
+		// not needed as a slice boundary.
+	default:
+		if nt.opts.FlitEvents {
+			nt.tr.Instant(TracePidNetwork, e.Router, e.Kind.String(), "flit",
+				float64(e.Cycle), map[string]any{"pkt": e.PacketID, "seq": e.FlitSeq})
+		}
+	}
+}
+
+// HandleEpoch consumes one per-router control-window sample, extending or
+// closing that router's coalesced mode window.
+func (nt *NetworkTracer) HandleEpoch(s noc.EpochSample) {
+	if s.Cycle > nt.lastCycle {
+		nt.lastCycle = s.Cycle
+	}
+	r := s.Router
+	windowStart := nt.lastEpoch[r]
+	switch {
+	case !nt.modeOpen[r]:
+		nt.curMode[r], nt.modeStart[r], nt.modeOpen[r] = s.WindowMode, windowStart, true
+	case s.WindowMode != nt.curMode[r]:
+		nt.closeModeWindow(r, windowStart)
+		nt.curMode[r], nt.modeStart[r] = s.WindowMode, windowStart
+	}
+	nt.lastEpoch[r] = s.Cycle
+	if nt.opts.TempCounters {
+		nt.tr.Counter(TracePidThermal, fmt.Sprintf("temp router %d", r),
+			float64(s.Cycle), map[string]any{"C": s.TempC})
+	}
+}
+
+func (nt *NetworkTracer) closeModeWindow(r int, end int64) {
+	nt.tr.Complete(TracePidNetwork, r, nt.curMode[r].String(), "mode",
+		float64(nt.modeStart[r]), float64(end-nt.modeStart[r]), nil)
+}
+
+// Finish closes every still-open mode and gating window and returns the
+// underlying trace. Safe to call once, after the run.
+func (nt *NetworkTracer) Finish() *Trace {
+	for r := range nt.modeOpen {
+		if nt.modeOpen[r] {
+			nt.closeModeWindow(r, nt.lastEpoch[r])
+			nt.modeOpen[r] = false
+		}
+		if nt.gateStart[r] >= 0 {
+			nt.tr.Complete(TracePidNetwork, r, "gated", "power",
+				float64(nt.gateStart[r]), float64(nt.lastCycle-nt.gateStart[r]), nil)
+			nt.gateStart[r] = -1
+		}
+	}
+	return nt.tr
+}
+
+// WriteJSON finishes the trace and writes it as Chrome trace-event JSON.
+func (nt *NetworkTracer) WriteJSON(w io.Writer) error {
+	return nt.Finish().WriteJSON(w)
+}

@@ -130,3 +130,53 @@ func TestPowerLengthMismatchPanics(t *testing.T) {
 	}()
 	NewGrid(2, 2, DefaultParams()).Step([]float64{1}, 0.1)
 }
+
+// Step's settle fast-path triggers on dt > 20*tau && steps > 4096. With
+// maxStep = 0.25*tau the binding condition is steps, so the effective
+// cutoff sits at dt = 1024*tau: one sub-step below it the full Euler loop
+// runs, one above it Gauss-Seidel settle runs. After >1000 time constants
+// both must land on the same steady state; this pins that agreement so a
+// future retune of the guard can't silently change results at the seam.
+func TestSettleCutoffAgreesWithEulerAtBoundary(t *testing.T) {
+	p := DefaultParams()
+	gMax := 1/p.RVert + 4*p.GLat
+	maxStep := 0.25 * p.CNode / gMax
+	tau := p.CNode / gMax
+	dtBelow := 4095.5 * maxStep // ceil -> 4096 sub-steps: Euler path
+	dtAbove := 4097.0 * maxStep // 4097 sub-steps and dt > 20*tau: settle path
+	if !(dtBelow <= 1024*tau+1e-18 && dtAbove > 20*tau) {
+		t.Fatalf("test constants drifted from the guard: dtBelow=%g dtAbove=%g tau=%g", dtBelow, dtAbove, tau)
+	}
+
+	power := make([]float64, 16)
+	for i := range power {
+		power[i] = 0.01 * float64(i%5) // heterogeneous load
+	}
+	euler := NewGrid(4, 4, p)
+	settle := NewGrid(4, 4, p)
+	// Shared warm-up through the Euler path so the boundary step starts
+	// from a non-trivial, identical state on both grids.
+	for s := 0; s < 8; s++ {
+		euler.Step(power, 3*tau)
+		settle.Step(power, 3*tau)
+	}
+	euler.Step(power, dtBelow)
+	settle.Step(power, dtAbove)
+
+	for i := range power {
+		if d := math.Abs(euler.Temp(i) - settle.Temp(i)); d > 1e-6 {
+			t.Fatalf("tile %d: Euler path %.9f vs settle path %.9f (|d|=%g) across the dt cutoff",
+				i, euler.Temp(i), settle.Temp(i), d)
+		}
+	}
+	// Sanity: the boundary really did exercise both paths — an Euler
+	// integration one step shorter must still agree, and the settled
+	// state must match a direct settle from ambient.
+	fromAmbient := NewGrid(4, 4, p)
+	fromAmbient.Step(power, 10000*tau) // far past the cutoff: settle
+	for i := range power {
+		if d := math.Abs(settle.Temp(i) - fromAmbient.Temp(i)); d > 1e-6 {
+			t.Fatalf("tile %d: settle from warm state %.9f vs from ambient %.9f", i, settle.Temp(i), fromAmbient.Temp(i))
+		}
+	}
+}

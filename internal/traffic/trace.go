@@ -21,8 +21,21 @@ import (
 
 const traceMagic = 0x31544E49 // "INT1"
 
+// maxTraceNodes bounds the node count a trace header may carry; both
+// WriteTrace and ReadTrace enforce it so a file we write is always a file
+// we can read back.
+const maxTraceNodes = 1 << 20
+
+// maxTracePrealloc caps the packet-slice capacity taken on faith from the
+// header's record count. Anything larger grows via append, so a corrupt
+// header cannot demand count×24 bytes before the first record is parsed.
+const maxTracePrealloc = 64 * 1024
+
 // WriteTrace serializes packets for a nodes-node network to w.
 func WriteTrace(w io.Writer, nodes int, packets []Packet) error {
+	if nodes <= 0 || nodes > maxTraceNodes {
+		return fmt.Errorf("traffic: node count %d outside [1, %d]", nodes, maxTraceNodes)
+	}
 	bw := bufio.NewWriter(w)
 	hdr := []any{uint32(traceMagic), uint32(nodes), uint64(len(packets))}
 	for _, v := range hdr {
@@ -69,14 +82,18 @@ func ReadTrace(r io.Reader) (nodes int, packets []Packet, err error) {
 	if err := binary.Read(br, binary.LittleEndian, &count); err != nil {
 		return 0, nil, fmt.Errorf("traffic: reading record count: %w", err)
 	}
-	if n32 == 0 || n32 > 1<<20 {
+	if n32 == 0 || n32 > maxTraceNodes {
 		return 0, nil, fmt.Errorf("traffic: implausible node count %d", n32)
 	}
 	if count > 1<<32 {
 		return 0, nil, fmt.Errorf("traffic: implausible record count %d", count)
 	}
 	nodes = int(n32)
-	packets = make([]Packet, 0, count)
+	capHint := count
+	if capHint > maxTracePrealloc {
+		capHint = maxTracePrealloc
+	}
+	packets = make([]Packet, 0, capHint)
 	prev := int64(-1 << 62)
 	for i := uint64(0); i < count; i++ {
 		var t int64

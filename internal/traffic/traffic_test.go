@@ -2,6 +2,7 @@ package traffic
 
 import (
 	"bytes"
+	"encoding/binary"
 	"math"
 	"testing"
 )
@@ -318,5 +319,71 @@ func TestWriteTraceValidates(t *testing.T) {
 	}
 	if err := WriteTrace(&buf, 4, []Packet{{Time: 0, Src: 0, Dst: 1, Flits: 0}}); err == nil {
 		t.Fatal("zero-flit packet must be rejected")
+	}
+}
+
+// A corrupt 16-byte header may claim up to 2^32 records; ReadTrace must not
+// pre-allocate count×24 bytes (~96 GiB) on that header's say-so before the
+// body proves the records exist.
+func TestReadTraceBoundsPreallocFromHeader(t *testing.T) {
+	var buf bytes.Buffer
+	hdr := []any{uint32(traceMagic), uint32(4), uint64(1) << 32}
+	for _, v := range hdr {
+		if err := binary.Write(&buf, binary.LittleEndian, v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Empty body: the claimed 2^32 records aren't there. Before the
+	// capacity cap this line attempted the full pre-allocation and took
+	// the process down; now it must fail cleanly at record 0.
+	_, _, err := ReadTrace(bytes.NewReader(buf.Bytes()))
+	if err == nil {
+		t.Fatal("header claiming 2^32 records over an empty body must be rejected")
+	}
+}
+
+// Crossing the pre-allocation cap must still read every record: capacity is
+// a hint, append provides the growth.
+func TestReadTraceGrowsPastPreallocCap(t *testing.T) {
+	n := maxTracePrealloc + 137
+	packets := make([]Packet, n)
+	for i := range packets {
+		packets[i] = Packet{Time: int64(i), Src: 0, Dst: 1, Flits: 1}
+	}
+	var buf bytes.Buffer
+	if err := WriteTrace(&buf, 2, packets); err != nil {
+		t.Fatal(err)
+	}
+	_, got, err := ReadTrace(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != n {
+		t.Fatalf("read %d packets, want %d", len(got), n)
+	}
+	if got[n-1] != packets[n-1] {
+		t.Fatalf("last packet mismatch: %+v vs %+v", got[n-1], packets[n-1])
+	}
+}
+
+// WriteTrace used to push nodes through uint32(nodes) unchecked: negative
+// and >2^32-1 counts wrapped silently, and nodes==0 round-tripped into a
+// file ReadTrace itself rejects. Write must refuse everything Read would.
+func TestWriteTraceRejectsNodeCountsReadWouldRefuse(t *testing.T) {
+	pkts := []Packet{}
+	for _, nodes := range []int{0, -1, -64, maxTraceNodes + 1, int(int64(1) << 32)} {
+		var buf bytes.Buffer
+		if err := WriteTrace(&buf, nodes, pkts); err == nil {
+			t.Errorf("WriteTrace accepted nodes=%d, which ReadTrace would reject", nodes)
+		}
+	}
+	// The boundary value itself must survive a round trip.
+	var buf bytes.Buffer
+	if err := WriteTrace(&buf, maxTraceNodes, pkts); err != nil {
+		t.Fatal(err)
+	}
+	nodes, _, err := ReadTrace(&buf)
+	if err != nil || nodes != maxTraceNodes {
+		t.Fatalf("round trip at nodes=%d failed: nodes=%d err=%v", maxTraceNodes, nodes, err)
 	}
 }
