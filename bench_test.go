@@ -228,10 +228,11 @@ func BenchmarkSimulatorThroughput(b *testing.B) {
 			b.Fatal(err)
 		}
 		b.StartTimer()
-		res, err := core.Run(core.TechSECDED, sim, gen, nil)
+		out, err := core.Simulate(nil, core.TechSECDED, sim, gen)
 		if err != nil {
 			b.Fatal(err)
 		}
+		res := out.Result
 		totalCycles += res.Cycles
 	}
 	b.StopTimer()

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
@@ -27,6 +28,7 @@ type options struct {
 	progress      bool
 	telemetryDir  string
 	telemetryAddr string
+	shards        int
 }
 
 // parseArgs parses the command line into options. It uses a dedicated
@@ -46,6 +48,7 @@ func parseArgs(args []string, stderr io.Writer) (options, error) {
 	fs.BoolVar(&o.progress, "progress", true, "print live progress (jobs done/total, ETA, utilization) to stderr")
 	fs.StringVar(&o.telemetryDir, "telemetry-dir", "", "write a metrics.prom snapshot and a timeline.json Chrome trace of the job schedule to this directory")
 	fs.StringVar(&o.telemetryAddr, "telemetry-addr", "", "serve /metrics, /debug/vars, and /debug/pprof on this address while the suite runs (e.g. localhost:6060)")
+	fs.IntVar(&o.shards, "shards", 0, "step each simulated mesh with this many parallel shards (bit-identical results and digests; 0 = sequential)")
 	if err := fs.Parse(args); err != nil {
 		return o, err
 	}
@@ -73,8 +76,10 @@ func onlyIDs(only string) []string {
 }
 
 // run executes the suite per the options and writes figures to stdout
-// (and optionally the markdown report). Progress goes to stderr.
-func run(o options, stdout, stderr io.Writer) error {
+// (and optionally the markdown report). Progress goes to stderr. A nil
+// ctx runs to completion; cancellation stops the suite between (and
+// inside) simulations, leaving -results resumable.
+func run(ctx context.Context, o options, stdout, stderr io.Writer) error {
 	nPackets := o.packets
 	sweepBenches := []string{"bodytrack", "canneal", "ferret", "swaptions"}
 	if o.quick {
@@ -82,7 +87,7 @@ func run(o options, stdout, stderr io.Writer) error {
 		sweepBenches = []string{"ferret", "swaptions"}
 	}
 	suite, err := experiments.NewSuite(experiments.SuiteOptions{
-		Sim:          core.SimConfig{Seed: o.seed},
+		Sim:          core.SimConfig{Seed: o.seed, Shards: o.shards},
 		Packets:      nPackets,
 		Quick:        o.quick,
 		Only:         onlyIDs(o.only),
@@ -116,6 +121,7 @@ func run(o options, stdout, stderr io.Writer) error {
 		Resume:      o.resume,
 		Progress:    progress,
 		Observer:    observer,
+		Ctx:         ctx,
 	})
 	if err != nil {
 		return err

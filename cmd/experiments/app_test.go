@@ -50,7 +50,7 @@ func TestRunRejectsUnknownExperimentName(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	err = run(o, io.Discard, io.Discard)
+	err = run(nil, o, io.Discard, io.Discard)
 	if err == nil || !strings.Contains(err.Error(), "fig99") {
 		t.Fatalf("want unknown-experiment error naming fig99, got %v", err)
 	}
@@ -64,7 +64,7 @@ func TestRunTable2Only(t *testing.T) {
 		t.Fatal(err)
 	}
 	var out strings.Builder
-	if err := run(o, &out, io.Discard); err != nil {
+	if err := run(nil, o, &out, io.Discard); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(out.String(), "table2") {
@@ -93,7 +93,7 @@ func TestRunWritesTelemetryDir(t *testing.T) {
 		t.Fatal(err)
 	}
 	var out, errBuf strings.Builder
-	if err := run(o, &out, &errBuf); err != nil {
+	if err := run(nil, o, &out, &errBuf); err != nil {
 		t.Fatal(err)
 	}
 
@@ -172,7 +172,7 @@ func TestRunStreamsAndResumes(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := run(o1, io.Discard, io.Discard); err != nil {
+	if err := run(nil, o1, io.Discard, io.Discard); err != nil {
 		t.Fatal(err)
 	}
 
@@ -181,7 +181,7 @@ func TestRunStreamsAndResumes(t *testing.T) {
 		t.Fatal(err)
 	}
 	var out strings.Builder
-	if err := run(o2, &out, io.Discard); err != nil {
+	if err := run(nil, o2, &out, io.Discard); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(out.String(), "0 run") {

@@ -9,13 +9,14 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 
 	"intellinoc"
-	"intellinoc/internal/core"
-	"intellinoc/internal/noc"
 	"intellinoc/internal/telemetry"
 	"intellinoc/internal/traffic"
 )
@@ -43,6 +44,7 @@ func main() {
 		heatmap       = flag.Bool("heatmap", false, "print the die temperature grid")
 		chromeTrace   = flag.String("chrome-trace", "", "write a Chrome trace-event JSON timeline of the run to this file (load in Perfetto or chrome://tracing)")
 		traceFlits    = flag.Bool("trace-flits", false, "include per-flit instants in -chrome-trace output (large)")
+		shards        = flag.Int("shards", 0, "step the mesh with this many parallel shards (bit-identical results; 0 = sequential)")
 	)
 	flag.Parse()
 
@@ -54,6 +56,7 @@ func main() {
 		Width: *width, Height: *height, TimeStepCycles: *timestep,
 		BaseErrorRate: *errRate, ForcedErrorRate: *forced,
 		Seed: *seed, VerifyPayloads: *verify,
+		Shards: *shards, // bit-identical at any value; also shards pre-training
 	}
 	if *openLoop {
 		sim.DependencyWindow = -1
@@ -101,22 +104,29 @@ func main() {
 	}
 
 	fmt.Printf("running %s on %s (%dx%d mesh)...\n", technique, desc, *width, *height)
-	var (
-		res       intellinoc.Result
-		perRouter []intellinoc.RouterSummary
-		tracer    *telemetry.NetworkTracer
-	)
+	// Ctrl-C cancels the run; the partial result accumulated so far is
+	// still printed, flagged as partial.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	opts := []intellinoc.Option{
+		intellinoc.WithPolicy(policy),
+		intellinoc.WithRouterSummaries(),
+	}
+	var tracer *telemetry.NetworkTracer
 	if *chromeTrace != "" {
 		tracer = telemetry.NewNetworkTracer(*width**height, telemetry.TracerOptions{
 			FlitEvents: *traceFlits, TempCounters: true,
 		})
-		res, perRouter, err = core.RunInstrumented(technique, sim, gen, policy,
-			func(n *noc.Network, _ noc.Controller) { tracer.Attach(n) })
-	} else {
-		res, perRouter, err = intellinoc.RunDetailed(technique, sim, gen, policy)
+		opts = append(opts, intellinoc.WithObserver(tracer))
 	}
+	out, err := intellinoc.Simulate(ctx, technique, sim, gen, opts...)
+	res, perRouter := out.Result, out.Routers
 	if err != nil {
-		fatal(err)
+		if !errors.Is(err, context.Canceled) {
+			fatal(err)
+		}
+		fmt.Printf("interrupted — partial results through cycle %d:\n", res.Cycles)
+		perRouter = nil // summaries are only computed for completed runs
 	}
 	if tracer != nil {
 		f, err := os.Create(*chromeTrace)
@@ -162,7 +172,7 @@ temperature           avg %.1f C, max %.1f C
 		res.MTTFSeconds, res.WorstMTTFSeconds,
 		res.AvgTempC, res.MaxTempC)
 
-	if *perRouterFlag {
+	if *perRouterFlag && len(perRouter) > 0 {
 		fmt.Println("\nper-router summary:")
 		fmt.Printf("%4s %3s %3s %8s %10s %10s %10s %8s\n",
 			"id", "x", "y", "temp(C)", "dVth(mV)", "MTTF(s)", "energy(J)", "flits")
@@ -172,7 +182,7 @@ temperature           avg %.1f C, max %.1f C
 				s.StaticJoules+s.DynamicJoules, s.FlitsForwarded)
 		}
 	}
-	if *heatmap {
+	if *heatmap && len(perRouter) > 0 {
 		fmt.Println()
 		fmt.Println("router temperatures (°C):")
 		for y := 0; y < *height; y++ {

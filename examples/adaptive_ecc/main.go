@@ -12,6 +12,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -48,10 +49,12 @@ func main() {
 			if err != nil {
 				log.Fatal(err)
 			}
-			res, err := intellinoc.Run(tech, sim, gen, policy)
+			out, err := intellinoc.Simulate(context.Background(), tech, sim, gen,
+				intellinoc.WithPolicy(policy))
 			if err != nil {
 				log.Fatal(err)
 			}
+			res := out.Result
 			fmt.Printf("%-10.0e %-12s %9.1f %9d %9d %9d\n",
 				rate, tech, res.AvgLatency, res.HopRetransmits, res.E2ERetransmits, res.PacketsFailed)
 		}

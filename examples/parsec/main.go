@@ -6,6 +6,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"os"
@@ -36,11 +37,14 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		res, err := intellinoc.Run(tech, sim, gen, policy)
+		// WithShards(4) steps the mesh on four workers; results are
+		// bit-identical to a sequential run.
+		out, err := intellinoc.Simulate(context.Background(), tech, sim, gen,
+			intellinoc.WithPolicy(policy), intellinoc.WithShards(4))
 		if err != nil {
 			log.Fatal(err)
 		}
-		rows = append(rows, row{tech, res})
+		rows = append(rows, row{tech, out.Result})
 	}
 
 	base := rows[0].res // SECDED

@@ -5,6 +5,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -32,10 +33,12 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		res, err := intellinoc.Run(tech, sim, gen, policy)
+		out, err := intellinoc.Simulate(context.Background(), tech, sim, gen,
+			intellinoc.WithPolicy(policy))
 		if err != nil {
 			log.Fatal(err)
 		}
+		res := out.Result
 		seconds := float64(res.Cycles) / 2e9
 		fmt.Printf("%-12s %10d %10.1f %10.3f %10.3g\n",
 			tech, res.Cycles, res.AvgLatency, res.TotalJoules()/seconds, res.MTTFSeconds)

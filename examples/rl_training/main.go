@@ -6,6 +6,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -21,10 +22,11 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	base, err := intellinoc.Run(intellinoc.TechSECDED, sim, gen, nil)
+	baseOut, err := intellinoc.Simulate(context.Background(), intellinoc.TechSECDED, sim, gen)
 	if err != nil {
 		log.Fatal(err)
 	}
+	base := baseOut.Result
 	baseSec := float64(base.Cycles) / 2e9
 	fmt.Printf("SECDED baseline on blackscholes: latency %.1f cycles, power %.3f W\n\n",
 		base.AvgLatency, base.TotalJoules()/baseSec)
@@ -40,10 +42,12 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		res, err := intellinoc.Run(intellinoc.TechIntelliNoC, sim, gen, policy)
+		out, err := intellinoc.Simulate(context.Background(), intellinoc.TechIntelliNoC, sim, gen,
+			intellinoc.WithPolicy(policy))
 		if err != nil {
 			log.Fatal(err)
 		}
+		res := out.Result
 		sec := float64(res.Cycles) / 2e9
 		power := res.TotalJoules() / sec
 		fmt.Printf("%-7d %8d %10.1f %10.3f %8.0f%%  %s\n",

@@ -19,6 +19,7 @@
 package intellinoc
 
 import (
+	"context"
 	"io"
 
 	"intellinoc/internal/core"
@@ -75,10 +76,57 @@ type Workload = traffic.Generator
 // Packet is one injection request of a workload.
 type Packet = traffic.Packet
 
+// Option customizes one Simulate call. The constructors are WithPolicy,
+// WithRouterSummaries, WithObserver, and WithShards.
+type Option = core.RunOption
+
+// Observer is anything that attaches telemetry to a network before the
+// first cycle (the telemetry package's Recorder and NetworkTracer both
+// qualify). Hooks installed this way fire from a single goroutine even
+// on sharded runs.
+type Observer = core.Observer
+
+// RunOutput is everything a Simulate call produces; Routers is non-nil
+// only when WithRouterSummaries was given.
+type RunOutput = core.RunOutput
+
+// WithPolicy deploys a pre-trained policy (TechIntelliNoC only).
+func WithPolicy(p *Policy) Option { return core.WithPolicy(p) }
+
+// WithRouterSummaries requests per-router summaries in RunOutput.Routers
+// for heatmaps and hotspot analysis.
+func WithRouterSummaries() Option { return core.WithRouterSummaries() }
+
+// WithObserver attaches a telemetry observer (flight recorder, trace
+// exporter, metrics bridge) to the run. May be repeated.
+func WithObserver(o Observer) Option { return core.WithObserver(o) }
+
+// WithShards steps the mesh with n parallel shards. Results are
+// bit-identical at any shard count — the knob trades goroutines for
+// wall-clock only; 0 or 1 selects the sequential stepper.
+func WithShards(n int) Option { return core.WithShards(n) }
+
+// Simulate runs one technique over one workload. It replaces the
+// Run/RunDetailed pair: a nil ctx (or context.Background()) runs to
+// completion; a cancelable ctx stops the run early and returns the
+// partial Result together with an error wrapping ctx.Err().
+//
+//	out, err := intellinoc.Simulate(ctx, intellinoc.TechIntelliNoC,
+//	    intellinoc.SimConfig{}, gen,
+//	    intellinoc.WithRouterSummaries(), intellinoc.WithShards(4))
+func Simulate(ctx context.Context, tech Technique, sim SimConfig, gen Workload, opts ...Option) (RunOutput, error) {
+	return core.Simulate(ctx, tech, sim, gen, opts...)
+}
+
 // Run simulates one technique over one workload. For TechIntelliNoC a
 // pre-trained policy may be supplied (nil trains online from scratch).
+//
+// Deprecated: use Simulate. Run(tech, sim, gen, p) is exactly
+// Simulate(nil, tech, sim, gen, WithPolicy(p)) ignoring all but the
+// Result.
 func Run(tech Technique, sim SimConfig, gen Workload, policy *Policy) (Result, error) {
-	return core.Run(tech, sim, gen, policy)
+	out, err := core.Simulate(nil, tech, sim, gen, core.WithPolicy(policy))
+	return out.Result, err
 }
 
 // RouterSummary is one router's slice of a run: temperature, wear, MTTF,
@@ -87,8 +135,12 @@ type RouterSummary = noc.RouterSummary
 
 // RunDetailed is Run plus per-router summaries for heatmaps and hotspot
 // analysis.
+//
+// Deprecated: use Simulate with WithRouterSummaries.
 func RunDetailed(tech Technique, sim SimConfig, gen Workload, policy *Policy) (Result, []RouterSummary, error) {
-	return core.RunDetailed(tech, sim, gen, policy)
+	out, err := core.Simulate(nil, tech, sim, gen,
+		core.WithPolicy(policy), core.WithRouterSummaries())
+	return out.Result, out.Routers, err
 }
 
 // Pretrain trains an IntelliNoC policy on the blackscholes workload model

@@ -78,6 +78,7 @@ func RunAblation(ab Ablation, sim SimConfig, gen traffic.Generator, policy *Poli
 	cfg.VerifyPayloads = sim.VerifyPayloads
 	cfg.DependencyWindow = sim.DependencyWindow
 	cfg.ControlFaultRate = sim.ControlFaultRate
+	cfg.Shards = sim.Shards
 
 	var inner noc.Controller
 	if ab == AblationNoRL {
@@ -125,6 +126,7 @@ func RunAblation(ab Ablation, sim SimConfig, gen traffic.Generator, policy *Poli
 	if err != nil {
 		return noc.Result{}, fmt.Errorf("core: building ablation %s: %w", ab, err)
 	}
+	defer n.Close()
 	n.SetInitialMode(remap(noc.ModeCRC))
 	res, err := n.RunUntilDrained(sim.MaxCycles)
 	if err != nil {

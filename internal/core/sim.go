@@ -50,6 +50,13 @@ type SimConfig struct {
 	// OnPolicySARSA swaps the paper's Q-learning for on-policy SARSA
 	// (ext-sarsa experiment).
 	OnPolicySARSA bool
+
+	// Shards steps each network with this many parallel shards (see
+	// noc.Config.Shards); 0 or 1 is the sequential stepper. Results are
+	// bit-identical at any shard count, which is why the field is
+	// excluded from JSON: experiment-spec digests, golden results, and
+	// harness dedup must not distinguish runs by execution strategy.
+	Shards int `json:"-"`
 }
 
 // withDefaults fills in unset fields.
@@ -106,15 +113,22 @@ func (p *Policy) MaxTableSize() int { return p.ctrl.MaxTableSize() }
 // Run simulates one technique over one workload and returns the result.
 // For TechIntelliNoC, policy may carry a pre-trained policy; nil trains
 // from scratch during the run.
+//
+// Deprecated: use Simulate, which adds context cancellation and
+// functional options. Run(tech, sim, gen, p) is exactly
+// Simulate(nil, tech, sim, gen, WithPolicy(p)).
 func Run(tech Technique, sim SimConfig, gen traffic.Generator, policy *Policy) (noc.Result, error) {
-	res, _, err := RunDetailed(tech, sim, gen, policy)
-	return res, err
+	out, err := Simulate(nil, tech, sim, gen, WithPolicy(policy))
+	return out.Result, err
 }
 
 // RunDetailed is Run plus per-router summaries (temperatures, wear, MTTF,
 // energy, traffic) for heatmaps and hotspot analysis.
+//
+// Deprecated: use Simulate with WithRouterSummaries.
 func RunDetailed(tech Technique, sim SimConfig, gen traffic.Generator, policy *Policy) (noc.Result, []noc.RouterSummary, error) {
-	return RunInstrumented(tech, sim, gen, policy, nil)
+	out, err := Simulate(nil, tech, sim, gen, WithPolicy(policy), WithRouterSummaries())
+	return out.Result, out.Routers, err
 }
 
 // RunInstrumented is RunDetailed with an instrumentation callback invoked
@@ -124,31 +138,13 @@ func RunDetailed(tech Technique, sim SimConfig, gen traffic.Generator, policy *P
 // the deployed one — for a pre-trained policy that is the post-Clone
 // controller, not the policy's. A nil instrument is exactly RunDetailed;
 // an instrument that installs no hooks leaves results bit-identical.
+//
+// Deprecated: use Simulate with WithInstrument (or WithObserver for
+// attach-only telemetry).
 func RunInstrumented(tech Technique, sim SimConfig, gen traffic.Generator, policy *Policy, instrument func(*noc.Network, noc.Controller)) (noc.Result, []noc.RouterSummary, error) {
-	sim = sim.withDefaults()
-	cfg := tech.NetworkConfig(sim.Width, sim.Height)
-	cfg.TimeStepCycles = sim.TimeStepCycles
-	cfg.BaseErrorRate = sim.BaseErrorRate
-	cfg.ForcedErrorRate = sim.ForcedErrorRate
-	cfg.Seed = sim.Seed
-	cfg.VerifyPayloads = sim.VerifyPayloads
-	cfg.DependencyWindow = sim.DependencyWindow
-	cfg.ControlFaultRate = sim.ControlFaultRate
-
-	ctrl, initial := controllerFor(tech, sim, cfg, policy)
-	n, err := noc.New(cfg, gen, ctrl)
-	if err != nil {
-		return noc.Result{}, nil, fmt.Errorf("core: building %s network: %w", tech, err)
-	}
-	n.SetInitialMode(initial)
-	if instrument != nil {
-		instrument(n, ctrl)
-	}
-	res, err := n.RunUntilDrained(sim.MaxCycles)
-	if err != nil {
-		return res, nil, fmt.Errorf("core: running %s: %w", tech, err)
-	}
-	return res, n.PerRouter(), nil
+	out, err := Simulate(nil, tech, sim, gen,
+		WithPolicy(policy), WithRouterSummaries(), WithInstrument(instrument))
+	return out.Result, out.Routers, err
 }
 
 func controllerFor(tech Technique, sim SimConfig, cfg noc.Config, policy *Policy) (noc.Controller, noc.Mode) {
@@ -185,6 +181,7 @@ func Pretrain(sim SimConfig, epochs, packetsPerEpoch int) (*Policy, error) {
 	cfg.Seed = sim.Seed
 	cfg.DependencyWindow = sim.DependencyWindow
 	cfg.ControlFaultRate = sim.ControlFaultRate
+	cfg.Shards = sim.Shards
 
 	ctrl := NewRLController(cfg.Nodes(), sim.rlConfig())
 	ctrl.OnPolicy = sim.OnPolicySARSA
@@ -200,7 +197,9 @@ func Pretrain(sim SimConfig, epochs, packetsPerEpoch int) (*Policy, error) {
 			return nil, err
 		}
 		n.SetInitialMode(noc.ModeCRC)
-		if _, err := n.RunUntilDrained(sim.MaxCycles); err != nil {
+		_, err = n.RunUntilDrained(sim.MaxCycles)
+		n.Close()
+		if err != nil {
 			return nil, fmt.Errorf("core: pre-training epoch %d: %w", e, err)
 		}
 	}

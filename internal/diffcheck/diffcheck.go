@@ -18,7 +18,7 @@ import (
 )
 
 // AllChecks lists every check family in execution order.
-var AllChecks = []string{"ff", "verify", "invariants", "rl", "snapshot", "harness"}
+var AllChecks = []string{"ff", "shards", "verify", "invariants", "rl", "snapshot", "harness"}
 
 // CorpusEntry is one regression case: a (check, seed) pair that diverged
 // on some historical tree. The committed corpus in testdata/corpus.json
@@ -87,6 +87,8 @@ func RunCheck(check string, seed int64) (*Finding, error) {
 	switch check {
 	case "ff":
 		return checkFF(seed), nil
+	case "shards":
+		return checkShards(seed), nil
 	case "verify":
 		return checkVerify(seed), nil
 	case "snapshot":

@@ -109,17 +109,22 @@ func TestLockstepFindingCarriesFlightRecorderTail(t *testing.T) {
 	}
 }
 
-// FuzzDiffConfig fuzzes the scenario seed through the two cheap
-// whole-simulation properties: fast-forward exactness and the invariant
-// campaign. Counterexamples persist under testdata/fuzz/FuzzDiffConfig
-// and replay on every regular `go test` run.
+// FuzzDiffConfig fuzzes the scenario seed through the three cheap
+// whole-simulation properties: fast-forward exactness, seq-vs-sharded
+// bit-identity, and the invariant campaign. Counterexamples persist
+// under testdata/fuzz/FuzzDiffConfig and replay on every regular
+// `go test` run.
 func FuzzDiffConfig(f *testing.F) {
 	f.Add(int64(1))
 	f.Add(int64(961471455017131496))  // ff corpus seed
+	f.Add(int64(9000000052))          // shards corpus seed
 	f.Add(int64(1911757070458292434)) // invariants corpus seed
 	f.Fuzz(func(t *testing.T, seed int64) {
 		if fd := checkFF(seed); fd != nil {
 			t.Fatalf("ff divergence:\n%s", fd)
+		}
+		if fd := checkShards(seed); fd != nil {
+			t.Fatalf("shards divergence:\n%s", fd)
 		}
 		if fd := checkInvariants(seed); fd != nil {
 			t.Fatalf("invariant violation:\n%s", fd)

@@ -77,6 +77,26 @@ func checkFF(seed int64) *Finding {
 	return lockstep("ff", sc, a, b)
 }
 
+// checkShards verifies the sharded stepper's headline claim: a mesh
+// stepped by the worker pool (noc.Config.Shards > 1) must match the
+// sequential stepper on every fingerprinted state word at every step
+// boundary — commit ordering, PRNG draw order, and FP accumulation
+// included. The shard count is derived from the seed so the campaign
+// covers uneven router/shard splits as well as the CI-gated count of 4.
+func checkShards(seed int64) *Finding {
+	sc := ScenarioForSeed(seed)
+	a, err := sc.network(nil)
+	if err != nil {
+		return buildFailure("shards", sc, err)
+	}
+	b, err := sc.network(func(c *noc.Config) { c.Shards = 2 + int(uint64(seed)%3) })
+	if err != nil {
+		return buildFailure("shards", sc, err)
+	}
+	defer b.Close()
+	return lockstep("shards", sc, a, b)
+}
+
 // checkVerify verifies the DESIGN §5 contract on Config.VerifyPayloads:
 // carrying real payload bytes through the bit-exact codecs must not
 // change any fault outcome — only the payload bytes themselves (which
@@ -122,7 +142,8 @@ func checkSnapshot(seed int64) *Finding {
 		if err != nil {
 			return noc.Result{}, err
 		}
-		return core.Run(core.TechIntelliNoC, sim, gen, p)
+		out, err := core.Simulate(nil, core.TechIntelliNoC, sim, gen, core.WithPolicy(p))
+		return out.Result, err
 	}
 
 	resA, err := runOnce(policy)

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"crypto/sha256"
 	"encoding/hex"
 	"encoding/json"
@@ -102,6 +103,13 @@ func (s RunSpec) Digest() string { return digestOf("run", s) }
 // Execute runs the simulation, resolving the pre-trained policy (if
 // any) through the store.
 func (s RunSpec) Execute(policies *PolicyStore) (noc.Result, error) {
+	return s.ExecuteContext(nil, policies)
+}
+
+// ExecuteContext is Execute with cooperative cancellation: on ctx
+// cancellation the run stops early and returns the partial result with
+// an error wrapping ctx.Err(). A nil ctx runs to completion.
+func (s RunSpec) ExecuteContext(ctx context.Context, policies *PolicyStore) (noc.Result, error) {
 	var policy *core.Policy
 	if s.Policy != nil {
 		p, err := policies.Get(*s.Policy)
@@ -117,7 +125,8 @@ func (s RunSpec) Execute(policies *PolicyStore) (noc.Result, error) {
 	if s.UseAblation {
 		return core.RunAblation(s.Ablation, s.Sim, gen, policy)
 	}
-	return core.Run(s.Tech, s.Sim, gen, policy)
+	out, err := core.Simulate(ctx, s.Tech, s.Sim, gen, core.WithPolicy(policy))
+	return out.Result, err
 }
 
 // LabeledSpec pairs a run spec with its human-readable name

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -227,6 +228,12 @@ type RunOptions struct {
 	// concurrently from worker goroutines; must be safe for concurrent
 	// use. Has no effect on results.
 	Observer func(harness.Record)
+	// Ctx, when non-nil, cancels the suite: dispatch stops, in-flight
+	// simulations stop at their next cancellation poll, and Run returns
+	// an error wrapping ctx.Err(). Records streamed before cancellation
+	// remain in ResultsPath, so a -resume rerun picks up where the
+	// canceled one stopped.
+	Ctx context.Context
 }
 
 // SuiteResult is the outcome of a suite run.
@@ -340,7 +347,7 @@ func (s *Suite) Run(opts RunOptions) (*SuiteResult, error) {
 		}
 		out, err := harness.Run(pretrainJobs, harness.Options{
 			Workers: opts.Workers, Retries: opts.Retries, Stream: stream, Progress: prog,
-			Observer: opts.Observer,
+			Observer: opts.Observer, Ctx: opts.Ctx,
 		})
 		if err != nil {
 			return nil, err
@@ -357,7 +364,7 @@ func (s *Suite) Run(opts RunOptions) (*SuiteResult, error) {
 		spec := ls.Spec
 		runJobs = append(runJobs, harness.Job{
 			Digest: spec.Digest(), Kind: "run", Name: ls.Name, Seed: spec.Sim.Seed,
-			Run: func() (any, error) { return spec.Execute(store) },
+			Run: func() (any, error) { return spec.ExecuteContext(opts.Ctx, store) },
 		})
 	}
 	if len(runJobs) > 0 {
@@ -367,7 +374,7 @@ func (s *Suite) Run(opts RunOptions) (*SuiteResult, error) {
 		}
 		out, err := harness.Run(runJobs, harness.Options{
 			Workers: opts.Workers, Retries: opts.Retries, Stream: stream, Progress: prog,
-			Observer: opts.Observer,
+			Observer: opts.Observer, Ctx: opts.Ctx,
 		})
 		if err != nil {
 			return nil, err

@@ -11,6 +11,7 @@
 package harness
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"runtime"
@@ -63,6 +64,12 @@ type Options struct {
 	// called concurrently from worker goroutines and must be safe for
 	// concurrent use. Results are unaffected by the observer.
 	Observer func(Record)
+	// Ctx, when non-nil, cancels the run: dispatch stops, in-flight
+	// jobs drain (job closures built from it stop at their next poll),
+	// and Run returns an error wrapping ctx.Err(). Records streamed
+	// before cancellation stay in the stream, so a rerun resumes past
+	// them; every worker goroutine has exited by the time Run returns.
+	Ctx context.Context
 }
 
 const defaultRetries = 1
@@ -119,6 +126,18 @@ func Run(jobs []Job, opts Options) (map[string]json.RawMessage, error) {
 		}
 	}
 
+	if opts.Ctx != nil {
+		watcherDone := make(chan struct{})
+		defer close(watcherDone)
+		go func() {
+			select {
+			case <-opts.Ctx.Done():
+				fail(fmt.Errorf("harness: run canceled: %w", opts.Ctx.Err()))
+			case <-watcherDone:
+			}
+		}()
+	}
+
 	feed := make(chan Job)
 	go func() {
 		defer close(feed)
@@ -137,7 +156,7 @@ func Run(jobs []Job, opts Options) (map[string]json.RawMessage, error) {
 		go func() {
 			defer wg.Done()
 			for j := range feed {
-				rec, err := execute(j, retries)
+				rec, err := execute(j, retries, opts.Ctx)
 				if err != nil {
 					fail(err)
 					continue
@@ -171,8 +190,10 @@ func Run(jobs []Job, opts Options) (map[string]json.RawMessage, error) {
 }
 
 // execute runs one job with panic isolation and retry, and marshals its
-// payload into a record.
-func execute(j Job, retries int) (Record, error) {
+// payload into a record. A failure after the run's context was canceled
+// is not retried: the job did not fail on its own merits, and a retry
+// would just be canceled again.
+func execute(j Job, retries int, ctx context.Context) (Record, error) {
 	start := time.Now()
 	var (
 		payload any
@@ -182,7 +203,7 @@ func execute(j Job, retries int) (Record, error) {
 	for try := 0; try <= retries; try++ {
 		attempts++
 		payload, err = attempt(j)
-		if err == nil {
+		if err == nil || (ctx != nil && ctx.Err() != nil) {
 			break
 		}
 	}

@@ -1,10 +1,13 @@
 package harness
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime"
 	"strings"
 	"sync/atomic"
 	"testing"
@@ -241,5 +244,62 @@ func TestProgressOutput(t *testing.T) {
 	out := sb.String()
 	if !strings.Contains(out, "3/3 jobs") || !strings.Contains(out, "phase:") {
 		t.Fatalf("progress output missing fields:\n%s", out)
+	}
+}
+
+// TestRunContextCancellation cancels a pool mid-run: dispatch must stop,
+// Run must return an error wrapping context.Canceled, records finished
+// before the cancellation must survive in the output stream, and every
+// worker goroutine must be gone when Run returns.
+func TestRunContextCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var started atomic.Int32
+	jobs := make([]Job, 16)
+	for i := range jobs {
+		i := i
+		jobs[i] = Job{
+			Digest: fmt.Sprintf("cancel-%d", i), Kind: "run", Name: fmt.Sprintf("job-%d", i),
+			Run: func() (any, error) {
+				if started.Add(1) == 1 {
+					// The first job finishes normally, so the pool has a
+					// completed record when the cancellation lands.
+					return payload{N: i}, nil
+				}
+				cancel() // cancel while this job is in flight
+				<-ctx.Done()
+				return nil, ctx.Err()
+			},
+		}
+	}
+
+	before := runtime.NumGoroutine()
+	_, err := Run(jobs, Options{Workers: 2, Retries: -1, Ctx: ctx})
+	if err == nil {
+		t.Fatal("Run returned nil error after cancellation")
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("error does not wrap context.Canceled: %v", err)
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	after := runtime.NumGoroutine()
+	for after > before && time.Now().Before(deadline) {
+		time.Sleep(5 * time.Millisecond)
+		after = runtime.NumGoroutine()
+	}
+	if after > before {
+		t.Fatalf("goroutines leaked: %d before Run, %d after", before, after)
+	}
+}
+
+// TestRunContextNilBehavesAsBefore pins that a nil Ctx is the legacy
+// uncancellable path.
+func TestRunContextNilBehavesAsBefore(t *testing.T) {
+	out, err := Run(mkJobs(4), Options{Workers: 2, Ctx: nil})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 4 {
+		t.Fatalf("got %d results, want 4", len(out))
 	}
 }

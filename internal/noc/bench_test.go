@@ -1,6 +1,7 @@
 package noc
 
 import (
+	"fmt"
 	"testing"
 
 	"intellinoc/internal/traffic"
@@ -57,4 +58,40 @@ func BenchmarkNetworkCycleChannelBuffered(b *testing.B) {
 	}
 	b.StopTimer()
 	b.ReportMetric(float64(n.Cycle()-start)/b.Elapsed().Seconds(), "cycles/s")
+}
+
+// BenchmarkNetworkCycleSharded measures the worker-pool stepper on the
+// 16x16 mesh the CI speedup gate uses. Run with -shards to vary the
+// pool; /1 is the sequential baseline the sharded variants are gated
+// against (>=1.3x at shards=4 on a 4-vCPU runner).
+func BenchmarkNetworkCycleSharded(b *testing.B) {
+	for _, shards := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("shards%d", shards), func(b *testing.B) {
+			cfg := testConfig()
+			cfg.Width, cfg.Height = 16, 16
+			if shards > 1 {
+				cfg.Shards = shards
+			}
+			gen, err := traffic.NewSynthetic(traffic.SyntheticConfig{
+				Width: 16, Height: 16, Pattern: traffic.Uniform,
+				InjectionRate: 0.1, PacketFlits: 4, Packets: 1 << 30, Seed: 1,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			n, err := New(cfg, gen, nil)
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer n.Close()
+			b.ReportAllocs()
+			b.ResetTimer()
+			start := n.Cycle()
+			for i := 0; i < b.N; i++ {
+				n.Step()
+			}
+			b.StopTimer()
+			b.ReportMetric(float64(n.Cycle()-start)/b.Elapsed().Seconds(), "cycles/s")
+		})
+	}
 }

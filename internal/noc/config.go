@@ -87,6 +87,16 @@ type Config struct {
 	// ECC codecs on every hop. Slower; used by tests and examples.
 	VerifyPayloads bool
 
+	// Shards > 1 steps the mesh with a bounded worker pool: each shard (a
+	// row block of routers with their channels and NICs) scans its routers
+	// in parallel, and the cross-router commits run in router-index order
+	// at a per-cycle barrier (see shard.go). Results, fingerprints, and
+	// event streams are bit-identical to the sequential path at any shard
+	// count — the knob trades goroutines for wall-clock only. 0 or 1
+	// selects the plain sequential stepper. A sharded Network owns worker
+	// goroutines; call Close when done with it.
+	Shards int
+
 	// DisableIdleFastForward forces the simulator to step quiescent
 	// stretches cycle by cycle instead of jumping to the next event. The
 	// fast-forward is exact — results are bit-identical either way (the
@@ -133,6 +143,8 @@ func (c *Config) Validate() error {
 		return fmt.Errorf("noc: power gating without bypass needs a wakeup latency")
 	case c.MaxPacketRetries < 0:
 		return fmt.Errorf("noc: negative retry bound")
+	case c.Shards < 0:
+		return fmt.Errorf("noc: negative shard count")
 	}
 	return nil
 }

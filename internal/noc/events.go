@@ -82,9 +82,13 @@ func (e Event) String() string {
 }
 
 // SetEventHook installs a callback invoked for every simulator event. Pass
-// nil to disable. The hook runs synchronously on the simulation thread;
-// keep it cheap (or buffer). Intended for debugging and visualization of
-// small runs — a busy 8×8 mesh emits millions of events.
+// nil to disable. The hook runs synchronously on the stepping goroutine —
+// never concurrently, even on a sharded run (Config.Shards > 1), where
+// shards buffer their events and the commit phase replays them from the
+// coordinator in the exact sequential-stepper order. Hook consumers
+// (recorder, tracer) may therefore stay unsynchronized. Keep the hook
+// cheap (or buffer). Intended for debugging and visualization of small
+// runs — a busy 8×8 mesh emits millions of events.
 func (n *Network) SetEventHook(hook func(Event)) { n.eventHook = hook }
 
 // StreamEvents installs a hook that writes one formatted line per event.
@@ -133,8 +137,10 @@ func (s EpochSample) String() string {
 
 // SetEpochHook installs a callback invoked with every router's EpochSample
 // at each control step. Pass nil to disable. Like SetEventHook, the hook
-// runs synchronously on the simulation thread; the disabled cost is a
-// single nil check per router per control step, off the per-cycle path.
+// runs synchronously on the stepping goroutine and is never invoked
+// concurrently — control steps run outside the sharded phases, so the
+// guarantee holds at any shard count. The disabled cost is a single nil
+// check per router per control step, off the per-cycle path.
 func (n *Network) SetEpochHook(hook func(EpochSample)) { n.epochHook = hook }
 
 // emit delivers an event to the hook, if any. The nil check is the only

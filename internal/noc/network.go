@@ -1,6 +1,7 @@
 package noc
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/rand"
@@ -145,6 +146,11 @@ type Network struct {
 	// arms the idle fast-forward.
 	bufferedFlits int
 
+	// shardCount > 0 selects the sharded two-phase stepper (see shard.go);
+	// pool holds its lazily started worker goroutines.
+	shardCount int
+	pool       *shardPool
+
 	powersBuf []float64 // thermalStep scratch
 
 	eventHook func(Event)
@@ -212,6 +218,13 @@ func New(cfg Config, gen traffic.Generator, ctrl Controller) (*Network, error) {
 		linkRe:        make([]float64, nodes),
 		linkReRelaxed: make([]float64, nodes),
 		powersBuf:     make([]float64, nodes),
+	}
+	if cfg.Shards > 1 {
+		// Row-major router ids make contiguous id ranges row blocks; more
+		// shards than nodes would leave workers with nothing to scan.
+		if sc := min(cfg.Shards, nodes); sc > 1 {
+			n.shardCount = sc
+		}
 	}
 	n.buildTopology()
 	n.refreshLinkRates()
@@ -363,6 +376,10 @@ func (n *Network) Step() { n.step(1 << 62) }
 // step is Step bounded so the fast-forward never jumps past maxCycles
 // (RunUntilDrained's truncation point).
 func (n *Network) step(maxCycles int64) {
+	if n.shardCount > 0 {
+		n.stepSharded(maxCycles)
+		return
+	}
 	cy := n.cycle
 
 	// 0. Idle fast-forward: with no buffered flits anywhere, the network
@@ -382,33 +399,13 @@ func (n *Network) step(maxCycles int64) {
 	}
 
 	// 1. Admit workload packets due this cycle into the NIC queues.
-	for {
-		pkt, ok := n.gen.PopDue(cy)
-		if !ok {
-			break
-		}
-		job := n.newJob()
-		*job = packetJob{
-			id: n.nextPacketID, src: pkt.Src, dst: pkt.Dst,
-			flits: pkt.Flits, injectCycle: pkt.Time,
-		}
-		q := n.nics[pkt.Src]
-		if q.seenAny {
-			job.gap = pkt.Time - q.lastTraceTime
-		}
-		q.lastTraceTime = pkt.Time
-		q.seenAny = true
-		n.nextPacketID++
-		n.packets.append(n.newInfo(job))
-		q.queue = append(q.queue, job)
-		n.outstanding++
-	}
+	n.admitStep(cy)
 
 	// 2. Power-state maintenance. Without power gating or bypass no
 	// router can ever gate or wake, so the whole pass is a no-op.
 	if n.cfg.PowerGating || n.cfg.Bypass {
 		for _, r := range n.routers {
-			n.powerStateStep(r, cy)
+			n.powerStateStep(r, cy, nil)
 		}
 	}
 
@@ -419,7 +416,7 @@ func (n *Network) step(maxCycles int64) {
 	// other's credits.
 	for _, r := range n.routers {
 		if r.active() {
-			n.deliverChannels(r, cy)
+			n.deliverChannels(r, cy, nil)
 		}
 	}
 
@@ -439,14 +436,7 @@ func (n *Network) step(maxCycles int64) {
 
 	// 5. NIC injection into active routers (gated mode-0 routers
 	// inject through the bypass switch instead).
-	for id, q := range n.nics {
-		r := n.routers[id]
-		if r.active() {
-			n.injectStep(r, q, cy)
-		} else if q.pending() && !n.cfg.Bypass && r.gated && r.waking == 0 {
-			n.triggerWake(r)
-		}
-	}
+	n.injectPhase(cy)
 
 	// 6. Per-cycle accounting.
 	for _, r := range n.routers {
@@ -470,6 +460,48 @@ func (n *Network) step(maxCycles int64) {
 	}
 	if n.cycle%int64(n.cfg.TimeStepCycles) == 0 {
 		n.controlStep()
+	}
+}
+
+// admitStep moves workload packets due this cycle into the NIC queues.
+// Packet ids are handed out in pop order, so this phase stays sequential
+// under sharded stepping.
+func (n *Network) admitStep(cy int64) {
+	for {
+		pkt, ok := n.gen.PopDue(cy)
+		if !ok {
+			break
+		}
+		job := n.newJob()
+		*job = packetJob{
+			id: n.nextPacketID, src: pkt.Src, dst: pkt.Dst,
+			flits: pkt.Flits, injectCycle: pkt.Time,
+		}
+		q := n.nics[pkt.Src]
+		if q.seenAny {
+			job.gap = pkt.Time - q.lastTraceTime
+		}
+		q.lastTraceTime = pkt.Time
+		q.seenAny = true
+		n.nextPacketID++
+		n.packets.append(n.newInfo(job))
+		q.queue = append(q.queue, job)
+		n.outstanding++
+	}
+}
+
+// injectPhase runs step 5 for every NIC: injection into active routers,
+// wake triggering for gated CP-style ones. Flit ids and the injection
+// PRNG draws are handed out in router order, so this phase stays
+// sequential under sharded stepping.
+func (n *Network) injectPhase(cy int64) {
+	for id, q := range n.nics {
+		r := n.routers[id]
+		if r.active() {
+			n.injectStep(r, q, cy)
+		} else if q.pending() && !n.cfg.Bypass && r.gated && r.waking == 0 {
+			n.triggerWake(r, nil)
+		}
 	}
 }
 
@@ -593,8 +625,12 @@ func (n *Network) fastForward(k int64) {
 	}
 }
 
-// powerStateStep advances wake counters and gating decisions.
-func (n *Network) powerStateStep(r *Router, cy int64) {
+// powerStateStep advances wake counters and gating decisions. It touches
+// only the router's own state (and its meter), so the sharded stepper runs
+// it in parallel across shards; slot, when non-nil, buffers the emitted
+// events for an in-order flush at the commit barrier (nil emits directly,
+// the sequential path).
+func (n *Network) powerStateStep(r *Router, cy int64, slot *shardSlot) {
 	if r.waking > 0 {
 		r.waking--
 		if r.waking == 0 {
@@ -609,7 +645,7 @@ func (n *Network) powerStateStep(r *Router, cy int64) {
 		if !n.cfg.Bypass {
 			for p := 1; p < NumPorts; p++ {
 				if r.in[p] != nil && r.in[p].ch != nil && r.in[p].ch.anyReady(cy) {
-					n.triggerWake(r)
+					n.triggerWake(r, slot)
 					break
 				}
 			}
@@ -620,7 +656,7 @@ func (n *Network) powerStateStep(r *Router, cy int64) {
 	if n.cfg.Bypass && r.mode == ModeBypass && r.empty() {
 		n.flushStatic(r)
 		r.gated = true
-		n.emit(Event{Cycle: cy, Kind: EvGate, Router: r.id})
+		n.emitGate(slot, Event{Cycle: cy, Kind: EvGate, Router: r.id})
 		return
 	}
 	// CP-style idle gating: a long-enough idle streak powers the
@@ -632,7 +668,7 @@ func (n *Network) powerStateStep(r *Router, cy int64) {
 				n.flushStatic(r)
 				r.gated = true
 				r.idle = 0
-				n.emit(Event{Cycle: cy, Kind: EvGate, Router: r.id})
+				n.emitGate(slot, Event{Cycle: cy, Kind: EvGate, Router: r.id})
 			}
 		} else {
 			r.idle = 0
@@ -649,7 +685,9 @@ func (n *Network) hasChannelTraffic(r *Router, cy int64) bool {
 	return false
 }
 
-func (n *Network) triggerWake(r *Router) {
+// triggerWake starts a gated router's wake-up countdown. slot is non-nil
+// only when called from the sharded stepper's parallel power-state phase.
+func (n *Network) triggerWake(r *Router, slot *shardSlot) {
 	if r.waking > 0 || !r.gated {
 		return
 	}
@@ -658,7 +696,7 @@ func (n *Network) triggerWake(r *Router) {
 	if r.waking <= 0 {
 		r.waking = 1
 	}
-	n.emit(Event{Cycle: n.cycle, Kind: EvWake, Router: r.id})
+	n.emitGate(slot, Event{Cycle: n.cycle, Kind: EvWake, Router: r.id})
 	n.meters[r.id].Record(power.EventCounts{Wakeups: 1})
 }
 
@@ -674,8 +712,11 @@ func (n *Network) flushStatic(r *Router) {
 }
 
 // deliverChannels moves at most one flit per input port from the channel
-// into its VC buffer.
-func (n *Network) deliverChannels(r *Router, cy int64) {
+// into its VC buffer. It mutates only the router's own channels and
+// buffers, so the sharded stepper runs it in parallel across shards; the
+// cross-router side effects (bufferedFlits, lastProgress, the delivery
+// events) go through slot when non-nil and are committed at the barrier.
+func (n *Network) deliverChannels(r *Router, cy int64, slot *shardSlot) {
 	for p := 1; p < NumPorts; p++ {
 		ip := r.in[p]
 		if ip == nil || ip.ch == nil {
@@ -688,11 +729,20 @@ func (n *Network) deliverChannels(r *Router, cy int64) {
 		f := ip.ch.remove(idx)
 		ip.vcs[f.VC].buf = append(ip.vcs[f.VC].buf, f)
 		r.bufCount++
-		n.bufferedFlits++
 		ip.winFlitsIn++
 		n.meters[r.id].Record(power.EventCounts{BufWrites: 1})
-		n.emitFlit(cy, EvDeliver, r.id, f)
-		n.lastProgress = cy
+		if slot == nil {
+			n.bufferedFlits++
+			n.emitFlit(cy, EvDeliver, r.id, f)
+			n.lastProgress = cy
+		} else {
+			slot.buffered++
+			slot.progress = true
+			if n.eventHook != nil {
+				slot.deliverEvents = append(slot.deliverEvents,
+					Event{Cycle: cy, Kind: EvDeliver, Router: r.id, PacketID: f.PacketID, FlitSeq: f.Seq})
+			}
+		}
 	}
 }
 
@@ -703,11 +753,21 @@ func (n *Network) deliverChannels(r *Router, cy int64) {
 const maxSASlots = NumPorts * maxVCs
 
 func (n *Network) saStage(r *Router, cy int64) {
-	// One pass over the input VCs builds per-output candidate lists, so
-	// arbitration only touches slots that actually hold a routed flit —
-	// the hot loop of the whole simulator.
 	var cand [NumPorts][maxSASlots]int16
 	var candN [NumPorts]int
+	n.saBuild(r, &cand, &candN)
+	n.saCommit(r, cy, &cand, &candN)
+}
+
+// saBuild is the read-only half of switch allocation: one pass over the
+// input VCs builds per-output candidate lists, so arbitration only touches
+// slots that actually hold a routed flit — the hot loop of the whole
+// simulator. It reads nothing outside the router, which is what lets the
+// sharded stepper run it in parallel across shards: the candidate set a
+// router sees is the same whether its neighbours' commits have run or not
+// (commits never touch another router's input VCs).
+func (n *Network) saBuild(r *Router, cand *[NumPorts][maxSASlots]int16, candN *[NumPorts]int) {
+	*candN = [NumPorts]int{}
 	for inP := 0; inP < NumPorts; inP++ {
 		ip := r.in[inP]
 		if ip == nil {
@@ -723,6 +783,14 @@ func (n *Network) saStage(r *Router, cy int64) {
 			candN[o]++
 		}
 	}
+}
+
+// saCommit is the mutating half of switch allocation: arbitration, buffer
+// pops, credit returns, link traversal, ejection. Credits returned here
+// are visible to higher-numbered routers within the same cycle, so the
+// sharded stepper runs all commits sequentially in router-index order —
+// exactly the sequential schedule — after the parallel build phase.
+func (n *Network) saCommit(r *Router, cy int64, cand *[NumPorts][maxSASlots]int16, candN *[NumPorts]int) {
 	var inputUsed [NumPorts]bool
 	for outP := 0; outP < NumPorts; outP++ {
 		if candN[outP] == 0 {
@@ -1522,7 +1590,7 @@ func (n *Network) applyMode(r *Router, mode Mode) {
 		n.emit(Event{Cycle: n.cycle, Kind: EvModeChange, Router: r.id, Mode: mode})
 	}
 	if prev == ModeBypass && mode != ModeBypass && r.gated {
-		n.triggerWake(r)
+		n.triggerWake(r, nil)
 	}
 	n.flushStatic(r)
 }
@@ -1658,8 +1726,29 @@ func (r Result) RetransmittedFlits() uint64 { return r.HopRetransmits + r.E2ERet
 // RunUntilDrained steps the network until the workload completes or
 // maxCycles elapse, then returns the aggregated result.
 func (n *Network) RunUntilDrained(maxCycles int64) (Result, error) {
+	return n.RunContext(nil, maxCycles)
+}
+
+// RunContext is RunUntilDrained with cooperative cancellation: the context
+// is polled every few steps, and on cancellation the partial result
+// accumulated so far is returned together with an error wrapping
+// ctx.Err(). A nil ctx (what RunUntilDrained passes) skips the polling
+// entirely, so the uncancellable path costs nothing extra. Cancellation
+// never perturbs a run that completes: the simulation state advances
+// exactly as without a context until the moment the run stops.
+func (n *Network) RunContext(ctx context.Context, maxCycles int64) (Result, error) {
 	const stallLimit = 100_000
+	const ctxPollInterval = 256 // steps between ctx.Err() polls
+	poll := 0
 	for !n.Drained() && n.cycle < maxCycles {
+		if ctx != nil {
+			if poll++; poll >= ctxPollInterval {
+				poll = 0
+				if err := ctx.Err(); err != nil {
+					return n.Snapshot(), fmt.Errorf("noc: run canceled at cycle %d: %w", n.cycle, err)
+				}
+			}
+		}
 		n.step(maxCycles)
 		if n.cycle-n.lastProgress > stallLimit {
 			res := n.Snapshot()

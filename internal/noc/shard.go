@@ -1,0 +1,394 @@
+package noc
+
+import (
+	"runtime"
+	"sync/atomic"
+)
+
+// Sharded stepping: step() decomposed into parallel per-router scan phases
+// and a sequential in-order commit, bit-identical to the sequential path.
+//
+// The mesh cannot be naively partitioned because the sequential schedule
+// has same-cycle cross-router visibility in exactly one place: when router
+// i's switch allocation pops a flit, the freed buffer slot's credit
+// returns to the upstream router immediately, and a higher-numbered router
+// j > i sees that credit within the same cycle's arbitration pass. So the
+// decomposition keeps every order-sensitive mutation — arbitration with
+// its credit chain, link PRNG draws, ejection, packet/flit id assignment,
+// floating-point meter flushes — on the coordinating goroutine in router
+// index order, and parallelizes only the per-router scans whose reads
+// provably cannot observe another router's same-phase writes:
+//
+//	phase 2+3  power-state + channel deliveries   (own router/channels)
+//	phase 4a   SA candidate build                 (own input VCs)
+//	phase 4c   VA + RC after all SA commits       (own ports; no credits)
+//	phase 6    per-cycle accounting               (own counters)
+//
+// Moving VA/RC after the whole commit pass (the sequential schedule
+// interleaves sa;va;rc per router) is safe because VA and RC read and
+// write only their own router's ports and never consult credits — the one
+// cross-router channel — and the per-router sa-before-va-before-rc order
+// is preserved. When ControlFaultRate > 0, RC draws from the control-fault
+// PRNG, whose draw order must match the sequential schedule; since that
+// stream is touched nowhere else, running the whole VA+RC pass
+// sequentially in router order reproduces it exactly.
+//
+// Cross-router side effects of the parallel phases (bufferedFlits,
+// lastProgress, event emission) are accumulated per shard in a shardSlot
+// and committed at the barrier in shard order, which equals router-index
+// order because shards are contiguous row blocks. Event hooks therefore
+// fire only from the coordinating goroutine, in the exact sequential
+// order — the single-goroutine guarantee SetEventHook documents.
+
+// Phase selectors for shardPool.runPhase.
+const (
+	phasePowerDeliver = iota
+	phaseSABuild
+	phaseVARC
+	phaseAccount
+)
+
+// shardSlot accumulates one shard's cross-router side effects during a
+// parallel phase, for an in-order commit at the barrier.
+type shardSlot struct {
+	gateEvents    []Event // power-state phase (EvGate/EvWake), router order
+	deliverEvents []Event // delivery phase (EvDeliver), router order
+	buffered      int     // bufferedFlits delta
+	progress      bool    // any delivery happened (lastProgress = cy)
+	gatedCycles   uint64  // accounting-phase gated-cycle delta
+}
+
+// emitGate delivers a power-state event directly (sequential path, slot ==
+// nil) or into the shard's buffer for the in-order flush at the barrier.
+func (n *Network) emitGate(slot *shardSlot, e Event) {
+	if slot == nil {
+		n.emit(e)
+	} else if n.eventHook != nil {
+		slot.gateEvents = append(slot.gateEvents, e)
+	}
+}
+
+// shardWorker is the parking state of one worker goroutine. Workers spin
+// briefly between phases (the inter-phase gaps are microseconds), then
+// park on the wake channel so an idle or abandoned network doesn't burn a
+// core.
+type shardWorker struct {
+	wake   chan struct{}
+	parked atomic.Bool
+}
+
+// shardPool runs the parallel scan phases across persistent worker
+// goroutines. The coordinating goroutine (whoever calls Step) executes
+// shard 0 itself and every sequential commit in between; workers 1..S-1
+// wait for the epoch counter to advance, run the posted phase over their
+// router range, and signal completion. All cross-goroutine handoff is
+// through sync/atomic, which the race detector understands.
+type shardPool struct {
+	n      *Network
+	lo, hi []int // router id range [lo, hi) per shard (contiguous, ascending)
+	slots  []*shardSlot
+
+	// Switch-allocation candidate scratch, indexed by router id: written
+	// by the owning shard in phase 4a, consumed by the coordinator in 4b.
+	cand    [][NumPorts][maxSASlots]int16
+	candN   [][NumPorts]int
+	hasCand []bool
+
+	cy      int64 // cycle being stepped; published by epoch.Add
+	phase   int   // phase to run; published by epoch.Add
+	epoch   atomic.Uint32
+	pending atomic.Int32
+	closed  atomic.Bool
+	workers []*shardWorker
+}
+
+func newShardPool(n *Network, shards int) *shardPool {
+	nodes := len(n.routers)
+	sp := &shardPool{
+		n:       n,
+		cand:    make([][NumPorts][maxSASlots]int16, nodes),
+		candN:   make([][NumPorts]int, nodes),
+		hasCand: make([]bool, nodes),
+	}
+	for s := 0; s < shards; s++ {
+		sp.lo = append(sp.lo, s*nodes/shards)
+		sp.hi = append(sp.hi, (s+1)*nodes/shards)
+		sp.slots = append(sp.slots, &shardSlot{})
+	}
+	for s := 1; s < shards; s++ {
+		w := &shardWorker{wake: make(chan struct{}, 1)}
+		sp.workers = append(sp.workers, w)
+		go sp.workerLoop(s, w)
+	}
+	return sp
+}
+
+// Close stops the sharded stepper's worker goroutines. It is a no-op on a
+// sequential network and safe to call repeatedly; stepping again after
+// Close starts a fresh pool. Like Step, it must not race other methods of
+// the Network.
+func (n *Network) Close() {
+	if n.pool != nil {
+		n.pool.close()
+	}
+}
+
+func (sp *shardPool) close() {
+	if !sp.closed.CompareAndSwap(false, true) {
+		return
+	}
+	sp.epoch.Add(1)
+	for _, w := range sp.workers {
+		select {
+		case w.wake <- struct{}{}:
+		default:
+		}
+	}
+}
+
+func (sp *shardPool) workerLoop(s int, w *shardWorker) {
+	last := uint32(0)
+	for {
+		spins := 0
+		for sp.epoch.Load() == last {
+			spins++
+			if spins < 64 {
+				continue
+			}
+			if spins < 1024 {
+				runtime.Gosched()
+				continue
+			}
+			// Park. The epoch re-check after publishing parked closes the
+			// race with a coordinator that bumped the epoch before seeing
+			// the flag; a stale wake token only causes one extra loop.
+			w.parked.Store(true)
+			if sp.epoch.Load() == last {
+				<-w.wake
+			}
+			w.parked.Store(false)
+		}
+		last = sp.epoch.Load()
+		if sp.closed.Load() {
+			return
+		}
+		sp.runShard(sp.phase, s)
+		sp.pending.Add(-1)
+	}
+}
+
+// runPhase posts a phase, runs shard 0 on the calling goroutine, and
+// blocks until every worker has finished — the per-cycle barrier.
+func (sp *shardPool) runPhase(phase int, cy int64) {
+	sp.phase, sp.cy = phase, cy
+	sp.pending.Store(int32(len(sp.workers)))
+	sp.epoch.Add(1)
+	for _, w := range sp.workers {
+		if w.parked.Load() {
+			select {
+			case w.wake <- struct{}{}:
+			default:
+			}
+		}
+	}
+	sp.runShard(phase, 0)
+	for spins := 0; sp.pending.Load() != 0; spins++ {
+		if spins > 32 {
+			runtime.Gosched()
+		}
+	}
+}
+
+func (sp *shardPool) runShard(phase, s int) {
+	switch phase {
+	case phasePowerDeliver:
+		sp.powerDeliver(s)
+	case phaseSABuild:
+		sp.buildCandidates(s)
+	case phaseVARC:
+		sp.vaRC(s)
+	case phaseAccount:
+		sp.account(s)
+	}
+}
+
+// powerDeliver fuses step phases 2 and 3 for one shard. Running all of a
+// shard's power-state steps before its deliveries preserves the global
+// 2-before-3 order for every router pair that interacts (a router's
+// delivery only touches its own channels and buffers, which no other
+// router's power-state step reads).
+func (sp *shardPool) powerDeliver(s int) {
+	n, cy, slot := sp.n, sp.cy, sp.slots[s]
+	if n.cfg.PowerGating || n.cfg.Bypass {
+		for id := sp.lo[s]; id < sp.hi[s]; id++ {
+			n.powerStateStep(n.routers[id], cy, slot)
+		}
+	}
+	for id := sp.lo[s]; id < sp.hi[s]; id++ {
+		if r := n.routers[id]; r.active() {
+			n.deliverChannels(r, cy, slot)
+		}
+	}
+}
+
+// buildCandidates runs the read-only half of switch allocation for one
+// shard, mirroring the sequential phase-4 dispatch: gated-with-bypass
+// routers are handled by the commit pass, quiescent routers are skipped.
+// Neither this phase nor any commit before it can change the condition or
+// the candidate set a router would have seen at its sequential turn.
+func (sp *shardPool) buildCandidates(s int) {
+	n, bypass := sp.n, sp.n.cfg.Bypass
+	for id := sp.lo[s]; id < sp.hi[s]; id++ {
+		r := n.routers[id]
+		if r.gated && bypass {
+			continue
+		}
+		if r.active() && r.bufCount > 0 {
+			n.saBuild(r, &sp.cand[id], &sp.candN[id])
+			sp.hasCand[id] = true
+		}
+	}
+}
+
+// vaRC runs VA then RC for one shard's routers, after every SA commit.
+// Safe in parallel: both stages touch only their own router's ports and
+// never read credits. Routers whose buffers drained during the commit
+// pass are skipped — on the sequential schedule VA/RC would have run for
+// them and no-opped (both stages skip empty VCs).
+func (sp *shardPool) vaRC(s int) {
+	n, cy := sp.n, sp.cy
+	for id := sp.lo[s]; id < sp.hi[s]; id++ {
+		r := n.routers[id]
+		if r.active() && r.bufCount > 0 {
+			n.vaStage(r, cy)
+			n.rcStage(r, cy)
+		}
+	}
+}
+
+// account runs the per-cycle accounting for one shard; the gated-cycle
+// counter is global, so its delta commits at the barrier.
+func (sp *shardPool) account(s int) {
+	n, slot := sp.n, sp.slots[s]
+	for id := sp.lo[s]; id < sp.hi[s]; id++ {
+		r := n.routers[id]
+		r.staticCycles++
+		if r.gated {
+			slot.gatedCycles++
+		}
+		if r.bufCount == 0 {
+			continue // every port occupancy is zero
+		}
+		for p := 0; p < NumPorts; p++ {
+			if r.in[p] != nil {
+				r.in[p].winOccupancy += uint64(r.in[p].occupancy())
+			}
+		}
+	}
+}
+
+// stepSharded is step() for shardCount > 1: the same phases in the same
+// order, with the scans fanned out across the pool and every
+// order-sensitive commit kept on this goroutine in router-index order.
+func (n *Network) stepSharded(maxCycles int64) {
+	if n.pool == nil || n.pool.closed.Load() {
+		n.pool = newShardPool(n, n.shardCount)
+	}
+	sp := n.pool
+	cy := n.cycle
+
+	// 0. Idle fast-forward. bufferedFlits only changes at commit points,
+	// so zero here means every shard reported idle at the last barrier —
+	// the fast-forward fires exactly when the sequential stepper would.
+	if n.bufferedFlits == 0 && !n.cfg.DisableIdleFastForward {
+		if k := n.idleSpan(); k > 1 {
+			if lim := maxCycles - cy; k > lim {
+				k = lim
+			}
+			if k > 1 {
+				n.fastForward(k)
+				return
+			}
+		}
+	}
+
+	// 1. Admission: packet ids and NIC queue order are order-sensitive.
+	n.admitStep(cy)
+
+	// 2+3. Parallel power-state + deliveries, then commit the counter
+	// deltas and flush the buffered events in shard (= router) order:
+	// all gate/wake events first, then all deliveries, exactly the
+	// sequential emission order.
+	sp.runPhase(phasePowerDeliver, cy)
+	for _, slot := range sp.slots {
+		n.bufferedFlits += slot.buffered
+		slot.buffered = 0
+		if slot.progress {
+			n.lastProgress = cy
+			slot.progress = false
+		}
+	}
+	if n.eventHook != nil {
+		for _, slot := range sp.slots {
+			for i := range slot.gateEvents {
+				n.eventHook(slot.gateEvents[i])
+			}
+			slot.gateEvents = slot.gateEvents[:0]
+		}
+		for _, slot := range sp.slots {
+			for i := range slot.deliverEvents {
+				n.eventHook(slot.deliverEvents[i])
+			}
+			slot.deliverEvents = slot.deliverEvents[:0]
+		}
+	}
+
+	// 4a. Parallel switch-allocation candidate build.
+	sp.runPhase(phaseSABuild, cy)
+
+	// 4b. Ordered commit: bypass switches and switch arbitration with
+	// traversal/ejection, in router-index order. This is where the
+	// same-cycle credit chain, the link-fault PRNG draws, and the power
+	// meter accumulation happen, all in the exact sequential order.
+	for _, r := range n.routers {
+		switch {
+		case r.gated && n.cfg.Bypass:
+			n.bypassStep(r, cy)
+		case sp.hasCand[r.id]:
+			sp.hasCand[r.id] = false
+			n.saCommit(r, cy, &sp.cand[r.id], &sp.candN[r.id])
+		}
+	}
+
+	// 4c. VA + RC. With control faults enabled RC consumes the
+	// control-fault PRNG, so the pass runs sequentially to keep the draw
+	// order; otherwise it is a pure per-router scan and fans out.
+	if n.cfg.ControlFaultRate > 0 {
+		for _, r := range n.routers {
+			if r.active() && r.bufCount > 0 {
+				n.vaStage(r, cy)
+				n.rcStage(r, cy)
+			}
+		}
+	} else {
+		sp.runPhase(phaseVARC, cy)
+	}
+
+	// 5. Injection: flit ids and payload PRNG draws are order-sensitive.
+	n.injectPhase(cy)
+
+	// 6. Parallel accounting.
+	sp.runPhase(phaseAccount, cy)
+	for _, slot := range sp.slots {
+		n.gatedCycles += slot.gatedCycles
+		slot.gatedCycles = 0
+	}
+
+	n.cycle++
+	if n.cycle%int64(n.cfg.ThermalIntervalCycles) == 0 {
+		n.thermalStep()
+	}
+	if n.cycle%int64(n.cfg.TimeStepCycles) == 0 {
+		n.controlStep()
+	}
+}

@@ -1,0 +1,256 @@
+package noc
+
+import (
+	"testing"
+
+	"intellinoc/internal/traffic"
+)
+
+// shardCases enumerates configurations that exercise every phase of the
+// sharded stepper: the plain wormhole baseline, MFAC channel storage,
+// CP-style power gating, the bypass route, thermally coupled faults with
+// payload verification, and the control-fault path (whose RC-stage PRNG
+// draws force the sequential VA/RC fallback).
+func shardCases() []struct {
+	name string
+	cfg  Config
+	ctrl Controller
+	rate float64
+} {
+	gated := testConfig()
+	gated.PowerGating = true
+
+	bypass := channelConfig()
+	bypass.PowerGating = true
+	bypass.Bypass = true
+
+	faults := channelConfig()
+	faults.BaseErrorRate = 1e-4
+	faults.VerifyPayloads = true
+
+	ctrlFault := testConfig()
+	ctrlFault.ControlFaultRate = 0.01
+	ctrlFault.ControlFaultPenalty = 3
+
+	noFF := testConfig()
+	noFF.PowerGating = true
+	noFF.DisableIdleFastForward = true
+
+	return []struct {
+		name string
+		cfg  Config
+		ctrl Controller
+		rate float64
+	}{
+		{"baseline", testConfig(), nil, 0.12},
+		{"channels", channelConfig(), nil, 0.12},
+		{"gated", gated, nil, 0.03},
+		{"bypass", bypass, StaticController(ModeBypass), 0.03},
+		{"faults", faults, nil, 0.1},
+		{"ctrlfault", ctrlFault, nil, 0.1},
+		{"noff", noFF, nil, 0.03},
+	}
+}
+
+func shardPair(t *testing.T, cfg Config, ctrl Controller, rate float64, shards, packets int) (a, b *Network) {
+	t.Helper()
+	a, err := New(cfg, uniformGen(t, cfg, rate, packets), ctrl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	scfg := cfg
+	scfg.Shards = shards
+	b, err = New(scfg, uniformGen(t, scfg, rate, packets), ctrl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return a, b
+}
+
+// diffStates reports the first state word on which the two networks
+// disagree, so a fingerprint divergence names a router and field.
+func diffStates(t *testing.T, a, b *Network) {
+	t.Helper()
+	ra, rb := a.StateRecords(), b.StateRecords()
+	n := len(ra)
+	if len(rb) < n {
+		n = len(rb)
+	}
+	for i := 0; i < n; i++ {
+		if ra[i] != rb[i] {
+			t.Fatalf("cycle %d: first divergence at record %d: seq %+v vs sharded %+v",
+				a.Cycle(), i, ra[i], rb[i])
+		}
+	}
+	t.Fatalf("cycle %d: record counts differ: %d vs %d", a.Cycle(), len(ra), len(rb))
+}
+
+// TestShardedLockstepFingerprint is the tentpole's bit-identity gate: a
+// sequential network and a sharded one built from the same seed must
+// agree on every fingerprinted state word at every step boundary, run
+// to completion, and report identical Results.
+func TestShardedLockstepFingerprint(t *testing.T) {
+	for _, tc := range shardCases() {
+		t.Run(tc.name, func(t *testing.T) {
+			a, b := shardPair(t, tc.cfg, tc.ctrl, tc.rate, 4, 300)
+			defer b.Close()
+			const maxCycles = 300_000
+			for !a.Drained() && a.Cycle() < maxCycles {
+				a.Step()
+				b.StepUntil(a.Cycle())
+				if a.Fingerprint() != b.Fingerprint() {
+					diffStates(t, a, b)
+				}
+			}
+			if !a.Drained() {
+				t.Fatalf("sequential reference stalled at cycle %d", a.Cycle())
+			}
+			b.StepUntil(a.Cycle())
+			if a.Fingerprint() != b.Fingerprint() {
+				diffStates(t, a, b)
+			}
+			if ra, rb := a.Snapshot(), b.Snapshot(); ra != rb {
+				t.Fatalf("Results diverge:\nseq     %+v\nsharded %+v", ra, rb)
+			}
+		})
+	}
+}
+
+// TestShardedResultEquality drives full runs (the production entry
+// point, fast-forward included) at several shard counts and demands the
+// aggregated Result match the sequential run exactly.
+func TestShardedResultEquality(t *testing.T) {
+	for _, tc := range shardCases() {
+		t.Run(tc.name, func(t *testing.T) {
+			ref := mustRun(t, tc.cfg, uniformGen(t, tc.cfg, tc.rate, 400), tc.ctrl)
+			for _, shards := range []int{2, 4, 7} {
+				cfg := tc.cfg
+				cfg.Shards = shards
+				n, err := New(cfg, uniformGen(t, cfg, tc.rate, 400), tc.ctrl)
+				if err != nil {
+					t.Fatal(err)
+				}
+				got, err := n.RunUntilDrained(5_000_000)
+				n.Close()
+				if err != nil {
+					t.Fatal(err)
+				}
+				if got != ref {
+					t.Fatalf("shards=%d Result diverges:\nseq     %+v\nsharded %+v", shards, ref, got)
+				}
+			}
+		})
+	}
+}
+
+// TestShardedEventOrder locks the hook contract: a sharded run must
+// deliver the exact event sequence of the sequential run, from a single
+// goroutine (the race detector enforces the latter via the unsynchronized
+// append below).
+func TestShardedEventOrder(t *testing.T) {
+	cfg := channelConfig()
+	cfg.PowerGating = true
+	cfg.Bypass = true
+	collect := func(n *Network) []Event {
+		var events []Event
+		n.SetEventHook(func(e Event) { events = append(events, e) })
+		if _, err := n.RunUntilDrained(5_000_000); err != nil {
+			t.Fatal(err)
+		}
+		return events
+	}
+	a, b := shardPair(t, cfg, StaticController(ModeBypass), 0.05, 4, 200)
+	defer b.Close()
+	ea, eb := collect(a), collect(b)
+	if len(ea) != len(eb) {
+		t.Fatalf("event counts differ: seq %d vs sharded %d", len(ea), len(eb))
+	}
+	for i := range ea {
+		if ea[i] != eb[i] {
+			t.Fatalf("event %d differs: seq %+v vs sharded %+v", i, ea[i], eb[i])
+		}
+	}
+	if len(ea) == 0 {
+		t.Fatal("expected a non-empty event stream")
+	}
+}
+
+// TestShardCountClamp asks for more shards than routers: the pool must
+// clamp to the node count and still produce the sequential result.
+func TestShardCountClamp(t *testing.T) {
+	cfg := testConfig()
+	ref := mustRun(t, cfg, uniformGen(t, cfg, 0.1, 100), nil)
+	cfg.Shards = 1000
+	n, err := New(cfg, uniformGen(t, cfg, 0.1, 100), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer n.Close()
+	got, err := n.RunUntilDrained(5_000_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != ref {
+		t.Fatalf("clamped run diverges:\nseq     %+v\nsharded %+v", ref, got)
+	}
+}
+
+// TestShardedCloseAndRestep covers the worker-pool lifecycle: Close is
+// idempotent, and stepping a closed network transparently rebuilds the
+// pool without perturbing the simulation.
+func TestShardedCloseAndRestep(t *testing.T) {
+	cfg := testConfig()
+	cfg.Shards = 4
+	ref, err := New(cfg, uniformGen(t, cfg, 0.1, 150), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ref.Close()
+	n, err := New(cfg, uniformGen(t, cfg, 0.1, 150), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer n.Close()
+
+	n.StepUntil(500)
+	n.Close()
+	n.Close() // idempotent
+	n.StepUntil(1000)
+
+	ref.StepUntil(1000)
+	if ref.Fingerprint() != n.Fingerprint() {
+		t.Fatal("restepped network diverged from uninterrupted sharded run")
+	}
+}
+
+// TestShardedSynthetic runs a second traffic pattern (transpose) through
+// the sharded path to make sure nothing in the lockstep suite was
+// uniform-specific.
+func TestShardedSynthetic(t *testing.T) {
+	cfg := channelConfig()
+	gen := func() traffic.Generator {
+		g, err := traffic.NewSynthetic(traffic.SyntheticConfig{
+			Width: cfg.Width, Height: cfg.Height, Pattern: traffic.Transpose,
+			InjectionRate: 0.1, PacketFlits: 4, Packets: 250, Seed: 21,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return g
+	}
+	ref := mustRun(t, cfg, gen(), nil)
+	scfg := cfg
+	scfg.Shards = 3
+	n, err := New(scfg, gen(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer n.Close()
+	got, err := n.RunUntilDrained(5_000_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != ref {
+		t.Fatalf("transpose run diverges:\nseq     %+v\nsharded %+v", ref, got)
+	}
+}

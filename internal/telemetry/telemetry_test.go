@@ -282,10 +282,11 @@ func TestInstrumentedRunIsBitIdentical(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	plain, _, err := core.RunDetailed(core.TechIntelliNoC, sim, gen1, nil)
+	plainOut, err := core.Simulate(nil, core.TechIntelliNoC, sim, gen1)
 	if err != nil {
 		t.Fatal(err)
 	}
+	plain := plainOut.Result
 
 	gen2, err := traffic.NewSynthetic(genCfg)
 	if err != nil {
@@ -294,8 +295,8 @@ func TestInstrumentedRunIsBitIdentical(t *testing.T) {
 	rec := telemetry.NewRecorder(64)
 	nt := telemetry.NewNetworkTracer(16, telemetry.TracerOptions{FlitEvents: true, TempCounters: true})
 	decisions := 0
-	instrumented, _, err := core.RunInstrumented(core.TechIntelliNoC, sim, gen2, nil,
-		func(n *noc.Network, ctrl noc.Controller) {
+	instrumentedOut, err := core.Simulate(nil, core.TechIntelliNoC, sim, gen2,
+		core.WithInstrument(func(n *noc.Network, ctrl noc.Controller) {
 			n.SetEventHook(func(e noc.Event) {
 				rec.RecordEvent(e)
 				nt.HandleEvent(e)
@@ -308,10 +309,11 @@ func TestInstrumentedRunIsBitIdentical(t *testing.T) {
 				decisions++
 				rec.RecordDecision(d)
 			}
-		})
+		}))
 	if err != nil {
 		t.Fatal(err)
 	}
+	instrumented := instrumentedOut.Result
 	if instrumented != plain {
 		t.Fatalf("telemetry hooks changed the Result:\nplain:        %+v\ninstrumented: %+v", plain, instrumented)
 	}
@@ -331,5 +333,45 @@ func TestInstrumentedRunIsBitIdentical(t *testing.T) {
 	}
 	if modeSlices == 0 {
 		t.Fatal("trace has no mode slices")
+	}
+}
+
+// The sharded-run hook contract: a run with Shards=4 must deliver the
+// recorder the exact entry stream of the sequential run, from a single
+// goroutine. The Recorder is deliberately not safe for concurrent use,
+// so running this under -race also proves hooks never fire concurrently.
+func TestShardedRunTelemetryIdentical(t *testing.T) {
+	sim, genCfg := smallSim()
+	run := func(shards int) (noc.Result, uint64, []string) {
+		gen, err := traffic.NewSynthetic(genCfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rec := telemetry.NewRecorder(telemetry.DefaultCapacity)
+		out, err := core.Simulate(nil, core.TechIntelliNoC, sim, gen,
+			core.WithObserver(rec), core.WithShards(shards))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return out.Result, rec.Total(), rec.TailLines(0)
+	}
+	seqRes, seqTotal, seqTail := run(1)
+	parRes, parTotal, parTail := run(4)
+	if seqRes != parRes {
+		t.Fatalf("Results diverge:\nseq %+v\npar %+v", seqRes, parRes)
+	}
+	if seqTotal == 0 {
+		t.Fatal("recorder saw no entries")
+	}
+	if seqTotal != parTotal {
+		t.Fatalf("recorded entry counts diverge: seq %d vs sharded %d", seqTotal, parTotal)
+	}
+	if len(seqTail) != len(parTail) {
+		t.Fatalf("tail lengths diverge: %d vs %d", len(seqTail), len(parTail))
+	}
+	for i := range seqTail {
+		if seqTail[i] != parTail[i] {
+			t.Fatalf("tail line %d diverges:\nseq %s\npar %s", i, seqTail[i], parTail[i])
+		}
 	}
 }
