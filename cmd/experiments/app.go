@@ -29,6 +29,8 @@ type options struct {
 	telemetryDir  string
 	telemetryAddr string
 	shards        int
+	cpuprofile    string
+	memprofile    string
 }
 
 // parseArgs parses the command line into options. It uses a dedicated
@@ -49,6 +51,8 @@ func parseArgs(args []string, stderr io.Writer) (options, error) {
 	fs.StringVar(&o.telemetryDir, "telemetry-dir", "", "write a metrics.prom snapshot and a timeline.json Chrome trace of the job schedule to this directory")
 	fs.StringVar(&o.telemetryAddr, "telemetry-addr", "", "serve /metrics, /debug/vars, and /debug/pprof on this address while the suite runs (e.g. localhost:6060)")
 	fs.IntVar(&o.shards, "shards", 0, "step each simulated mesh with this many parallel shards (bit-identical results and digests; 0 = sequential)")
+	fs.StringVar(&o.cpuprofile, "cpuprofile", "", "write a CPU profile of the whole suite to this file")
+	fs.StringVar(&o.memprofile, "memprofile", "", "write a heap profile taken after the suite to this file")
 	if err := fs.Parse(args); err != nil {
 		return o, err
 	}

@@ -79,6 +79,7 @@ func RunAblation(ab Ablation, sim SimConfig, gen traffic.Generator, policy *Poli
 	cfg.DependencyWindow = sim.DependencyWindow
 	cfg.ControlFaultRate = sim.ControlFaultRate
 	cfg.Shards = sim.Shards
+	cfg.SampledWindows = sim.SampledWindows
 
 	var inner noc.Controller
 	if ab == AblationNoRL {

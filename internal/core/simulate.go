@@ -103,6 +103,7 @@ func Simulate(ctx context.Context, tech Technique, sim SimConfig, gen traffic.Ge
 	cfg.DependencyWindow = sim.DependencyWindow
 	cfg.ControlFaultRate = sim.ControlFaultRate
 	cfg.Shards = sim.Shards
+	cfg.SampledWindows = sim.SampledWindows
 
 	ctrl, initial := controllerFor(tech, sim, cfg, o.policy)
 	n, err := noc.New(cfg, gen, ctrl)

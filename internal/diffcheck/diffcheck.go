@@ -18,7 +18,7 @@ import (
 )
 
 // AllChecks lists every check family in execution order.
-var AllChecks = []string{"ff", "shards", "verify", "invariants", "rl", "snapshot", "harness"}
+var AllChecks = []string{"ff", "shards", "shardsbig", "verify", "invariants", "rl", "snapshot", "harness"}
 
 // CorpusEntry is one regression case: a (check, seed) pair that diverged
 // on some historical tree. The committed corpus in testdata/corpus.json
@@ -89,6 +89,8 @@ func RunCheck(check string, seed int64) (*Finding, error) {
 		return checkFF(seed), nil
 	case "shards":
 		return checkShards(seed), nil
+	case "shardsbig":
+		return checkShardsBig(seed), nil
 	case "verify":
 		return checkVerify(seed), nil
 	case "snapshot":
@@ -113,6 +115,12 @@ func campaignSize(check string, campaign int) int {
 	case "harness":
 		if campaign > 2 {
 			return 2
+		}
+	case "shardsbig":
+		// Big-mesh lockstep pairs cost seconds each even at checkpoint
+		// granularity; a handful of seeds per run is the budget.
+		if campaign > 3 {
+			return 3
 		}
 	}
 	return campaign

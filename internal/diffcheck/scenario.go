@@ -114,6 +114,57 @@ func ScenarioForSeed(seed int64) Scenario {
 	return Scenario{Seed: seed, Cfg: cfg, Traf: traf, Mode: mode, MaxCycles: 1_000_000}
 }
 
+// BigScenarioForSeed derives a large-mesh scenario (32×32 or 64×64) for
+// the shardsbig family — the scales where the SoA slabs, per-shard
+// delivery staging, and pre-drawn control-fault randomness actually pay,
+// and therefore where their determinism bugs would hide. Even seeds force
+// ControlFaultRate > 0 so the parallel fault-aware VA+RC path is always
+// covered by half the campaign. Budgets are modest (a few thousand
+// packets) because the lockstep comparison runs at checkpoint
+// granularity, not per cycle.
+func BigScenarioForSeed(seed int64) Scenario {
+	rng := rand.New(rand.NewSource(seed))
+	pick := func(vals ...int) int { return vals[rng.Intn(len(vals))] }
+
+	mesh := pick(32, 64)
+	cfg := noc.Config{
+		Width: mesh, Height: mesh,
+		VCs:                   pick(1, 2),
+		BufDepth:              pick(2, 4),
+		HasVAStage:            true,
+		FlitBits:              128,
+		TimeStepCycles:        500,
+		ThermalIntervalCycles: 100,
+		MaxPacketRetries:      2,
+		Seed:                  rng.Int63(),
+	}
+	if seed%2 == 0 {
+		cfg.ControlFaultRate = 1e-3
+		cfg.ControlFaultPenalty = 3
+	}
+	if rng.Intn(2) == 0 {
+		cfg.BaseErrorRate = 4e-5
+	}
+	if rng.Intn(3) == 0 { // MFAC channels + bypass + gating at scale
+		cfg.ChannelStages = 8
+		cfg.DynamicChannelAlloc = true
+		cfg.MFAC = true
+		cfg.Bypass = true
+		cfg.PowerGating = true
+		cfg.WakeupCycles = 8
+		cfg.IdleGateCycles = 32
+	}
+	traf := traffic.SyntheticConfig{
+		Width: mesh, Height: mesh,
+		Pattern:       traffic.Uniform,
+		InjectionRate: 0.01 + rng.Float64()*0.02,
+		PacketFlits:   4,
+		Packets:       1500 + rng.Intn(1000),
+		Seed:          rng.Int63(),
+	}
+	return Scenario{Seed: seed, Cfg: cfg, Traf: traf, Mode: noc.Mode(-1), MaxCycles: 2_000_000}
+}
+
 // network builds a fresh network for the scenario, applying mut (may be
 // nil) to a copy of the configuration first. Each call constructs its
 // own generator — generators are stateful and must never be shared

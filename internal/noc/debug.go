@@ -27,7 +27,7 @@ func (n *Network) DumpState(w io.Writer) {
 		if !busy {
 			continue
 		}
-		fmt.Fprintf(w, "router %d (%d,%d) mode=%s gated=%v waking=%d\n", id, r.x, r.y, r.mode, r.gated, r.waking)
+		fmt.Fprintf(w, "router %d (%d,%d) mode=%s gated=%v waking=%d\n", id, r.x, r.y, r.mode, n.rGated[id], n.rWaking[id])
 		if q.pending() {
 			cur := "none"
 			if q.cur != nil {

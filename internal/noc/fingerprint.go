@@ -285,13 +285,13 @@ func (n *Network) visitState(emit func(f stateField, router, a, b int, v uint64)
 
 	for id, r := range n.routers {
 		emit(fRMode, id, 0, 0, uint64(r.mode))
-		emit(fRGated, id, 0, 0, u64b(r.gated))
-		emit(fRWaking, id, 0, 0, uint64(int64(r.waking)))
-		emit(fRIdle, id, 0, 0, uint64(int64(r.idle)))
+		emit(fRGated, id, 0, 0, u64b(n.rGated[id]))
+		emit(fRWaking, id, 0, 0, uint64(int64(n.rWaking[id])))
+		emit(fRIdle, id, 0, 0, uint64(int64(n.rIdle[id])))
 		emit(fRBypassLock, id, 0, 0, uint64(int64(r.bypassLock)))
 		emit(fRBypassRR, id, 0, 0, uint64(int64(r.bypassRR)))
-		emit(fRBufCount, id, 0, 0, uint64(int64(r.bufCount)))
-		emit(fRStaticCycles, id, 0, 0, r.staticCycles)
+		emit(fRBufCount, id, 0, 0, uint64(int64(n.rBufCount[id])))
+		emit(fRStaticCycles, id, 0, 0, n.rStatic[id])
 		emit(fRLastScheme, id, 0, 0, uint64(r.lastScheme))
 		emit(fRLastGated, id, 0, 0, u64b(r.lastGated))
 		emit(fRWinEjectLat, id, 0, 0, r.winEjectLatency.Count)
@@ -305,7 +305,7 @@ func (n *Network) visitState(emit func(f stateField, router, a, b int, v uint64)
 		for p := 0; p < NumPorts; p++ {
 			if ip := r.in[p]; ip != nil {
 				emit(fInWinFlitsIn, id, p, 0, ip.winFlitsIn)
-				emit(fInWinOccupancy, id, p, 0, ip.winOccupancy)
+				emit(fInWinOccupancy, id, p, 0, n.winOcc[id*NumPorts+p])
 				for v := range ip.vcs {
 					ivc := &ip.vcs[v]
 					emit(fVCRoute, id, p, v, uint64(int64(ivc.route)))

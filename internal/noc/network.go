@@ -101,6 +101,23 @@ type Network struct {
 	nics    []*nic
 	gen     *traffic.Peeker
 
+	// Struct-of-arrays router state: the fields every per-cycle scan
+	// touches, pulled out of the pointer-heavy Router structs into flat
+	// slabs indexed by router id so shard scans walk contiguous memory
+	// and the accounting phase is pure slab arithmetic.
+	rGated    []bool   // router body power-gated
+	rWaking   []int32  // wake-up countdown (0 = not waking)
+	rIdle     []int32  // CP-style idle streak toward the gate threshold
+	rBufCount []int32  // total flits across the router's input VC buffers
+	rStatic   []uint64 // cycles accumulated in the current static state
+	// portOcc mirrors each input port's buffer occupancy (nodes×NumPorts,
+	// row-major by router id); winOcc is the matching per-window
+	// summed-occupancy counter the RL observation reads. Both are
+	// maintained incrementally at the three buffer-mutation sites
+	// (channel delivery, NIC injection, switch-allocation pop).
+	portOcc []int32
+	winOcc  []uint64
+
 	injector *fault.Injector
 	rng      *rand.Rand
 	// payloadRng drives everything that exists only when VerifyPayloads
@@ -150,6 +167,22 @@ type Network struct {
 	// pool holds its lazily started worker goroutines.
 	shardCount int
 	pool       *shardPool
+
+	// rcDraws banks one control-fault PRNG draw per qualifying (router,
+	// port, VC) slot for the current tick, filled by the coordinator in
+	// router order so the parallel VA+RC phase can consume the stream
+	// without reordering it; rcPredrawn marks the bank valid. Flat
+	// layout: (id*NumPorts+p)*cfg.VCs+v. Sequential stepping never banks
+	// (rcStage draws inline).
+	rcDraws    []float64
+	rcPredrawn bool
+
+	// Sampled-simulation state (Config.SampledWindows; see sampled.go).
+	sampleSkipAt     int64   // cycle at which the next skip becomes due
+	sampleDrainUntil int64   // bounded-drain deadline (0 = not draining)
+	sampleLat        float64 // latency estimate from detailed windows
+	sampleLastSum    float64 // latency-histogram position at last refresh
+	sampleLastCount  uint64
 
 	powersBuf []float64 // thermalStep scratch
 
@@ -218,6 +251,14 @@ func New(cfg Config, gen traffic.Generator, ctrl Controller) (*Network, error) {
 		linkRe:        make([]float64, nodes),
 		linkReRelaxed: make([]float64, nodes),
 		powersBuf:     make([]float64, nodes),
+
+		rGated:    make([]bool, nodes),
+		rWaking:   make([]int32, nodes),
+		rIdle:     make([]int32, nodes),
+		rBufCount: make([]int32, nodes),
+		rStatic:   make([]uint64, nodes),
+		portOcc:   make([]int32, nodes*NumPorts),
+		winOcc:    make([]uint64, nodes*NumPorts),
 	}
 	if cfg.Shards > 1 {
 		// Row-major router ids make contiguous id ranges row blocks; more
@@ -225,6 +266,9 @@ func New(cfg Config, gen traffic.Generator, ctrl Controller) (*Network, error) {
 		if sc := min(cfg.Shards, nodes); sc > 1 {
 			n.shardCount = sc
 		}
+	}
+	if cfg.SampledWindows != nil {
+		n.sampleSkipAt = cfg.SampledWindows.DetailCycles
 	}
 	n.buildTopology()
 	n.refreshLinkRates()
@@ -376,6 +420,9 @@ func (n *Network) Step() { n.step(1 << 62) }
 // step is Step bounded so the fast-forward never jumps past maxCycles
 // (RunUntilDrained's truncation point).
 func (n *Network) step(maxCycles int64) {
+	if n.cfg.SampledWindows != nil && n.sampledStep(maxCycles) {
+		return
+	}
 	if n.shardCount > 0 {
 		n.stepSharded(maxCycles)
 		return
@@ -414,8 +461,8 @@ func (n *Network) step(maxCycles int64) {
 	// buffers happen to drain — refusing deliveries to force a drain
 	// would let two adjacent mode-0 routers deadlock waiting on each
 	// other's credits.
-	for _, r := range n.routers {
-		if r.active() {
+	for id, r := range n.routers {
+		if n.active(id) {
 			n.deliverChannels(r, cy, nil)
 		}
 	}
@@ -423,14 +470,14 @@ func (n *Network) step(maxCycles int64) {
 	// 4. Router pipelines (or bypass switches). A router whose input
 	// buffers are empty has nothing for RC/VA/SA to do — skip its
 	// port×VC scans outright.
-	for _, r := range n.routers {
+	for id, r := range n.routers {
 		switch {
-		case r.gated && n.cfg.Bypass:
+		case n.rGated[id] && n.cfg.Bypass:
 			n.bypassStep(r, cy)
-		case r.active() && r.bufCount > 0:
+		case n.active(id) && n.rBufCount[id] > 0:
 			n.saStage(r, cy)
 			n.vaStage(r, cy)
-			n.rcStage(r, cy)
+			n.rcStage(r, cy, nil)
 		}
 	}
 
@@ -438,19 +485,19 @@ func (n *Network) step(maxCycles int64) {
 	// inject through the bypass switch instead).
 	n.injectPhase(cy)
 
-	// 6. Per-cycle accounting.
-	for _, r := range n.routers {
-		r.staticCycles++
-		if r.gated {
+	// 6. Per-cycle accounting: pure slab arithmetic (portOcc mirrors the
+	// buffer occupancies incrementally; nil ports stay at zero).
+	for id := range n.routers {
+		n.rStatic[id]++
+		if n.rGated[id] {
 			n.gatedCycles++
 		}
-		if r.bufCount == 0 {
+		if n.rBufCount[id] == 0 {
 			continue // every port occupancy is zero
 		}
+		base := id * NumPorts
 		for p := 0; p < NumPorts; p++ {
-			if r.in[p] != nil {
-				r.in[p].winOccupancy += uint64(r.in[p].occupancy())
-			}
+			n.winOcc[base+p] += uint64(n.portOcc[base+p])
 		}
 	}
 
@@ -497,9 +544,9 @@ func (n *Network) admitStep(cy int64) {
 func (n *Network) injectPhase(cy int64) {
 	for id, q := range n.nics {
 		r := n.routers[id]
-		if r.active() {
+		if n.active(id) {
 			n.injectStep(r, q, cy)
-		} else if q.pending() && !n.cfg.Bypass && r.gated && r.waking == 0 {
+		} else if q.pending() && !n.cfg.Bypass && n.rGated[id] && n.rWaking[id] == 0 {
 			n.triggerWake(r, nil)
 		}
 	}
@@ -528,19 +575,19 @@ func (n *Network) idleSpan() int64 {
 	if next > cy {
 		bound = next - cy
 	}
-	for _, r := range n.routers {
-		if r.waking > 0 {
+	for id, r := range n.routers {
+		if n.rWaking[id] > 0 {
 			// The router ungates (and flushes static accounting) the
 			// cycle its countdown hits zero.
-			if r.waking == 1 {
+			if n.rWaking[id] == 1 {
 				return 0
 			}
-			if w := int64(r.waking) - 1; w < bound {
+			if w := int64(n.rWaking[id]) - 1; w < bound {
 				bound = w
 			}
 			continue
 		}
-		if !r.gated && n.cfg.Bypass && r.mode == ModeBypass {
+		if !n.rGated[id] && n.cfg.Bypass && r.mode == ModeBypass {
 			return 0 // gates itself this cycle (buffers are empty)
 		}
 		// Channel flits: delivery (or gated-router wake) happens at the
@@ -566,8 +613,8 @@ func (n *Network) idleSpan() int64 {
 		}
 		// CP-style idle gating: the idle streak counts up toward the
 		// gating threshold; the gating transition must not be skipped.
-		if n.cfg.PowerGating && !n.cfg.Bypass && !r.gated && !hasChTraffic {
-			left := int64(n.cfg.IdleGateCycles - r.idle)
+		if n.cfg.PowerGating && !n.cfg.Bypass && !n.rGated[id] && !hasChTraffic {
+			left := int64(n.cfg.IdleGateCycles) - int64(n.rIdle[id])
 			if left <= 1 {
 				return 0
 			}
@@ -596,23 +643,23 @@ func (n *Network) untilBoundary(cy, interval int64) int64 {
 // the cycle-by-cycle loop would. idleSpan guarantees no other state can
 // change during the span.
 func (n *Network) fastForward(k int64) {
-	for _, r := range n.routers {
-		r.staticCycles += uint64(k)
-		if r.gated {
+	for id, r := range n.routers {
+		n.rStatic[id] += uint64(k)
+		if n.rGated[id] {
 			n.gatedCycles += uint64(k)
 		}
-		if r.waking > 0 {
-			r.waking -= int(k) // idleSpan bounds k <= waking-1
+		if n.rWaking[id] > 0 {
+			n.rWaking[id] -= int32(k) // idleSpan bounds k <= waking-1
 			continue
 		}
-		if r.gated {
+		if n.rGated[id] {
 			continue
 		}
 		if n.cfg.PowerGating && !n.cfg.Bypass {
 			if n.hasChannelTraffic(r, n.cycle) {
-				r.idle = 0
+				n.rIdle[id] = 0
 			} else {
-				r.idle += int(k) // idleSpan keeps this below the gate threshold
+				n.rIdle[id] += int32(k) // idleSpan keeps this below the gate threshold
 			}
 		}
 	}
@@ -631,15 +678,16 @@ func (n *Network) fastForward(k int64) {
 // events for an in-order flush at the commit barrier (nil emits directly,
 // the sequential path).
 func (n *Network) powerStateStep(r *Router, cy int64, slot *shardSlot) {
-	if r.waking > 0 {
-		r.waking--
-		if r.waking == 0 {
-			r.gated = false
+	id := r.id
+	if n.rWaking[id] > 0 {
+		n.rWaking[id]--
+		if n.rWaking[id] == 0 {
+			n.rGated[id] = false
 			n.flushStatic(r)
 		}
 		return
 	}
-	if r.gated {
+	if n.rGated[id] {
 		// CP-style gated routers (no bypass) wake when traffic shows
 		// up at any input channel.
 		if !n.cfg.Bypass {
@@ -653,25 +701,25 @@ func (n *Network) powerStateStep(r *Router, cy int64, slot *shardSlot) {
 		return
 	}
 	// Mode-0 routers gate as soon as their buffers drain.
-	if n.cfg.Bypass && r.mode == ModeBypass && r.empty() {
+	if n.cfg.Bypass && r.mode == ModeBypass && n.empty(id) {
 		n.flushStatic(r)
-		r.gated = true
-		n.emitGate(slot, Event{Cycle: cy, Kind: EvGate, Router: r.id})
+		n.rGated[id] = true
+		n.emitGate(slot, Event{Cycle: cy, Kind: EvGate, Router: id})
 		return
 	}
 	// CP-style idle gating: a long-enough idle streak powers the
 	// router down.
 	if n.cfg.PowerGating && !n.cfg.Bypass {
-		if r.empty() && !n.hasChannelTraffic(r, cy) && !n.nics[r.id].pending() {
-			r.idle++
-			if r.idle >= n.cfg.IdleGateCycles {
+		if n.empty(id) && !n.hasChannelTraffic(r, cy) && !n.nics[id].pending() {
+			n.rIdle[id]++
+			if int(n.rIdle[id]) >= n.cfg.IdleGateCycles {
 				n.flushStatic(r)
-				r.gated = true
-				r.idle = 0
-				n.emitGate(slot, Event{Cycle: cy, Kind: EvGate, Router: r.id})
+				n.rGated[id] = true
+				n.rIdle[id] = 0
+				n.emitGate(slot, Event{Cycle: cy, Kind: EvGate, Router: id})
 			}
 		} else {
-			r.idle = 0
+			n.rIdle[id] = 0
 		}
 	}
 }
@@ -688,27 +736,29 @@ func (n *Network) hasChannelTraffic(r *Router, cy int64) bool {
 // triggerWake starts a gated router's wake-up countdown. slot is non-nil
 // only when called from the sharded stepper's parallel power-state phase.
 func (n *Network) triggerWake(r *Router, slot *shardSlot) {
-	if r.waking > 0 || !r.gated {
+	id := r.id
+	if n.rWaking[id] > 0 || !n.rGated[id] {
 		return
 	}
 	n.flushStatic(r)
-	r.waking = n.cfg.WakeupCycles
-	if r.waking <= 0 {
-		r.waking = 1
+	n.rWaking[id] = int32(n.cfg.WakeupCycles)
+	if n.rWaking[id] <= 0 {
+		n.rWaking[id] = 1
 	}
-	n.emitGate(slot, Event{Cycle: n.cycle, Kind: EvWake, Router: r.id})
-	n.meters[r.id].Record(power.EventCounts{Wakeups: 1})
+	n.emitGate(slot, Event{Cycle: n.cycle, Kind: EvWake, Router: id})
+	n.meters[id].Record(power.EventCounts{Wakeups: 1})
 }
 
 // flushStatic banks the cycles spent in the router's previous static state
 // before a state change.
 func (n *Network) flushStatic(r *Router) {
-	if r.staticCycles > 0 {
-		n.meters[r.id].TickStatic(r.staticCycles, r.lastScheme, r.lastGated)
-		r.staticCycles = 0
+	id := r.id
+	if n.rStatic[id] > 0 {
+		n.meters[id].TickStatic(n.rStatic[id], r.lastScheme, r.lastGated)
+		n.rStatic[id] = 0
 	}
-	r.lastScheme = r.scheme()
-	r.lastGated = r.gated
+	r.lastScheme = n.schemeOf(r)
+	r.lastGated = n.rGated[id]
 }
 
 // deliverChannels moves at most one flit per input port from the channel
@@ -728,7 +778,8 @@ func (n *Network) deliverChannels(r *Router, cy int64, slot *shardSlot) {
 		}
 		f := ip.ch.remove(idx)
 		ip.vcs[f.VC].buf = append(ip.vcs[f.VC].buf, f)
-		r.bufCount++
+		n.rBufCount[r.id]++
+		n.portOcc[r.id*NumPorts+p]++
 		ip.winFlitsIn++
 		n.meters[r.id].Record(power.EventCounts{BufWrites: 1})
 		if slot == nil {
@@ -839,7 +890,8 @@ func (n *Network) arbitrateOutput(r *Router, op *outputPort, outP int, cy int64,
 		copy(ivc.buf, ivc.buf[1:])
 		ivc.buf[last] = nil
 		ivc.buf = ivc.buf[:last]
-		r.bufCount--
+		n.rBufCount[r.id]--
+		n.portOcc[r.id*NumPorts+inP]--
 		n.bufferedFlits--
 		inputUsed[inP] = true
 		op.saRR = (slot + 1) % total
@@ -899,8 +951,11 @@ func (n *Network) vaStage(r *Router, cy int64) {
 	}
 }
 
-// rcStage routes head flits that just reached the head of their VC.
-func (n *Network) rcStage(r *Router, cy int64) {
+// rcStage routes head flits that just reached the head of their VC. slot
+// is non-nil only on the sharded stepper's parallel VA+RC phase, where
+// the control-fault count must accumulate per shard and the PRNG draw
+// comes from the coordinator's pre-banked rcDraws instead of the stream.
+func (n *Network) rcStage(r *Router, cy int64, slot *shardSlot) {
 	for p := 0; p < NumPorts; p++ {
 		ip := r.in[p]
 		if ip == nil {
@@ -917,15 +972,27 @@ func (n *Network) rcStage(r *Router, cy int64) {
 			}
 			ivc.route = n.route(r, f.Dst)
 			ivc.routedAt = cy
-			if n.cfg.ControlFaultRate > 0 && n.rng.Float64() < n.cfg.ControlFaultRate {
-				// Parity caught a routing-table upset: recompute
-				// after the penalty (route itself stays correct).
-				penalty := int64(n.cfg.ControlFaultPenalty)
-				if penalty <= 0 {
-					penalty = 2
+			if n.cfg.ControlFaultRate > 0 {
+				var draw float64
+				if n.rcPredrawn {
+					draw = n.rcDraws[(r.id*NumPorts+p)*n.cfg.VCs+v]
+				} else {
+					draw = n.rng.Float64()
 				}
-				ivc.routedAt = cy + penalty
-				n.controlFaults++
+				if draw < n.cfg.ControlFaultRate {
+					// Parity caught a routing-table upset: recompute
+					// after the penalty (route itself stays correct).
+					penalty := int64(n.cfg.ControlFaultPenalty)
+					if penalty <= 0 {
+						penalty = 2
+					}
+					ivc.routedAt = cy + penalty
+					if slot != nil {
+						slot.controlFaults++
+					} else {
+						n.controlFaults++
+					}
+				}
 			}
 			if !n.cfg.HasVAStage {
 				// EB-style routers fold VC selection into RC,
@@ -942,6 +1009,44 @@ func (n *Network) rcStage(r *Router, cy int64) {
 			}
 		}
 	}
+}
+
+// predrawControlFaults banks one control-fault PRNG draw for every VC
+// that rcStage will route this tick, in exact (router, port, VC) order,
+// so the sharded stepper can fan VA+RC out without reordering the
+// stream. Called by the coordinator after the commit pass, at the same
+// schedule point the parallel phase starts from; the qualifying set is
+// identical to what rcStage sees because (a) commits only mutate their
+// own router's input VCs, so post-commit state is final, and (b) vaStage
+// never changes a VC's buffered flits or clears its route, so running VA
+// first (as the phase does per router) cannot change who qualifies.
+func (n *Network) predrawControlFaults() {
+	stride := NumPorts * n.cfg.VCs
+	if n.rcDraws == nil {
+		n.rcDraws = make([]float64, len(n.routers)*stride)
+	}
+	for id, r := range n.routers {
+		if !n.active(id) || n.rBufCount[id] == 0 {
+			continue
+		}
+		for p := 0; p < NumPorts; p++ {
+			ip := r.in[p]
+			if ip == nil {
+				continue
+			}
+			for v := range ip.vcs {
+				ivc := &ip.vcs[v]
+				if len(ivc.buf) == 0 || ivc.route >= 0 {
+					continue
+				}
+				if !ivc.buf[0].Type.IsHead() {
+					continue
+				}
+				n.rcDraws[id*stride+p*n.cfg.VCs+v] = n.rng.Float64()
+			}
+		}
+	}
+	n.rcPredrawn = true
 }
 
 // bypassStep forwards flits through a gated router's stress-relaxing
@@ -1056,8 +1161,8 @@ func (n *Network) tryBypassPort(r *Router, p int, cy int64) bool {
 // sendOnLink pushes a flit into an output channel, applying link latency,
 // per-hop ECC latency, fault injection, and hop-level retransmission.
 func (n *Network) sendOnLink(r *Router, op *outputPort, f *Flit, cy int64, viaBypass bool) {
-	scheme := r.scheme()
-	relaxed := r.relaxedLinks()
+	scheme := n.schemeOf(r)
+	relaxed := n.relaxedLinks(r)
 	capab := ecc.CapabilityOf(scheme)
 
 	latency := int64(2) // ST + link traversal
@@ -1118,7 +1223,17 @@ func (n *Network) sendOnLink(r *Router, op *outputPort, f *Flit, cy int64, viaBy
 	n.meters[r.id].Record(ev)
 	n.thermAct[r.id]++
 	op.winFlitsOut++
-	op.ch.push(f, readyAt)
+	// Under sharded stepping the push is staged per destination shard and
+	// drained by the channel's owning shard in the accounting phase; the
+	// deferral is invisible within the tick (readyAt >= cy+2, and nothing
+	// between the commit pass and the drain reads channels). Sequential
+	// stepping pushes directly.
+	if sp := n.pool; sp != nil && n.shardCount > 0 {
+		slot := sp.slots[sp.shardOf[op.downRouter]]
+		slot.stagedLinks = append(slot.stagedLinks, stagedPush{ch: op.ch, flit: f, readyAt: readyAt})
+	} else {
+		op.ch.push(f, readyAt)
+	}
 }
 
 // sampleLinkErrors draws the error-bit count for one link traversal. The
@@ -1473,7 +1588,8 @@ func (n *Network) injectStep(r *Router, q *nic, cy int64) {
 	}
 	n.consumeNICFlit(r, q)
 	ivc.buf = append(ivc.buf, f)
-	r.bufCount++
+	n.rBufCount[r.id]++
+	n.portOcc[r.id*NumPorts+PortLocal]++
 	n.bufferedFlits++
 	r.in[PortLocal].winFlitsIn++
 	n.meters[r.id].Record(power.EventCounts{BufWrites: 1})
@@ -1492,13 +1608,13 @@ func (n *Network) thermalStep() {
 		n.lastTJ[i] = m.TotalJoules()
 	}
 	n.grid.Step(powers, dt)
-	for i, r := range n.routers {
+	for i := range n.routers {
 		temp := n.grid.Temp(i)
 		activity := float64(n.thermAct[i]) / float64(n.cfg.ThermalIntervalCycles) / NumPorts
 		if activity > 1 {
 			activity = 1
 		}
-		n.wear[i].Accrue(n.aging, dt, temp, activity, !r.gated)
+		n.wear[i].Accrue(n.aging, dt, temp, activity, !n.rGated[i])
 		n.thermAct[i] = 0
 		n.tempSum += temp
 		n.tempSamples++
@@ -1519,7 +1635,7 @@ func (n *Network) controlStep() {
 			if ip := r.in[p]; ip != nil {
 				obs.Features[p] = float64(ip.winFlitsIn) / float64(win)
 				capacity := float64(n.cfg.VCs * n.cfg.BufDepth)
-				obs.Features[5+p] = float64(ip.winOccupancy) / float64(win) / capacity
+				obs.Features[5+p] = float64(n.winOcc[i*NumPorts+p]) / float64(win) / capacity
 			}
 			if op := r.out[p]; op != nil {
 				obs.Features[10+p] = float64(op.winFlitsOut) / float64(win)
@@ -1551,7 +1667,7 @@ func (n *Network) controlStep() {
 				Router:           i,
 				WindowMode:       windowMode,
 				NextMode:         mode,
-				Gated:            r.gated,
+				Gated:            n.rGated[i],
 				TempC:            obs.Features[15],
 				DeltaVth:         dVth,
 				AgingFactor:      obs.AgingFactor,
@@ -1568,8 +1684,9 @@ func (n *Network) controlStep() {
 		r.winHopRetrans = 0
 		r.winEnergyStart = n.meters[i].TotalJoules()
 		for p := 0; p < NumPorts; p++ {
+			n.winOcc[i*NumPorts+p] = 0
 			if r.in[p] != nil {
-				r.in[p].winFlitsIn, r.in[p].winOccupancy = 0, 0
+				r.in[p].winFlitsIn = 0
 			}
 			if r.out[p] != nil {
 				r.out[p].winFlitsOut = 0
@@ -1589,7 +1706,7 @@ func (n *Network) applyMode(r *Router, mode Mode) {
 	if prev != mode {
 		n.emit(Event{Cycle: n.cycle, Kind: EvModeChange, Router: r.id, Mode: mode})
 	}
-	if prev == ModeBypass && mode != ModeBypass && r.gated {
+	if prev == ModeBypass && mode != ModeBypass && n.rGated[r.id] {
 		n.triggerWake(r, nil)
 	}
 	n.flushStatic(r)
@@ -1610,12 +1727,18 @@ func (n *Network) CheckInvariants() error {
 	for id, r := range n.routers {
 		cnt := 0
 		for p := 0; p < NumPorts; p++ {
+			occ := 0
 			if ip := r.in[p]; ip != nil {
-				cnt += ip.occupancy()
+				occ = ip.occupancy()
 			}
+			if int(n.portOcc[id*NumPorts+p]) != occ {
+				return fmt.Errorf("noc: router %d %s portOcc = %d, buffers hold %d",
+					id, PortName(p), n.portOcc[id*NumPorts+p], occ)
+			}
+			cnt += occ
 		}
-		if cnt != r.bufCount {
-			return fmt.Errorf("noc: router %d bufCount = %d, buffers hold %d", id, r.bufCount, cnt)
+		if cnt != int(n.rBufCount[id]) {
+			return fmt.Errorf("noc: router %d bufCount = %d, buffers hold %d", id, n.rBufCount[id], cnt)
 		}
 		total += cnt
 	}

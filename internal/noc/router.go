@@ -38,9 +38,11 @@ type inputPort struct {
 	acceptBuf    func(*Flit) bool
 	acceptBypass func(*Flit) bool
 
-	// Window counters for the RL state vector.
-	winFlitsIn   uint64
-	winOccupancy uint64 // summed buffer occupancy per cycle
+	// winFlitsIn counts window deliveries for the RL state vector. The
+	// companion summed-occupancy counter lives in Network.winOcc — the
+	// accounting phase touches it every cycle for every port, so it is
+	// kept in a flat slab instead of behind two pointer hops.
+	winFlitsIn uint64
 }
 
 func (ip *inputPort) occupancy() int {
@@ -95,7 +97,11 @@ func (op *outputPort) freeVCWithCredit() int {
 	return -1
 }
 
-// Router is one mesh router.
+// Router is one mesh router. The per-cycle hot fields — power state
+// (gated/waking/idle), the buffered-flit count, and the static-power
+// accounting cycles — live in flat Network slabs indexed by router id
+// (rGated, rWaking, rIdle, rBufCount, rStatic), so the sharded scans walk
+// contiguous memory instead of chasing one pointer per router.
 type Router struct {
 	id, x, y int
 	in       [NumPorts]*inputPort
@@ -103,27 +109,16 @@ type Router struct {
 
 	// mode is the operation mode in force this time step.
 	mode Mode
-	// gated is true while the router body is power-gated (CP idle
-	// gating, or IntelliNoC mode 0). waking counts down wake-up.
-	gated  bool
-	waking int
-	idle   int
 
 	// Bypass wormhole lock: while a packet streams through the bypass
 	// switch, it holds the switch until its tail passes.
 	bypassLock int // input port, or -1
 	bypassRR   int
 
-	// bufCount is the total number of flits across all input-port VC
-	// buffers. It lets the per-cycle pipeline skip the port/VC scans of
-	// quiescent routers entirely.
-	bufCount int
-
-	// Static-power accounting: cycles accumulated in the current
-	// (scheme, gated) state, flushed to the meter on transitions.
-	staticCycles uint64
-	lastScheme   ecc.Scheme
-	lastGated    bool
+	// Static-power accounting: the (scheme, gated) state the accumulated
+	// cycles (Network.rStatic) belong to, refreshed on transitions.
+	lastScheme ecc.Scheme
+	lastGated  bool
 
 	// Per-window observables.
 	winEjectLatency stats.Summary
@@ -133,17 +128,17 @@ type Router struct {
 	lastAvgLatency  float64
 }
 
-// active reports whether the normal pipeline runs this cycle.
-func (r *Router) active() bool { return !r.gated && r.waking == 0 }
+// active reports whether router id's normal pipeline runs this cycle.
+func (n *Network) active(id int) bool { return !n.rGated[id] && n.rWaking[id] == 0 }
 
-// empty reports whether all input buffers are drained (the precondition
-// for gating: Section 3.3 gates only idle routers). bufCount mirrors the
-// per-VC buffer contents exactly, so this is O(1).
-func (r *Router) empty() bool { return r.bufCount == 0 }
+// empty reports whether router id's input buffers are drained (the
+// precondition for gating: Section 3.3 gates only idle routers).
+// rBufCount mirrors the per-VC buffer contents exactly, so this is O(1).
+func (n *Network) empty(id int) bool { return n.rBufCount[id] == 0 }
 
-// scheme returns the ECC scheme active on this router's output links.
-func (r *Router) scheme() ecc.Scheme {
-	if r.gated {
+// schemeOf returns the ECC scheme active on r's output links.
+func (n *Network) schemeOf(r *Router) ecc.Scheme {
+	if n.rGated[r.id] {
 		// Encoders are powered off on a gated router; only the
 		// end-to-end CRC protects bypass hops.
 		return ecc.SchemeCRC
@@ -151,6 +146,6 @@ func (r *Router) scheme() ecc.Scheme {
 	return r.mode.Scheme()
 }
 
-// relaxedLinks reports whether this router's output links run in
-// relaxed-timing mode.
-func (r *Router) relaxedLinks() bool { return !r.gated && r.mode.Relaxed() }
+// relaxedLinks reports whether r's output links run in relaxed-timing
+// mode.
+func (n *Network) relaxedLinks(r *Router) bool { return !n.rGated[r.id] && r.mode.Relaxed() }

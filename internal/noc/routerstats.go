@@ -41,7 +41,7 @@ func (n *Network) PerRouter() []RouterSummary {
 			StaticJoules:  n.meters[i].StaticJoules,
 			DynamicJoules: n.meters[i].DynamicJoules,
 			Mode:          r.mode,
-			Gated:         r.gated,
+			Gated:         n.rGated[i],
 		}
 		out[i].FlitsForwarded = n.meters[i].Events.XbarTraverses
 	}

@@ -1,0 +1,196 @@
+package noc
+
+import (
+	"intellinoc/internal/power"
+	"intellinoc/internal/traffic"
+)
+
+// SampledWindows configures the opt-in sampled-simulation mode: the
+// network alternates detailed windows (DetailCycles of full cycle-level
+// simulation) with statistical fast-forwards (up to SkipCycles per skip,
+// during which due workload packets are "delivered" in closed form using
+// the latency observed over the preceding detailed windows).
+//
+// Unlike Config.Shards and the idle fast-forward — which are bit-exact
+// execution strategies — sampled simulation changes results. It exists for
+// interactive design-space exploration on huge meshes, where a full
+// cycle-level run of every candidate is too slow. The fields carry real
+// JSON tags on purpose: a serialized configuration with sampling enabled
+// must hash differently from one without, so experiment-spec digests can
+// never conflate a sampled run with an exact one (golden-digest suites
+// additionally refuse the mode outright; see experiments.NewSuite).
+//
+// Known caveats of the closed-form skip, beyond latency being an estimate:
+// power-gating state is frozen for its duration (no router gates or wakes
+// mid-skip), RL controllers observe near-zero link/buffer utilization for
+// skipped windows, no flit events are emitted for synthesized deliveries,
+// and skipped packets never suffer faults or retransmissions. Sustained
+// load that keeps the network from draining suppresses skips entirely
+// (the run degrades gracefully to fully-detailed simulation).
+type SampledWindows struct {
+	DetailCycles int64 `json:"detail_cycles"`
+	SkipCycles   int64 `json:"skip_cycles"`
+}
+
+// sampledStep decides, at the top of each step, whether this cycle should
+// be statistically skipped. It returns true when it advanced the clock
+// itself (a skip happened); false means the caller runs a normal detailed
+// cycle. Only called when cfg.SampledWindows != nil.
+//
+// The skip's closed-form model can only account for a quiescent network
+// (nothing in any buffer, channel, or NIC — i.e. outstanding == 0), so a
+// due skip first waits for in-flight traffic to drain, up to a bound of
+// 4×DetailCycles; under sustained load that never drains, the window
+// simply restarts and the run stays fully detailed.
+func (n *Network) sampledStep(maxCycles int64) bool {
+	sw := n.cfg.SampledWindows
+	cy := n.cycle
+	if cy < n.sampleSkipAt || cy >= maxCycles {
+		return false // inside a detailed window
+	}
+	if n.gen.Exhausted() && n.outstanding == 0 {
+		return false // workload finished; let the caller drain/stop
+	}
+	if n.outstanding > 0 {
+		if n.sampleDrainUntil == 0 {
+			n.sampleDrainUntil = cy + 4*sw.DetailCycles
+		}
+		if cy < n.sampleDrainUntil {
+			return false // extend the window until traffic drains
+		}
+		// Drain bound exceeded: the network is saturated, so the
+		// closed-form skip would misrepresent it. Restart the window.
+		n.sampleDrainUntil = 0
+		n.sampleSkipAt = cy + sw.DetailCycles
+		return false
+	}
+	n.sampleDrainUntil = 0
+	n.sampledSkip(maxCycles, sw)
+	return true
+}
+
+// sampledSkip fast-forwards up to sw.SkipCycles, synthesizing the delivery
+// of every workload packet due in the span and batch-applying the static
+// accounting, in chunks that land exactly on thermal and control
+// boundaries so those loops keep firing on schedule.
+func (n *Network) sampledSkip(maxCycles int64, sw *SampledWindows) {
+	// Refresh the latency estimate from the detailed cycles since the
+	// last skip.
+	if c := n.latency.Count; c > n.sampleLastCount {
+		n.sampleLat = (n.latency.Sum - n.sampleLastSum) / float64(c-n.sampleLastCount)
+	}
+	end := n.cycle + sw.SkipCycles
+	if end > maxCycles {
+		end = maxCycles
+	}
+	for n.cycle < end {
+		chunk := end - n.cycle
+		if d := n.untilBoundary(n.cycle, int64(n.cfg.ThermalIntervalCycles)); d < chunk {
+			chunk = d
+		}
+		if d := n.untilBoundary(n.cycle, int64(n.cfg.TimeStepCycles)); d < chunk {
+			chunk = d
+		}
+		target := n.cycle + chunk
+		for {
+			pkt, ok := n.gen.PopDue(target - 1)
+			if !ok {
+				break
+			}
+			n.synthesizeDelivery(pkt)
+		}
+		for id := range n.routers {
+			n.rStatic[id] += uint64(chunk)
+			if n.rGated[id] {
+				n.gatedCycles += uint64(chunk)
+			}
+		}
+		n.cycle = target
+		if n.cycle%int64(n.cfg.ThermalIntervalCycles) == 0 {
+			n.thermalStep()
+		}
+		if n.cycle%int64(n.cfg.TimeStepCycles) == 0 {
+			n.controlStep()
+		}
+	}
+	// Synthesized packets consume ids without registering packetInfo
+	// records; the table was empty (quiescent network), so advancing its
+	// base keeps detailed-window lookups aligned with nextPacketID.
+	n.packets.base = n.nextPacketID
+	n.packets.entries = n.packets.entries[:0]
+	n.lastProgress = n.cycle
+	n.sampleLastSum, n.sampleLastCount = n.latency.Sum, n.latency.Count
+	n.sampleSkipAt = n.cycle + sw.DetailCycles
+}
+
+// synthesizeDelivery models one packet's flight in closed form: it charges
+// dynamic energy and thermal activity along the X-Y path, records a
+// latency sample (the running detailed-window estimate, or a
+// contention-free pipeline bound before any detailed packet completes),
+// and updates the delivery counters — without ever materializing flits.
+func (n *Network) synthesizeDelivery(pkt traffic.Packet) {
+	n.nextPacketID++
+	flits := uint64(pkt.Flits)
+	n.nextFlitID += flits
+
+	// Keep per-source trace bookkeeping coherent so closed-loop compute
+	// gaps computed in the next detailed window stay sane.
+	q := n.nics[pkt.Src]
+	if pkt.Time > q.lastTraceTime {
+		q.lastTraceTime = pkt.Time
+	}
+	q.seenAny = true
+
+	sx, sy := pkt.Src%n.cfg.Width, pkt.Src/n.cfg.Width
+	dx, dy := pkt.Dst%n.cfg.Width, pkt.Dst/n.cfg.Width
+	hops := absInt(dx-sx) + absInt(dy-sy)
+	est := n.sampleLat
+	if est < 1 {
+		est = float64(3*(hops+1) + pkt.Flits)
+	}
+	n.latency.Add(est)
+	n.pktsDelivered++
+	n.flitsDelivered += flits
+
+	// Walk the X-Y path charging each router as the detailed pipeline
+	// would: buffer write+read and crossbar traversal per flit
+	// everywhere, link and channel stages on forwarding hops, CRC at the
+	// injection and ejection ports.
+	id := pkt.Src
+	for {
+		ev := power.EventCounts{BufWrites: flits, BufReads: flits, XbarTraverses: flits}
+		if id == pkt.Src {
+			ev.CRCChecks += flits // injection-port encode
+		}
+		if id == pkt.Dst {
+			ev.CRCChecks += flits // ejection check
+		} else {
+			ev.LinkHops = flits
+			ev.ChanStages = flits * uint64(n.cfg.ChannelStages)
+		}
+		n.meters[id].Record(ev)
+		n.thermAct[id] += flits
+		n.routers[id].winEjectLatency.Add(est)
+		if id == pkt.Dst {
+			break
+		}
+		x, y := id%n.cfg.Width, id/n.cfg.Width
+		switch {
+		case dx > x:
+			id++
+		case dx < x:
+			id--
+		case dy > y:
+			id += n.cfg.Width
+		default:
+			id -= n.cfg.Width
+		}
+	}
+}
+
+func absInt(v int) int {
+	if v < 0 {
+		return -v
+	}
+	return v
+}

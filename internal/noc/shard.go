@@ -30,8 +30,11 @@ import (
 // cross-router channel — and the per-router sa-before-va-before-rc order
 // is preserved. When ControlFaultRate > 0, RC draws from the control-fault
 // PRNG, whose draw order must match the sequential schedule; since that
-// stream is touched nowhere else, running the whole VA+RC pass
-// sequentially in router order reproduces it exactly.
+// stream is touched nowhere else and the set of VCs that draw is fully
+// determined once the commit pass is done, the coordinator pre-draws the
+// tick's values in router order (predrawControlFaults) and the parallel
+// VA+RC phase consumes the banked draws — the stream sees the exact
+// sequential order either way.
 //
 // Cross-router side effects of the parallel phases (bufferedFlits,
 // lastProgress, event emission) are accumulated per shard in a shardSlot
@@ -56,6 +59,26 @@ type shardSlot struct {
 	buffered      int     // bufferedFlits delta
 	progress      bool    // any delivery happened (lastProgress = cy)
 	gatedCycles   uint64  // accounting-phase gated-cycle delta
+	controlFaults uint64  // VA+RC-phase control-fault delta
+	// stagedLinks holds the link pushes bound for this shard's channels,
+	// appended by the coordinator during the commit pass and drained by
+	// the owning shard in the accounting phase (see stagedPush).
+	stagedLinks []stagedPush
+}
+
+// stagedPush is one deferred Channel.push. The commit pass runs entirely
+// on the coordinator, so every ring insertion — often into a channel
+// owned by another shard's row block — used to happen there too. Staging
+// the pushes per destination shard and draining them in the parallel
+// accounting phase moves the ring work off the coordinator and keeps the
+// channel cache lines shard-local. The deferral is invisible to the tick:
+// a pushed flit's readyAt is at least cy+2, every channel has exactly one
+// upstream writer granting at most one flit per cycle, and nothing
+// between the commit pass and the accounting phase reads channels.
+type stagedPush struct {
+	ch      *Channel
+	flit    *Flit
+	readyAt int64
 }
 
 // emitGate delivers a power-state event directly (sequential path, slot ==
@@ -84,9 +107,10 @@ type shardWorker struct {
 // router range, and signal completion. All cross-goroutine handoff is
 // through sync/atomic, which the race detector understands.
 type shardPool struct {
-	n      *Network
-	lo, hi []int // router id range [lo, hi) per shard (contiguous, ascending)
-	slots  []*shardSlot
+	n       *Network
+	lo, hi  []int   // router id range [lo, hi) per shard (contiguous, ascending)
+	shardOf []int32 // owning shard per router id
+	slots   []*shardSlot
 
 	// Switch-allocation candidate scratch, indexed by router id: written
 	// by the owning shard in phase 4a, consumed by the coordinator in 4b.
@@ -110,10 +134,14 @@ func newShardPool(n *Network, shards int) *shardPool {
 		candN:   make([][NumPorts]int, nodes),
 		hasCand: make([]bool, nodes),
 	}
+	sp.shardOf = make([]int32, nodes)
 	for s := 0; s < shards; s++ {
 		sp.lo = append(sp.lo, s*nodes/shards)
 		sp.hi = append(sp.hi, (s+1)*nodes/shards)
 		sp.slots = append(sp.slots, &shardSlot{})
+		for id := sp.lo[s]; id < sp.hi[s]; id++ {
+			sp.shardOf[id] = int32(s)
+		}
 	}
 	for s := 1; s < shards; s++ {
 		w := &shardWorker{wake: make(chan struct{}, 1)}
@@ -225,8 +253,8 @@ func (sp *shardPool) powerDeliver(s int) {
 		}
 	}
 	for id := sp.lo[s]; id < sp.hi[s]; id++ {
-		if r := n.routers[id]; r.active() {
-			n.deliverChannels(r, cy, slot)
+		if n.active(id) {
+			n.deliverChannels(n.routers[id], cy, slot)
 		}
 	}
 }
@@ -239,12 +267,11 @@ func (sp *shardPool) powerDeliver(s int) {
 func (sp *shardPool) buildCandidates(s int) {
 	n, bypass := sp.n, sp.n.cfg.Bypass
 	for id := sp.lo[s]; id < sp.hi[s]; id++ {
-		r := n.routers[id]
-		if r.gated && bypass {
+		if n.rGated[id] && bypass {
 			continue
 		}
-		if r.active() && r.bufCount > 0 {
-			n.saBuild(r, &sp.cand[id], &sp.candN[id])
+		if n.active(id) && n.rBufCount[id] > 0 {
+			n.saBuild(n.routers[id], &sp.cand[id], &sp.candN[id])
 			sp.hasCand[id] = true
 		}
 	}
@@ -254,35 +281,46 @@ func (sp *shardPool) buildCandidates(s int) {
 // Safe in parallel: both stages touch only their own router's ports and
 // never read credits. Routers whose buffers drained during the commit
 // pass are skipped — on the sequential schedule VA/RC would have run for
-// them and no-opped (both stages skip empty VCs).
+// them and no-opped (both stages skip empty VCs). With control faults
+// enabled, RC consumes the draws the coordinator pre-banked in rcDraws
+// (predrawControlFaults) instead of the PRNG stream, and the fault count
+// accumulates in the slot for a commutative commit at the barrier.
 func (sp *shardPool) vaRC(s int) {
-	n, cy := sp.n, sp.cy
+	n, cy, slot := sp.n, sp.cy, sp.slots[s]
 	for id := sp.lo[s]; id < sp.hi[s]; id++ {
-		r := n.routers[id]
-		if r.active() && r.bufCount > 0 {
+		if n.active(id) && n.rBufCount[id] > 0 {
+			r := n.routers[id]
 			n.vaStage(r, cy)
-			n.rcStage(r, cy)
+			n.rcStage(r, cy, slot)
 		}
 	}
 }
 
 // account runs the per-cycle accounting for one shard; the gated-cycle
-// counter is global, so its delta commits at the barrier.
+// counter is global, so its delta commits at the barrier. It also drains
+// the shard's staged link pushes (see stagedPush): each staged channel
+// belongs to a router in this shard, no other phase-6 scan touches
+// channels, and per-channel there is at most one push per cycle, so the
+// drain is race-free and leaves the rings exactly as the sequential
+// schedule would.
 func (sp *shardPool) account(s int) {
 	n, slot := sp.n, sp.slots[s]
+	for i, st := range slot.stagedLinks {
+		st.ch.push(st.flit, st.readyAt)
+		slot.stagedLinks[i] = stagedPush{}
+	}
+	slot.stagedLinks = slot.stagedLinks[:0]
 	for id := sp.lo[s]; id < sp.hi[s]; id++ {
-		r := n.routers[id]
-		r.staticCycles++
-		if r.gated {
+		n.rStatic[id]++
+		if n.rGated[id] {
 			slot.gatedCycles++
 		}
-		if r.bufCount == 0 {
+		if n.rBufCount[id] == 0 {
 			continue // every port occupancy is zero
 		}
+		base := id * NumPorts
 		for p := 0; p < NumPorts; p++ {
-			if r.in[p] != nil {
-				r.in[p].winOccupancy += uint64(r.in[p].occupancy())
-			}
+			n.winOcc[base+p] += uint64(n.portOcc[base+p])
 		}
 	}
 }
@@ -350,28 +388,32 @@ func (n *Network) stepSharded(maxCycles int64) {
 	// traversal/ejection, in router-index order. This is where the
 	// same-cycle credit chain, the link-fault PRNG draws, and the power
 	// meter accumulation happen, all in the exact sequential order.
-	for _, r := range n.routers {
+	for id, r := range n.routers {
 		switch {
-		case r.gated && n.cfg.Bypass:
+		case n.rGated[id] && n.cfg.Bypass:
 			n.bypassStep(r, cy)
-		case sp.hasCand[r.id]:
-			sp.hasCand[r.id] = false
-			n.saCommit(r, cy, &sp.cand[r.id], &sp.candN[r.id])
+		case sp.hasCand[id]:
+			sp.hasCand[id] = false
+			n.saCommit(r, cy, &sp.cand[id], &sp.candN[id])
 		}
 	}
 
-	// 4c. VA + RC. With control faults enabled RC consumes the
-	// control-fault PRNG, so the pass runs sequentially to keep the draw
-	// order; otherwise it is a pure per-router scan and fans out.
+	// 4c. VA + RC, fanned out. With control faults enabled RC consumes
+	// the control-fault PRNG, whose draw order must match the sequential
+	// schedule; the coordinator pre-draws the tick's values in router
+	// order (the qualifying set is fixed once the commits are done — see
+	// predrawControlFaults), and the parallel phase reads the banked
+	// draws instead of the stream.
 	if n.cfg.ControlFaultRate > 0 {
-		for _, r := range n.routers {
-			if r.active() && r.bufCount > 0 {
-				n.vaStage(r, cy)
-				n.rcStage(r, cy)
-			}
+		n.predrawControlFaults()
+	}
+	sp.runPhase(phaseVARC, cy)
+	if n.rcPredrawn {
+		n.rcPredrawn = false
+		for _, slot := range sp.slots {
+			n.controlFaults += slot.controlFaults
+			slot.controlFaults = 0
 		}
-	} else {
-		sp.runPhase(phaseVARC, cy)
 	}
 
 	// 5. Injection: flit ids and payload PRNG draws are order-sensitive.

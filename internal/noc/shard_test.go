@@ -10,7 +10,8 @@ import (
 // sharded stepper: the plain wormhole baseline, MFAC channel storage,
 // CP-style power gating, the bypass route, thermally coupled faults with
 // payload verification, and the control-fault path (whose RC-stage PRNG
-// draws force the sequential VA/RC fallback).
+// draws are pre-banked in router order by the coordinator so VA+RC still
+// runs in the parallel phase; see predrawControlFaults).
 func shardCases() []struct {
 	name string
 	cfg  Config
