@@ -1,0 +1,47 @@
+// Command explore searches the IntelliNoC design space: it walks a
+// parameter lattice (mesh size, technique, traffic, injection rate,
+// VC/buffer-depth overrides, RL exploration rate), evaluates points as
+// digest-keyed harness jobs, and maintains a Pareto frontier over mean
+// latency, energy per flit, uncorrected-error rate, and a Table-2 area
+// proxy. Strategies: exhaustive grid, successive halving (short budgets
+// promote into long ones, preempting queued grid points), a (μ+λ)
+// evolutionary loop seeded from the frontier, or all three sharing one
+// cache. A QoS admission mode finds the cheapest-area configuration
+// meeting hard latency/throughput bounds.
+//
+// The frontier report is canonical JSON: byte-identical for any
+// -workers value and across a kill + -resume rerun (CI enforces both).
+//
+//	explore -smoke                                # the CI lattice, grid search
+//	explore -strategy all -smoke                  # grid + halving + evolve
+//	explore -mesh 4,8 -techs SECDED,IntelliNoC -rates 0.02,0.06
+//	explore -smoke -qos-avg-latency 30            # cheapest admitted config
+//	explore -smoke -results run.jsonl             # stream for resume/regress
+//	explore -smoke -results run.jsonl -resume     # skip recorded points
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+)
+
+func main() {
+	o, err := parseArgs(os.Args[1:], os.Stderr)
+	if err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return
+		}
+		fmt.Fprintln(os.Stderr, "explore:", err)
+		os.Exit(2)
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	if err := run(ctx, o, os.Stdout, os.Stderr); err != nil {
+		fmt.Fprintln(os.Stderr, "explore:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,94 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"sync"
+	"time"
+
+	"intellinoc/internal/harness"
+	"intellinoc/internal/telemetry"
+)
+
+// telemetryTap aggregates executed evaluations into a metrics registry
+// and a Chrome-trace timeline, mirroring cmd/experiments' tap. It is the
+// explorer's Observer; methods are safe for concurrent use. Telemetry
+// never feeds back into results — the frontier report stays byte-
+// identical with or without the tap.
+type telemetryTap struct {
+	reg   *telemetry.Registry
+	start time.Time
+
+	jobs    *telemetry.Counter
+	retried *telemetry.Counter
+	wallMS  *telemetry.Histogram
+
+	mu    sync.Mutex
+	spans []telemetry.Span
+}
+
+func newTelemetryTap() *telemetryTap {
+	reg := telemetry.NewRegistry()
+	return &telemetryTap{
+		reg:     reg,
+		start:   time.Now(),
+		jobs:    reg.Counter("explore_evaluations_total", "Executed design-point evaluations (cache hits excluded)."),
+		retried: reg.Counter("explore_job_retries_total", "Extra attempts beyond the first, summed over jobs."),
+		wallMS: reg.Histogram("explore_job_wall_ms", "Per-evaluation wall time in milliseconds.",
+			[]float64{10, 100, 500, 1000, 5000, 15000, 60000}),
+	}
+}
+
+// observe consumes one executed harness record.
+func (t *telemetryTap) observe(rec harness.Record) {
+	t.jobs.Inc()
+	if rec.Attempts > 1 {
+		t.retried.Add(uint64(rec.Attempts - 1))
+	}
+	t.wallMS.Observe(rec.WallMS)
+
+	endUS := float64(time.Since(t.start).Microseconds())
+	t.mu.Lock()
+	t.spans = append(t.spans, telemetry.Span{
+		Name:     rec.Name,
+		Start:    endUS - rec.WallMS*1000,
+		Duration: rec.WallMS * 1000,
+		Args:     map[string]any{"kind": rec.Kind, "digest": rec.Digest, "attempts": rec.Attempts},
+	})
+	t.mu.Unlock()
+}
+
+// writeDir snapshots the tap into dir: metrics.prom and timeline.json.
+func (t *telemetryTap) writeDir(dir string) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	mf, err := os.Create(filepath.Join(dir, "metrics.prom"))
+	if err != nil {
+		return err
+	}
+	if err := t.reg.WritePrometheus(mf); err != nil {
+		mf.Close()
+		return err
+	}
+	if err := mf.Close(); err != nil {
+		return err
+	}
+
+	tr := telemetry.NewTrace()
+	tr.SetProcessName(1, "explore harness")
+	t.mu.Lock()
+	spans := make([]telemetry.Span, len(t.spans))
+	copy(spans, t.spans)
+	t.mu.Unlock()
+	tr.AddSpans(1, "evaluation", spans)
+	tf, err := os.Create(filepath.Join(dir, "timeline.json"))
+	if err != nil {
+		return err
+	}
+	if err := tr.WriteJSON(tf); err != nil {
+		tf.Close()
+		return err
+	}
+	return tf.Close()
+}

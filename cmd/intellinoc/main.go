@@ -256,7 +256,7 @@ func buildWorkload(benchmark, pattern, traceFile string, rate float64, packets i
 		gen, err := intellinoc.ParsecWorkload(benchmark, sim, packets)
 		return gen, "PARSEC " + benchmark, err
 	case pattern != "":
-		p, err := parsePattern(pattern)
+		p, err := traffic.ParsePattern(pattern)
 		if err != nil {
 			return nil, "", err
 		}
@@ -269,15 +269,6 @@ func buildWorkload(benchmark, pattern, traceFile string, rate float64, packets i
 	default:
 		return nil, "", fmt.Errorf("choose a workload: -benchmark, -pattern, or -trace")
 	}
-}
-
-func parsePattern(s string) (traffic.Pattern, error) {
-	for p := traffic.Uniform; p <= traffic.Hotspot; p++ {
-		if p.String() == s {
-			return p, nil
-		}
-	}
-	return 0, fmt.Errorf("unknown pattern %q", s)
 }
 
 func fatal(err error) {

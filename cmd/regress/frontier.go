@@ -1,0 +1,71 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+
+	"intellinoc/internal/explore"
+)
+
+// regressFrontier gates a cmd/explore frontier report against its golden
+// copy. Reports are canonical JSON — byte-identical across worker counts
+// and resume — so the comparison is a straight byte diff; on top of
+// that, the candidate must parse and satisfy the frontier invariants
+// (non-empty, canonical order, mutual non-dominance), so a golden update
+// can never commit a degenerate frontier. Returns the process exit code:
+// 0 clean, 1 drift.
+func regressFrontier(frontierPath, goldenPath string, update bool, out io.Writer) (int, error) {
+	candidate, err := os.ReadFile(frontierPath)
+	if err != nil {
+		return 0, err
+	}
+	var rep explore.Report
+	if err := json.Unmarshal(candidate, &rep); err != nil {
+		return 0, fmt.Errorf("parsing %s: %w", frontierPath, err)
+	}
+	if err := rep.ValidateFrontier(); err != nil {
+		return 0, fmt.Errorf("%s: %w", frontierPath, err)
+	}
+
+	if update {
+		if err := os.WriteFile(goldenPath, candidate, 0o644); err != nil {
+			return 0, err
+		}
+		fmt.Fprintf(out, "wrote %s (%d frontier points)\n", goldenPath, len(rep.Frontier))
+		return 0, nil
+	}
+
+	golden, err := os.ReadFile(goldenPath)
+	if err != nil {
+		return 0, err
+	}
+	if !bytes.Equal(candidate, golden) {
+		fmt.Fprintf(out, "DRIFT frontier report %s differs from golden %s (%d vs %d bytes)\n",
+			frontierPath, goldenPath, len(candidate), len(golden))
+		reportFrontierDiff(candidate, golden, out)
+		return 1, nil
+	}
+	fmt.Fprintf(out, "regress: frontier OK (%d points, %d bytes)\n", len(rep.Frontier), len(candidate))
+	return 0, nil
+}
+
+// reportFrontierDiff prints the first differing line, so CI logs show
+// where the reports diverge without needing the artifact.
+func reportFrontierDiff(candidate, golden []byte, out io.Writer) {
+	cl := bytes.Split(candidate, []byte("\n"))
+	gl := bytes.Split(golden, []byte("\n"))
+	n := len(cl)
+	if len(gl) < n {
+		n = len(gl)
+	}
+	for i := 0; i < n; i++ {
+		if !bytes.Equal(cl[i], gl[i]) {
+			fmt.Fprintf(out, "first difference at line %d:\n  candidate: %s\n  golden:    %s\n", i+1, cl[i], gl[i])
+			return
+		}
+	}
+	fmt.Fprintf(out, "reports agree for %d lines; lengths differ (%d vs %d lines)\n", n, len(cl), len(gl))
+}

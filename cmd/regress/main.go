@@ -8,6 +8,14 @@
 //	regress -results run.jsonl -golden testdata/golden/quick.digests
 //	regress -results run.jsonl -golden ... -update   # rewrite the golden
 //
+// With -frontier it instead gates a cmd/explore frontier report: the
+// candidate must parse, pass the non-empty/non-dominated frontier
+// validation, and match the golden file byte for byte (cmd/explore
+// reports are canonical JSON, so byte equality is the right check).
+//
+//	regress -frontier run.frontier.json -golden testdata/golden/explore-smoke.frontier.json
+//	regress -frontier run.frontier.json -golden ... -update
+//
 // Golden file format: one "<job digest> <payload sha256> <name>" line
 // per job, sorted by digest; '#' lines are comments. The job digest
 // identifies the configuration (spec content hash), the payload hash
@@ -29,18 +37,25 @@ import (
 
 func main() {
 	var (
-		resultsPath = flag.String("results", "", "results JSONL to check (required)")
-		goldenPath  = flag.String("golden", "", "golden digest file (required)")
-		update      = flag.Bool("update", false, "rewrite the golden file from -results instead of checking")
-		strict      = flag.Bool("strict", false, "also fail on results not present in the golden file")
+		resultsPath  = flag.String("results", "", "results JSONL to check (required unless -frontier)")
+		frontierPath = flag.String("frontier", "", "cmd/explore frontier report to check instead of a results JSONL")
+		goldenPath   = flag.String("golden", "", "golden file (required)")
+		update       = flag.Bool("update", false, "rewrite the golden file from the candidate instead of checking")
+		strict       = flag.Bool("strict", false, "also fail on results not present in the golden file")
 	)
 	flag.Parse()
-	if *resultsPath == "" || *goldenPath == "" {
-		fmt.Fprintln(os.Stderr, "regress: -results and -golden are required")
+	if *goldenPath == "" || (*resultsPath == "") == (*frontierPath == "") {
+		fmt.Fprintln(os.Stderr, "regress: -golden and exactly one of -results or -frontier are required")
 		flag.Usage()
 		os.Exit(2)
 	}
-	code, err := regress(*resultsPath, *goldenPath, *update, *strict, os.Stdout)
+	var code int
+	var err error
+	if *frontierPath != "" {
+		code, err = regressFrontier(*frontierPath, *goldenPath, *update, os.Stdout)
+	} else {
+		code, err = regress(*resultsPath, *goldenPath, *update, *strict, os.Stdout)
+	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "regress:", err)
 		os.Exit(2)

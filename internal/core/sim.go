@@ -51,6 +51,16 @@ type SimConfig struct {
 	// (ext-sarsa experiment).
 	OnPolicySARSA bool
 
+	// VCOverride and BufDepthOverride, when positive, replace the
+	// technique's Table-1 router microarchitecture (virtual channels per
+	// port, buffer slots per VC) — the design-space axes cmd/explore
+	// walks. Unlike Shards these change results, so they must be
+	// digest-visible when set; omitempty keeps every pre-existing spec's
+	// digest (and therefore the golden results) byte-identical when they
+	// are zero.
+	VCOverride       int `json:"vc_override,omitempty"`
+	BufDepthOverride int `json:"buf_depth_override,omitempty"`
+
 	// Shards steps each network with this many parallel shards (see
 	// noc.Config.Shards); 0 or 1 is the sequential stepper. Results are
 	// bit-identical at any shard count, which is why the field is
@@ -101,6 +111,18 @@ func (c SimConfig) withDefaults() SimConfig {
 		c.DependencyWindow = 0 // open loop
 	}
 	return c
+}
+
+// applyMicroarch applies the router-microarchitecture overrides to a
+// technique-derived network config (shared by Simulate and Pretrain so a
+// pre-trained policy sees the same hardware its evaluation runs use).
+func (c SimConfig) applyMicroarch(cfg *noc.Config) {
+	if c.VCOverride > 0 {
+		cfg.VCs = c.VCOverride
+	}
+	if c.BufDepthOverride > 0 {
+		cfg.BufDepth = c.BufDepthOverride
+	}
 }
 
 // rlConfig derives the Q-learning configuration.
@@ -192,6 +214,7 @@ func Pretrain(sim SimConfig, epochs, packetsPerEpoch int) (*Policy, error) {
 	cfg.ControlFaultRate = sim.ControlFaultRate
 	cfg.Shards = sim.Shards
 	cfg.SampledWindows = sim.SampledWindows
+	sim.applyMicroarch(&cfg)
 
 	ctrl := NewRLController(cfg.Nodes(), sim.rlConfig())
 	ctrl.OnPolicy = sim.OnPolicySARSA

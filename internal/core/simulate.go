@@ -104,6 +104,7 @@ func Simulate(ctx context.Context, tech Technique, sim SimConfig, gen traffic.Ge
 	cfg.ControlFaultRate = sim.ControlFaultRate
 	cfg.Shards = sim.Shards
 	cfg.SampledWindows = sim.SampledWindows
+	sim.applyMicroarch(&cfg)
 
 	ctrl, initial := controllerFor(tech, sim, cfg, o.policy)
 	n, err := noc.New(cfg, gen, ctrl)

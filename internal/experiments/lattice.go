@@ -1,0 +1,282 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+
+	"intellinoc/internal/core"
+	"intellinoc/internal/noc"
+	"intellinoc/internal/power"
+	"intellinoc/internal/traffic"
+)
+
+// Lattice spans the design space cmd/explore searches: every point is
+// one RunSpec, addressed by an index vector over the axes below. Axes
+// left empty collapse to a single default element, so a Lattice is
+// always enumerable. Enumeration order is fixed (lexicographic over the
+// axis order of LatticeCoord), which is what makes every search strategy
+// built on top of it deterministic.
+type Lattice struct {
+	// Meshes lists square mesh edge sizes (4 → 4×4).
+	Meshes []int `json:"meshes"`
+	// Techniques lists the compared designs (serialized as the same
+	// integer codes RunSpec.Tech uses).
+	Techniques []core.Technique `json:"techniques"`
+	// Patterns and Rates shape the open-loop synthetic workload.
+	Patterns []traffic.Pattern `json:"patterns"`
+	Rates    []float64         `json:"rates"`
+	// VCs and BufDepths override the technique's router
+	// microarchitecture; 0 keeps the Table-1 default.
+	VCs       []int `json:"vcs,omitempty"`
+	BufDepths []int `json:"buf_depths,omitempty"`
+	// Epsilons sweeps the RL exploration rate; 0 keeps the paper
+	// default. Applied only to RL-controlled techniques, so the other
+	// designs deduplicate across this axis instead of re-simulating.
+	Epsilons []float64 `json:"epsilons,omitempty"`
+
+	// Packets is the full per-run evaluation budget (short-budget rungs
+	// divide it down; see explore's successive halving).
+	Packets int `json:"packets"`
+	// PacketFlits is the flits per packet (default 4, as Table 1).
+	PacketFlits int   `json:"packet_flits,omitempty"`
+	Seed        int64 `json:"seed"`
+	// MaxCycles bounds each run; 0 keeps the simulator default.
+	MaxCycles int64 `json:"max_cycles,omitempty"`
+}
+
+// latticeAxes is the number of addressable axes of a LatticeCoord.
+const latticeAxes = 7
+
+// LatticeCoord addresses one lattice point: an index per axis, in the
+// order mesh, technique, pattern, rate, VCs, buffer depth, epsilon.
+type LatticeCoord [latticeAxes]int
+
+// withDefaults collapses empty axes to their single default element.
+func (l Lattice) withDefaults() Lattice {
+	if len(l.Meshes) == 0 {
+		l.Meshes = []int{8}
+	}
+	if len(l.Techniques) == 0 {
+		l.Techniques = core.Techniques()
+	}
+	if len(l.Patterns) == 0 {
+		l.Patterns = []traffic.Pattern{traffic.Uniform}
+	}
+	if len(l.Rates) == 0 {
+		l.Rates = []float64{0.05}
+	}
+	if len(l.VCs) == 0 {
+		l.VCs = []int{0}
+	}
+	if len(l.BufDepths) == 0 {
+		l.BufDepths = []int{0}
+	}
+	if len(l.Epsilons) == 0 {
+		l.Epsilons = []float64{0}
+	}
+	if l.Packets == 0 {
+		l.Packets = 2000
+	}
+	if l.PacketFlits == 0 {
+		l.PacketFlits = 4
+	}
+	return l
+}
+
+// FullPackets returns the full per-point evaluation budget after
+// default-collapsing (what Spec should be passed for a full run).
+func (l Lattice) FullPackets() int {
+	return l.withDefaults().Packets
+}
+
+// Dims returns the per-axis lengths after default-collapsing.
+func (l Lattice) Dims() [latticeAxes]int {
+	n := l.withDefaults()
+	return [latticeAxes]int{
+		len(n.Meshes), len(n.Techniques), len(n.Patterns), len(n.Rates),
+		len(n.VCs), len(n.BufDepths), len(n.Epsilons),
+	}
+}
+
+// Size is the number of lattice points.
+func (l Lattice) Size() int {
+	size := 1
+	for _, d := range l.Dims() {
+		size *= d
+	}
+	return size
+}
+
+// Enumerate lists every coordinate in lexicographic axis order.
+func (l Lattice) Enumerate() []LatticeCoord {
+	dims := l.Dims()
+	out := make([]LatticeCoord, 0, l.Size())
+	var c LatticeCoord
+	for {
+		out = append(out, c)
+		axis := latticeAxes - 1
+		for axis >= 0 {
+			c[axis]++
+			if c[axis] < dims[axis] {
+				break
+			}
+			c[axis] = 0
+			axis--
+		}
+		if axis < 0 {
+			return out
+		}
+	}
+}
+
+// Spec materializes one lattice point as a RunSpec with the given packet
+// budget (pass Lattice.Packets for a full-budget evaluation). RL
+// hyper-parameters are zeroed for non-RL techniques so those runs
+// deduplicate across the epsilon axis.
+func (l Lattice) Spec(c LatticeCoord, packets int) RunSpec {
+	n := l.withDefaults()
+	mesh := n.Meshes[c[0]]
+	tech := n.Techniques[c[1]]
+	sim := core.SimConfig{
+		Width: mesh, Height: mesh,
+		Seed:      n.Seed,
+		MaxCycles: n.MaxCycles,
+		// Rate sweeps are open-loop by definition (as loadsweep).
+		DependencyWindow: -1,
+		VCOverride:       n.VCs[c[4]],
+		BufDepthOverride: n.BufDepths[c[5]],
+	}
+	if tech == core.TechIntelliNoC {
+		sim.Epsilon = n.Epsilons[c[6]]
+	}
+	return RunSpec{
+		Tech: tech, Sim: sim,
+		Workload: WorkloadSpec{
+			Kind: WorkloadSynthetic, Pattern: n.Patterns[c[2]],
+			InjectionRate: n.Rates[c[3]], PacketFlits: n.PacketFlits,
+			SeedDelta: 97,
+		},
+		Packets: packets,
+	}
+}
+
+// Label renders a human-readable point name for progress lines and
+// frontier reports ("explore/IntelliNoC/8x8/uniform@0.05/p2000").
+func (l Lattice) Label(c LatticeCoord, packets int) string {
+	n := l.withDefaults()
+	mesh := n.Meshes[c[0]]
+	s := fmt.Sprintf("explore/%s/%dx%d/%s@%g/p%d",
+		n.Techniques[c[1]], mesh, mesh, n.Patterns[c[2]], n.Rates[c[3]], packets)
+	if vc := n.VCs[c[4]]; vc > 0 {
+		s += fmt.Sprintf("/vc%d", vc)
+	}
+	if bd := n.BufDepths[c[5]]; bd > 0 {
+		s += fmt.Sprintf("/bd%d", bd)
+	}
+	if eps := n.Epsilons[c[6]]; eps > 0 && n.Techniques[c[1]] == core.TechIntelliNoC {
+		s += fmt.Sprintf("/eps%g", eps)
+	}
+	return s
+}
+
+// Validate rejects structurally impossible lattices before any
+// simulation is attempted (noc.Config.Validate would catch these
+// per-point, but a search wants the error once, up front).
+func (l Lattice) Validate() error {
+	n := l.withDefaults()
+	for _, m := range n.Meshes {
+		if m < 2 {
+			return fmt.Errorf("experiments: lattice mesh size %d (need >= 2)", m)
+		}
+	}
+	for _, v := range n.VCs {
+		if v < 0 || v > noc.MaxVCs() {
+			return fmt.Errorf("experiments: lattice VC override %d (0..%d)", v, noc.MaxVCs())
+		}
+	}
+	for _, b := range n.BufDepths {
+		if b < 0 {
+			return fmt.Errorf("experiments: negative buffer-depth override %d", b)
+		}
+	}
+	for _, r := range n.Rates {
+		if r <= 0 || r > 1 {
+			return fmt.Errorf("experiments: injection rate %g out of (0, 1]", r)
+		}
+	}
+	if n.Packets <= 0 {
+		return fmt.Errorf("experiments: lattice packet budget %d", n.Packets)
+	}
+	return nil
+}
+
+// Objectives is the multi-objective evaluation of one lattice point, all
+// axes minimized. Latency, energy and reliability come from the run's
+// Result; area is the structural proxy composed from the Table 2 model
+// (it needs no simulation, but belongs in the vector so the frontier
+// trades silicon against performance).
+type Objectives struct {
+	AvgLatencyCycles     float64 `json:"avg_latency_cycles"`
+	EnergyPerFlitPJ      float64 `json:"energy_per_flit_pj"`
+	UncorrectedErrorRate float64 `json:"uncorrected_error_rate"`
+	AreaMM2              float64 `json:"area_mm2"`
+}
+
+// NewObjectives extracts the objective vector for a spec's result.
+// Degenerate runs (nothing delivered, or a deadlock) yield +Inf
+// components, which Pareto archives treat as infeasible.
+func NewObjectives(spec RunSpec, res noc.Result) Objectives {
+	o := Objectives{AreaMM2: AreaProxyMM2(spec)}
+	attempted := res.PacketsDelivered + res.PacketsFailed
+	switch {
+	case res.Deadlocked || res.PacketsDelivered == 0:
+		o.AvgLatencyCycles = math.Inf(1)
+		o.EnergyPerFlitPJ = math.Inf(1)
+		o.UncorrectedErrorRate = math.Inf(1)
+	default:
+		o.AvgLatencyCycles = res.AvgLatency
+		if res.FlitsDelivered > 0 {
+			o.EnergyPerFlitPJ = res.TotalJoules() / float64(res.FlitsDelivered) * 1e12
+		} else {
+			o.EnergyPerFlitPJ = math.Inf(1)
+		}
+		o.UncorrectedErrorRate = float64(res.PacketsFailed) / float64(attempted)
+	}
+	return o
+}
+
+// Vector returns the objectives in canonical minimization order.
+func (o Objectives) Vector() [4]float64 {
+	return [4]float64{o.AvgLatencyCycles, o.EnergyPerFlitPJ, o.UncorrectedErrorRate, o.AreaMM2}
+}
+
+// Finite reports whether every component is a finite number (the
+// feasibility guard Pareto insertion applies).
+func (o Objectives) Finite() bool {
+	for _, v := range o.Vector() {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return false
+		}
+	}
+	return true
+}
+
+// AreaProxyMM2 composes the whole-die router area (mm²) for a spec from
+// the Table 2 model, honoring the spec's VC/buffer-depth overrides: the
+// router-buffer term is recomputed as VCs × depth slots per port when an
+// override changes the technique's default storage.
+func AreaProxyMM2(spec RunSpec) float64 {
+	ac := spec.Tech.AreaConfig()
+	if spec.Sim.VCOverride > 0 || spec.Sim.BufDepthOverride > 0 {
+		cfg := spec.Tech.NetworkConfig(2, 2)
+		if spec.Sim.VCOverride > 0 {
+			cfg.VCs = spec.Sim.VCOverride
+		}
+		if spec.Sim.BufDepthOverride > 0 {
+			cfg.BufDepth = spec.Sim.BufDepthOverride
+		}
+		ac.BufSlotsPerPort = cfg.VCs * cfg.BufDepth
+	}
+	nodes := simWidth(spec.Sim) * simHeight(spec.Sim)
+	return power.Area(ac).Total() * float64(nodes) / 1e6
+}

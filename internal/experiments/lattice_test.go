@@ -1,0 +1,163 @@
+package experiments
+
+import (
+	"encoding/json"
+	"math"
+	"strings"
+	"testing"
+
+	"intellinoc/internal/core"
+	"intellinoc/internal/noc"
+	"intellinoc/internal/traffic"
+)
+
+func TestLatticeEnumerateDeterministic(t *testing.T) {
+	lat := Lattice{
+		Meshes:     []int{4, 8},
+		Techniques: []core.Technique{core.TechSECDED, core.TechIntelliNoC},
+		Patterns:   []traffic.Pattern{traffic.Uniform, traffic.Transpose},
+		Rates:      []float64{0.02, 0.1},
+		Packets:    500,
+	}
+	coords := lat.Enumerate()
+	if len(coords) != lat.Size() || len(coords) != 16 {
+		t.Fatalf("enumerated %d coords, size %d, want 16", len(coords), lat.Size())
+	}
+	// Lexicographic order: first axis slowest.
+	if coords[0] != (LatticeCoord{}) {
+		t.Fatalf("first coord = %v", coords[0])
+	}
+	if coords[len(coords)-1] != (LatticeCoord{1, 1, 1, 1, 0, 0, 0}) {
+		t.Fatalf("last coord = %v", coords[len(coords)-1])
+	}
+	// Digests are unique and stable across two enumerations.
+	seen := map[string]bool{}
+	for _, c := range coords {
+		d := lat.Spec(c, lat.Packets).Digest()
+		if seen[d] {
+			t.Fatalf("duplicate digest for coord %v", c)
+		}
+		seen[d] = true
+	}
+	for i, c := range lat.Enumerate() {
+		if d := lat.Spec(c, lat.Packets).Digest(); !seen[d] {
+			t.Fatalf("re-enumeration diverged at %d", i)
+		}
+	}
+}
+
+// TestLatticeEpsilonDedup checks non-RL techniques collapse across the
+// epsilon axis (same digest), while IntelliNoC does not.
+func TestLatticeEpsilonDedup(t *testing.T) {
+	lat := Lattice{
+		Techniques: []core.Technique{core.TechSECDED, core.TechIntelliNoC},
+		Epsilons:   []float64{0.01, 0.2},
+		Packets:    500,
+	}
+	sec1 := lat.Spec(LatticeCoord{0, 0, 0, 0, 0, 0, 0}, 500).Digest()
+	sec2 := lat.Spec(LatticeCoord{0, 0, 0, 0, 0, 0, 1}, 500).Digest()
+	if sec1 != sec2 {
+		t.Fatal("SECDED digests differ across epsilon axis")
+	}
+	inc1 := lat.Spec(LatticeCoord{0, 1, 0, 0, 0, 0, 0}, 500).Digest()
+	inc2 := lat.Spec(LatticeCoord{0, 1, 0, 0, 0, 0, 1}, 500).Digest()
+	if inc1 == inc2 {
+		t.Fatal("IntelliNoC digests identical across epsilon axis")
+	}
+}
+
+// TestOverrideDigestNeutral pins the digest-compatibility contract: a
+// SimConfig with zero-valued VC/buffer-depth overrides must marshal to
+// exactly the same JSON (and so the same spec digest) as before the
+// fields existed — otherwise every golden digest in the repo breaks.
+func TestOverrideDigestNeutral(t *testing.T) {
+	raw, err := json.Marshal(core.SimConfig{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, forbidden := range []string{"vc_override", "buf_depth_override"} {
+		if strings.Contains(string(raw), forbidden) {
+			t.Fatalf("zero-valued %q leaks into SimConfig JSON: %s", forbidden, raw)
+		}
+	}
+	with := core.SimConfig{Seed: 1, VCOverride: 2, BufDepthOverride: 3}
+	raw2, err := json.Marshal(with)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(raw2), `"vc_override":2`) || !strings.Contains(string(raw2), `"buf_depth_override":3`) {
+		t.Fatalf("set overrides missing from JSON: %s", raw2)
+	}
+}
+
+func TestLatticeValidate(t *testing.T) {
+	good := Lattice{Packets: 100}
+	if err := good.Validate(); err != nil {
+		t.Fatalf("default lattice invalid: %v", err)
+	}
+	cases := []Lattice{
+		{Packets: 100, Meshes: []int{1}},
+		{Packets: 100, VCs: []int{noc.MaxVCs() + 1}},
+		{Packets: 100, Rates: []float64{0}},
+		{Packets: 100, Rates: []float64{1.5}},
+		{Packets: -1},
+	}
+	for i, lat := range cases {
+		if err := lat.Validate(); err == nil {
+			t.Errorf("case %d: lattice should be invalid", i)
+		}
+	}
+}
+
+func TestObjectivesExtraction(t *testing.T) {
+	spec := Lattice{Packets: 100}.Spec(LatticeCoord{}, 100)
+	res := noc.Result{
+		Cycles: 10000, PacketsDelivered: 90, PacketsFailed: 10,
+		FlitsDelivered: 360, AvgLatency: 25,
+		StaticJoules: 1e-6, DynamicJoules: 3e-6,
+	}
+	o := NewObjectives(spec, res)
+	if o.AvgLatencyCycles != 25 {
+		t.Fatalf("latency = %v", o.AvgLatencyCycles)
+	}
+	if want := 4e-6 / 360 * 1e12; math.Abs(o.EnergyPerFlitPJ-want) > 1e-9 {
+		t.Fatalf("energy/flit = %v, want %v", o.EnergyPerFlitPJ, want)
+	}
+	if want := 0.1; o.UncorrectedErrorRate != want {
+		t.Fatalf("error rate = %v", o.UncorrectedErrorRate)
+	}
+	if o.AreaMM2 <= 0 {
+		t.Fatalf("area proxy = %v", o.AreaMM2)
+	}
+	if !o.Finite() {
+		t.Fatal("objectives should be finite")
+	}
+
+	// Deadlocked and zero-delivery runs are infeasible.
+	dead := NewObjectives(spec, noc.Result{Deadlocked: true, PacketsDelivered: 5})
+	if dead.Finite() {
+		t.Fatal("deadlocked run should be infeasible")
+	}
+	empty := NewObjectives(spec, noc.Result{})
+	if empty.Finite() {
+		t.Fatal("zero-delivery run should be infeasible")
+	}
+}
+
+// TestAreaProxyOverrides checks the proxy responds to the override axes
+// the way the Table 2 model does: fewer buffer slots, less area.
+func TestAreaProxyOverrides(t *testing.T) {
+	base := Lattice{Packets: 100, Techniques: []core.Technique{core.TechSECDED}}
+	full := AreaProxyMM2(base.Spec(LatticeCoord{}, 100))
+	slim := Lattice{Packets: 100, Techniques: []core.Technique{core.TechSECDED},
+		VCs: []int{2}, BufDepths: []int{1}}
+	slimArea := AreaProxyMM2(slim.Spec(LatticeCoord{}, 100))
+	if slimArea >= full {
+		t.Fatalf("2VC×1 slot area %v should undercut 4VC×4 default %v", slimArea, full)
+	}
+	// Mesh size scales the proxy by node count.
+	big := Lattice{Packets: 100, Meshes: []int{16}, Techniques: []core.Technique{core.TechSECDED}}
+	if bigArea := AreaProxyMM2(big.Spec(LatticeCoord{}, 100)); bigArea <= full {
+		t.Fatalf("16x16 area %v should exceed 8x8 %v", bigArea, full)
+	}
+}

@@ -381,6 +381,9 @@ func (s *Suite) Run(opts RunOptions) (*SuiteResult, error) {
 		out, err := harness.Run(runJobs, harness.Options{
 			Workers: opts.Workers, Retries: opts.Retries, Stream: stream, Progress: prog,
 			Observer: opts.Observer, Ctx: opts.Ctx,
+			// Resume-skipped specs count as cache hits in the status line,
+			// not as pending work in the ETA.
+			CachedJobs: res.JobsCached,
 		})
 		if err != nil {
 			return nil, err

@@ -1,0 +1,186 @@
+package explore
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"intellinoc/internal/core"
+	"intellinoc/internal/experiments"
+	"intellinoc/internal/traffic"
+)
+
+// testLattice is a small real design space: 8 points over technique,
+// rate, and VC-override axes, cheap enough to grid-search in a test.
+func testLattice() experiments.Lattice {
+	return experiments.Lattice{
+		Meshes:     []int{4},
+		Techniques: []core.Technique{core.TechSECDED, core.TechCP},
+		Patterns:   []traffic.Pattern{traffic.Uniform},
+		Rates:      []float64{0.02, 0.06},
+		VCs:        []int{0, 2},
+		Packets:    120,
+		Seed:       1,
+	}
+}
+
+// runAll executes the fixed "all" orchestration: grid submitted
+// asynchronously at low priority, halving and the evolutionary loop
+// preempting it, a QoS admission search last. The orchestration order is
+// fixed, so the report must come out byte-identical regardless of worker
+// count or cache warmth.
+func runAll(t *testing.T, workers int, resultsPath string, resume bool) []byte {
+	t.Helper()
+	e, err := New(testLattice(), Options{
+		Workers: workers, ResultsPath: resultsPath, Resume: resume,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+
+	grid := e.GridAsync()
+	if err := e.Halve(Halving{Rungs: 3, Eta: 2}); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.FinishGrid(grid); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.EvolveFrontier(Evolve{Mu: 2, Lambda: 4, Generations: 2, Seed: 7}); err != nil {
+		t.Fatal(err)
+	}
+	q := QoSConfig{MaxAvgLatency: 40}
+	qres, err := e.QoSAdmit(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := e.Report()
+	rep.QoS = &QoSReport{Config: q, Result: qres}
+	if err := rep.ValidateFrontier(); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := rep.MarshalCanonical()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return raw
+}
+
+// TestReportByteIdenticalAcrossWorkers is the tentpole determinism
+// property: -workers 1 and -workers 8 must produce the same bytes.
+func TestReportByteIdenticalAcrossWorkers(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full exploration in -short mode")
+	}
+	one := runAll(t, 1, "", false)
+	eight := runAll(t, 8, "", false)
+	if !bytes.Equal(one, eight) {
+		t.Fatalf("frontier report differs across worker counts:\n--- workers=1 ---\n%s\n--- workers=8 ---\n%s", one, eight)
+	}
+}
+
+// TestReportByteIdenticalAcrossResume simulates a kill/-resume rerun: a
+// partial results file primes the cache, and the resumed exploration
+// must reproduce the cold run's bytes exactly.
+func TestReportByteIdenticalAcrossResume(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full exploration in -short mode")
+	}
+	dir := t.TempDir()
+	cold := filepath.Join(dir, "cold.jsonl")
+	want := runAll(t, 4, cold, false)
+
+	// Truncate the cold run's results to half its lines — a run killed
+	// midway — and resume from it.
+	raw, err := os.ReadFile(cold)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := bytes.SplitAfter(raw, []byte("\n"))
+	partial := filepath.Join(dir, "partial.jsonl")
+	if err := os.WriteFile(partial, bytes.Join(lines[:len(lines)/2], nil), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	got := runAll(t, 4, partial, true)
+	if !bytes.Equal(want, got) {
+		t.Fatalf("resumed report differs from cold run:\n--- cold ---\n%s\n--- resumed ---\n%s", want, got)
+	}
+
+	// A second resume from the now-complete file is all cache hits and
+	// still byte-identical.
+	again := runAll(t, 4, partial, true)
+	if !bytes.Equal(want, again) {
+		t.Fatal("fully-cached rerun diverged")
+	}
+}
+
+// TestHalvingDeterministic pins rung promotion under seed-fixed budgets:
+// two fresh explorations promote identical candidate sets and produce
+// identical frontiers at any worker count.
+func TestHalvingDeterministic(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation-backed test in -short mode")
+	}
+	run := func(workers int) []byte {
+		e, err := New(testLattice(), Options{Workers: workers})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer e.Close()
+		if err := e.Halve(Halving{Rungs: 3, Eta: 2}); err != nil {
+			t.Fatal(err)
+		}
+		raw, err := e.Report().MarshalCanonical()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return raw
+	}
+	a, b, c := run(1), run(8), run(8)
+	if !bytes.Equal(a, b) || !bytes.Equal(b, c) {
+		t.Fatalf("halving reports diverged:\n%s\n%s\n%s", a, b, c)
+	}
+}
+
+// TestGridDedupAcrossStrategies checks the digest cache makes repeated
+// points free: the halving final rung re-requests full-budget grid
+// digests, so distinct evaluations stay well below naive submissions.
+func TestGridDedupAcrossStrategies(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation-backed test in -short mode")
+	}
+	e, err := New(testLattice(), Options{Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+	if err := e.Grid(); err != nil {
+		t.Fatal(err)
+	}
+	gridEvals := e.Evaluations()
+	if gridEvals != testLattice().Size() {
+		t.Fatalf("grid evaluated %d points, lattice has %d", gridEvals, testLattice().Size())
+	}
+	// Halving submits one short-budget job per lattice point (all new
+	// digests) plus a full-budget final rung whose digests equal the
+	// grid's — the final rung must dedup entirely, so distinct
+	// evaluations grow by exactly the short rung.
+	if err := e.Halve(Halving{Rungs: 2, Eta: 2}); err != nil {
+		t.Fatal(err)
+	}
+	added := e.Evaluations() - gridEvals
+	if added != testLattice().Size() {
+		t.Fatalf("halving added %d distinct evaluations, want exactly %d (full-budget rung must dedup against grid)",
+			added, testLattice().Size())
+	}
+}
+
+// TestExplorerValidatesLattice rejects impossible spaces up front.
+func TestExplorerValidatesLattice(t *testing.T) {
+	bad := testLattice()
+	bad.Meshes = []int{1}
+	if _, err := New(bad, Options{}); err == nil {
+		t.Fatal("invalid lattice accepted")
+	}
+}

@@ -1,0 +1,223 @@
+package explore
+
+import (
+	"fmt"
+	"sort"
+
+	"intellinoc/internal/experiments"
+)
+
+// Point is one evaluated lattice configuration: its coordinate, the
+// materialized spec, the spec's content digest, and the extracted
+// objective vector (all axes minimized).
+type Point struct {
+	Coord      experiments.LatticeCoord
+	Spec       experiments.RunSpec
+	Digest     string
+	Name       string
+	Objectives experiments.Objectives
+}
+
+// Dominates reports whether a is at least as good as b on every
+// objective and strictly better on at least one — the standard weak
+// Pareto dominance. Comparisons involving NaN are false, so a NaN
+// component can never dominate anything (the Archive additionally
+// refuses non-finite points outright).
+func Dominates(a, b [4]float64) bool {
+	strict := false
+	for i := range a {
+		if a[i] > b[i] {
+			return false
+		}
+		if a[i] < b[i] {
+			strict = true
+		}
+		// NaN fails both comparisons: not worse, not strictly better.
+		if a[i] != a[i] || b[i] != b[i] {
+			return false
+		}
+	}
+	return strict
+}
+
+// InsertOutcome describes what Archive.Insert did with a point.
+type InsertOutcome struct {
+	// Added is true when the point entered the archive.
+	Added bool
+	// Removed counts incumbents the new point dominated out.
+	Removed int
+	// Infeasible is true when the point was refused for a NaN/Inf
+	// objective (deadlocks, zero-delivery runs, failed simulations).
+	Infeasible bool
+	// Duplicate is true when the digest was already archived.
+	Duplicate bool
+}
+
+// Archive is an incrementally pruned Pareto frontier: it holds exactly
+// the mutually non-dominated feasible points seen so far, keyed by spec
+// digest. Insertion order never affects the final contents — a dominated
+// point is rejected no matter when it arrives, and an arriving dominator
+// evicts every incumbent it beats — which is what lets concurrent
+// search strategies share one archive and still produce a byte-identical
+// frontier report.
+type Archive struct {
+	points map[string]Point
+}
+
+// NewArchive builds an empty archive.
+func NewArchive() *Archive {
+	return &Archive{points: make(map[string]Point)}
+}
+
+// Size returns the current frontier cardinality.
+func (a *Archive) Size() int { return len(a.points) }
+
+// Insert offers a point to the frontier.
+func (a *Archive) Insert(p Point) InsertOutcome {
+	if !p.Objectives.Finite() {
+		return InsertOutcome{Infeasible: true}
+	}
+	if _, ok := a.points[p.Digest]; ok {
+		return InsertOutcome{Duplicate: true}
+	}
+	v := p.Objectives.Vector()
+	for _, inc := range a.points {
+		if Dominates(inc.Objectives.Vector(), v) {
+			return InsertOutcome{}
+		}
+	}
+	out := InsertOutcome{Added: true}
+	for d, inc := range a.points {
+		if Dominates(v, inc.Objectives.Vector()) {
+			delete(a.points, d)
+			out.Removed++
+		}
+	}
+	a.points[p.Digest] = p
+	return out
+}
+
+// Frontier returns the archived points in canonical order: objective
+// vectors compared lexicographically, digests breaking exact ties. The
+// order depends only on the set contents, never on insertion history.
+func (a *Archive) Frontier() []Point {
+	out := make([]Point, 0, len(a.points))
+	for _, p := range a.points {
+		out = append(out, p)
+	}
+	sortPointsCanonical(out)
+	return out
+}
+
+// Validate checks the frontier invariant: every archived pair must be
+// mutually non-dominated with finite objectives. It is the gate CI runs
+// against the smoke frontier.
+func (a *Archive) Validate() error {
+	pts := a.Frontier()
+	for i, p := range pts {
+		if !p.Objectives.Finite() {
+			return fmt.Errorf("explore: archived point %s has non-finite objectives %+v", p.Digest, p.Objectives)
+		}
+		for _, q := range pts[i+1:] {
+			if Dominates(p.Objectives.Vector(), q.Objectives.Vector()) {
+				return fmt.Errorf("explore: archived point %s dominates archived point %s", p.Digest, q.Digest)
+			}
+			if Dominates(q.Objectives.Vector(), p.Objectives.Vector()) {
+				return fmt.Errorf("explore: archived point %s dominates archived point %s", q.Digest, p.Digest)
+			}
+		}
+	}
+	return nil
+}
+
+// sortPointsCanonical orders points by (objective vector, digest).
+func sortPointsCanonical(pts []Point) {
+	sort.Slice(pts, func(i, j int) bool {
+		return lessCanonical(pts[i], pts[j])
+	})
+}
+
+func lessCanonical(p, q Point) bool {
+	pv, qv := p.Objectives.Vector(), q.Objectives.Vector()
+	for k := range pv {
+		if pv[k] != qv[k] {
+			return pv[k] < qv[k]
+		}
+	}
+	return p.Digest < q.Digest
+}
+
+// rankFronts assigns each point its non-dominated front index (0 = the
+// Pareto front of the batch, 1 = the front once rank 0 is removed, ...).
+// Points with non-finite objectives rank behind everything.
+func rankFronts(pts []Point) []int {
+	n := len(pts)
+	rank := make([]int, n)
+	assigned := make([]bool, n)
+	remaining := n
+	for front := 0; remaining > 0; front++ {
+		var current []int
+		for i := 0; i < n; i++ {
+			if assigned[i] {
+				continue
+			}
+			if !pts[i].Objectives.Finite() {
+				// Infeasible points collect in the final front.
+				continue
+			}
+			dominated := false
+			for j := 0; j < n; j++ {
+				if j == i || assigned[j] || !pts[j].Objectives.Finite() {
+					continue
+				}
+				if Dominates(pts[j].Objectives.Vector(), pts[i].Objectives.Vector()) {
+					dominated = true
+					break
+				}
+			}
+			if !dominated {
+				current = append(current, i)
+			}
+		}
+		if len(current) == 0 {
+			// Only infeasible points remain; park them in this front.
+			for i := 0; i < n; i++ {
+				if !assigned[i] {
+					rank[i] = front
+					assigned[i] = true
+					remaining--
+				}
+			}
+			break
+		}
+		for _, i := range current {
+			rank[i] = front
+			assigned[i] = true
+			remaining--
+		}
+	}
+	return rank
+}
+
+// sortForPromotion orders a rung's survivors for successive halving:
+// by non-dominated front, then canonically within a front. Promotion
+// cutoffs therefore depend only on the batch's results — never on
+// completion order — which keeps seed-fixed rungs deterministic.
+func sortForPromotion(pts []Point) []Point {
+	rank := rankFronts(pts)
+	idx := make([]int, len(pts))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool {
+		if rank[idx[a]] != rank[idx[b]] {
+			return rank[idx[a]] < rank[idx[b]]
+		}
+		return lessCanonical(pts[idx[a]], pts[idx[b]])
+	})
+	out := make([]Point, len(pts))
+	for i, k := range idx {
+		out[i] = pts[k]
+	}
+	return out
+}

@@ -1,0 +1,187 @@
+package explore
+
+import (
+	"fmt"
+	"math"
+	"testing"
+
+	"intellinoc/internal/experiments"
+)
+
+func pt(digest string, v [4]float64) Point {
+	return Point{
+		Digest: digest,
+		Name:   "test/" + digest,
+		Objectives: experiments.Objectives{
+			AvgLatencyCycles: v[0], EnergyPerFlitPJ: v[1],
+			UncorrectedErrorRate: v[2], AreaMM2: v[3],
+		},
+	}
+}
+
+func TestDominatesEdgeCases(t *testing.T) {
+	cases := []struct {
+		name string
+		a, b [4]float64
+		want bool
+	}{
+		{"strictly better everywhere", [4]float64{1, 1, 1, 1}, [4]float64{2, 2, 2, 2}, true},
+		{"better on one axis only", [4]float64{1, 2, 2, 2}, [4]float64{2, 2, 2, 2}, true},
+		{"equal points do not dominate", [4]float64{2, 2, 2, 2}, [4]float64{2, 2, 2, 2}, false},
+		{"trade-off does not dominate", [4]float64{1, 3, 2, 2}, [4]float64{2, 2, 2, 2}, false},
+		{"worse does not dominate", [4]float64{3, 3, 3, 3}, [4]float64{2, 2, 2, 2}, false},
+		{"NaN component never dominates", [4]float64{math.NaN(), 1, 1, 1}, [4]float64{2, 2, 2, 2}, false},
+		{"NaN target never dominated", [4]float64{1, 1, 1, 1}, [4]float64{math.NaN(), 2, 2, 2}, false},
+		{"-Inf dominates finite", [4]float64{math.Inf(-1), 2, 2, 2}, [4]float64{2, 2, 2, 2}, true},
+		{"finite dominates +Inf", [4]float64{1, 2, 2, 2}, [4]float64{math.Inf(1), 2, 2, 2}, true},
+	}
+	for _, c := range cases {
+		if got := Dominates(c.a, c.b); got != c.want {
+			t.Errorf("%s: Dominates(%v, %v) = %v, want %v", c.name, c.a, c.b, got, c.want)
+		}
+	}
+}
+
+// TestArchiveSingleObjectiveTies: points equal on three axes, differing
+// on one, reduce to a single-objective comparison.
+func TestArchiveSingleObjectiveTies(t *testing.T) {
+	a := NewArchive()
+	if out := a.Insert(pt("a", [4]float64{5, 1, 1, 1})); !out.Added {
+		t.Fatalf("first insert: %+v", out)
+	}
+	// Strictly better on the free axis evicts the incumbent.
+	if out := a.Insert(pt("b", [4]float64{3, 1, 1, 1})); !out.Added || out.Removed != 1 {
+		t.Fatalf("dominating insert: %+v", out)
+	}
+	// Strictly worse is rejected.
+	if out := a.Insert(pt("c", [4]float64{4, 1, 1, 1})); out.Added {
+		t.Fatalf("dominated insert accepted: %+v", out)
+	}
+	// An exactly equal vector under a different digest is mutually
+	// non-dominated: both stay on the frontier.
+	if out := a.Insert(pt("d", [4]float64{3, 1, 1, 1})); !out.Added || out.Removed != 0 {
+		t.Fatalf("equal-vector insert: %+v", out)
+	}
+	if a.Size() != 2 {
+		t.Fatalf("archive size = %d, want 2", a.Size())
+	}
+	if err := a.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestArchiveRejectsNonFinite(t *testing.T) {
+	a := NewArchive()
+	for i, v := range [][4]float64{
+		{math.Inf(1), 1, 1, 1},
+		{1, math.NaN(), 1, 1},
+		{1, 1, math.Inf(-1), 1},
+	} {
+		out := a.Insert(pt(fmt.Sprintf("bad%d", i), v))
+		if !out.Infeasible || out.Added {
+			t.Fatalf("non-finite point %d accepted: %+v", i, out)
+		}
+	}
+	if a.Size() != 0 {
+		t.Fatalf("archive size = %d, want 0", a.Size())
+	}
+}
+
+func TestArchiveDuplicateDigest(t *testing.T) {
+	a := NewArchive()
+	a.Insert(pt("x", [4]float64{1, 1, 1, 1}))
+	if out := a.Insert(pt("x", [4]float64{1, 1, 1, 1})); !out.Duplicate || out.Added {
+		t.Fatalf("duplicate insert: %+v", out)
+	}
+}
+
+// TestArchiveMultiIncumbentPruning: one dominator sweeps several
+// incumbents out in a single insert.
+func TestArchiveMultiIncumbentPruning(t *testing.T) {
+	a := NewArchive()
+	// Three mutually non-dominated trade-off points.
+	a.Insert(pt("a", [4]float64{1, 9, 5, 5}))
+	a.Insert(pt("b", [4]float64{9, 1, 5, 5}))
+	a.Insert(pt("c", [4]float64{5, 5, 1, 5}))
+	if a.Size() != 3 {
+		t.Fatalf("setup size = %d", a.Size())
+	}
+	// Dominates a and b but not c.
+	out := a.Insert(pt("d", [4]float64{1, 1, 4, 4}))
+	if !out.Added || out.Removed != 2 {
+		t.Fatalf("sweep insert: %+v", out)
+	}
+	fr := a.Frontier()
+	if len(fr) != 2 {
+		t.Fatalf("frontier size = %d, want 2", len(fr))
+	}
+	if err := a.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestArchiveInsertionOrderIndependence: every permutation of inserts
+// must converge to the same frontier — the determinism claim the report
+// relies on.
+func TestArchiveInsertionOrderIndependence(t *testing.T) {
+	pts := []Point{
+		pt("a", [4]float64{1, 9, 5, 5}),
+		pt("b", [4]float64{9, 1, 5, 5}),
+		pt("c", [4]float64{2, 8, 6, 6}),     // dominated by a
+		pt("d", [4]float64{1, 1, 4, 4}),     // dominates a, b, c
+		pt("e", [4]float64{0.5, 9.5, 5, 5}), // trades off against d
+	}
+	perms := [][]int{
+		{0, 1, 2, 3, 4}, {4, 3, 2, 1, 0}, {2, 0, 4, 1, 3}, {3, 4, 0, 1, 2},
+	}
+	var want string
+	for pi, perm := range perms {
+		a := NewArchive()
+		for _, i := range perm {
+			a.Insert(pts[i])
+		}
+		var got string
+		for _, p := range a.Frontier() {
+			got += p.Digest + ","
+		}
+		if pi == 0 {
+			want = got
+		} else if got != want {
+			t.Fatalf("permutation %v frontier %q != %q", perm, got, want)
+		}
+		if err := a.Validate(); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestSortForPromotion pins deterministic halving promotion: front rank
+// first, canonical order inside a front, infeasible points last.
+func TestSortForPromotion(t *testing.T) {
+	pts := []Point{
+		pt("z-bad", [4]float64{math.Inf(1), 1, 1, 1}),
+		pt("front1-a", [4]float64{2, 2, 2, 2}), // dominated by front0 points
+		pt("front0-a", [4]float64{1, 1, 2, 2}), // front 0
+		pt("front0-b", [4]float64{2, 2, 1, 1}), // front 0 (trade-off)
+		pt("front1-b", [4]float64{3, 3, 2, 2}), // dominated
+	}
+	sorted := sortForPromotion(pts)
+	order := make([]string, len(sorted))
+	for i, p := range sorted {
+		order[i] = p.Digest
+	}
+	want := []string{"front0-a", "front0-b", "front1-a", "front1-b", "z-bad"}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("promotion order = %v, want %v", order, want)
+		}
+	}
+	// Shuffled input, same output.
+	shuffled := []Point{pts[3], pts[0], pts[4], pts[2], pts[1]}
+	again := sortForPromotion(shuffled)
+	for i := range want {
+		if again[i].Digest != want[i] {
+			t.Fatalf("shuffled promotion order diverged: %v", again)
+		}
+	}
+}

@@ -1,0 +1,146 @@
+package explore
+
+import (
+	"fmt"
+	"sort"
+
+	"intellinoc/internal/experiments"
+	"intellinoc/internal/noc"
+)
+
+// QoSConfig states hard admission bounds a configuration must meet.
+// Zero-valued bounds are unconstrained.
+type QoSConfig struct {
+	// MaxAvgLatency bounds the mean packet latency (cycles).
+	MaxAvgLatency float64 `json:"max_avg_latency,omitempty"`
+	// MaxP99Latency bounds the 99th-percentile packet latency (cycles).
+	MaxP99Latency float64 `json:"max_p99_latency,omitempty"`
+	// MinThroughputFPC demands at least this many delivered flits per
+	// cycle across the whole mesh.
+	MinThroughputFPC float64 `json:"min_throughput_fpc,omitempty"`
+}
+
+// constrained reports whether any bound is active.
+func (q QoSConfig) constrained() bool {
+	return q.MaxAvgLatency > 0 || q.MaxP99Latency > 0 || q.MinThroughputFPC > 0
+}
+
+// admits applies the bounds to one evaluated point.
+func (q QoSConfig) admits(p Point, res noc.Result) bool {
+	if !p.Objectives.Finite() {
+		return false
+	}
+	if q.MaxAvgLatency > 0 && p.Objectives.AvgLatencyCycles > q.MaxAvgLatency {
+		return false
+	}
+	if q.MaxP99Latency > 0 && res.P99Latency > q.MaxP99Latency {
+		return false
+	}
+	if q.MinThroughputFPC > 0 {
+		if res.Cycles <= 0 {
+			return false
+		}
+		if float64(res.FlitsDelivered)/float64(res.Cycles) < q.MinThroughputFPC {
+			return false
+		}
+	}
+	return true
+}
+
+// QoSResult is the admission search's answer.
+type QoSResult struct {
+	// Found reports whether any lattice point meets the bounds.
+	Found bool `json:"found"`
+	// Point is the admitted configuration — the cheapest by the area
+	// proxy (digest breaking exact area ties) among all feasible points.
+	Point *ReportPoint `json:"point,omitempty"`
+	// Evaluated counts the distinct lattice points the search had to
+	// evaluate before it could prove the answer (deterministic: the
+	// galloping schedule depends only on results, never on timing).
+	Evaluated int `json:"evaluated"`
+}
+
+// QoSAdmit finds the cheapest-area lattice point meeting the bounds.
+//
+// The lattice is sorted by (area proxy, digest) — both derivable from
+// the spec alone, no simulation needed — which makes "is any point in
+// the first k feasible?" a monotone predicate in k whose first true
+// value is the answer. The search gallops: it evaluates prefixes of
+// doubling size (each prefix one parallel batch at top pool priority)
+// and stops at the first prefix containing an admitted point; the
+// earliest admitted index is then provably the cheapest feasible
+// configuration, because every cheaper point was evaluated and rejected.
+// Digest caching makes re-probed prefixes free, so the total simulation
+// cost is at most ~2× the cheapest-prefix length even though the search
+// never guesses where the boundary lies.
+//
+// Admitted full-budget evaluations are also offered to the Pareto
+// archive, so a QoS run enriches the frontier as a side effect.
+func (e *Explorer) QoSAdmit(q QoSConfig) (QoSResult, error) {
+	if !q.constrained() {
+		return QoSResult{}, fmt.Errorf("explore: QoS admission needs at least one bound")
+	}
+	e.markStrategy("qos")
+	full := e.latPackets()
+
+	// Cheapest-first candidate order, derived without simulating.
+	type cand struct {
+		coord  experiments.LatticeCoord
+		area   float64
+		digest string
+	}
+	coords := e.lat.Enumerate()
+	cands := make([]cand, 0, len(coords))
+	for _, c := range coords {
+		spec := e.spec(c, full)
+		cands = append(cands, cand{coord: c, area: experiments.AreaProxyMM2(spec), digest: spec.Digest()})
+	}
+	sort.Slice(cands, func(i, j int) bool {
+		if cands[i].area != cands[j].area {
+			return cands[i].area < cands[j].area
+		}
+		return cands[i].digest < cands[j].digest
+	})
+
+	res := QoSResult{}
+	evaluated := 0
+	for size := 1; evaluated < len(cands); size *= 2 {
+		if size > len(cands) {
+			size = len(cands)
+		}
+		batch := make([]experiments.LatticeCoord, 0, size-evaluated)
+		for _, c := range cands[evaluated:size] {
+			batch = append(batch, c.coord)
+		}
+		outs, err := e.evaluate(batch, full, prioQoS)
+		if err != nil {
+			return res, err
+		}
+		for _, o := range outs {
+			if !o.Feasible {
+				continue
+			}
+			r, ok := e.result(o.Point.Digest)
+			if !ok {
+				continue
+			}
+			if q.admits(o.Point, r) {
+				e.archive.Insert(o.Point)
+				// Batches arrive in candidate order and every earlier
+				// batch admitted nothing, so the first admission is the
+				// global area-cheapest feasible point.
+				if !res.Found {
+					rp := newReportPoint(o.Point)
+					res.Found = true
+					res.Point = &rp
+				}
+			}
+		}
+		evaluated = size
+		if res.Found {
+			break
+		}
+	}
+	res.Evaluated = evaluated
+	return res, nil
+}

@@ -1,0 +1,114 @@
+package explore
+
+import (
+	"path/filepath"
+	"sort"
+	"testing"
+
+	"intellinoc/internal/experiments"
+)
+
+// TestQoSAdmitCheapest brute-forces the whole lattice and asserts the
+// galloping admission search returns exactly the minimum-area admitted
+// point (digest breaking area ties) — the "provably cheapest" contract.
+func TestQoSAdmitCheapest(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation-backed test in -short mode")
+	}
+	lat := testLattice()
+	dir := t.TempDir()
+	cache := filepath.Join(dir, "results.jsonl")
+
+	// Brute force: evaluate every point, record (area, digest, latency).
+	eb, err := New(lat, Options{Workers: 4, ResultsPath: cache})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := eb.Grid(); err != nil {
+		t.Fatal(err)
+	}
+	type evald struct {
+		point   Point
+		area    float64
+		latency float64
+	}
+	var all []evald
+	full := lat.FullPackets()
+	for _, c := range lat.Enumerate() {
+		spec := eb.spec(c, full)
+		d := spec.Digest()
+		res, ok := eb.result(d)
+		if !ok {
+			t.Fatalf("grid left coord %v unevaluated", c)
+		}
+		p := Point{Coord: c, Spec: spec, Digest: d, Name: lat.Label(c, full)}
+		p.Objectives = experiments.NewObjectives(spec, res)
+		all = append(all, evald{point: p, area: p.Objectives.AreaMM2, latency: p.Objectives.AvgLatencyCycles})
+	}
+	if err := eb.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Cheapest-first, the same order QoSAdmit probes in.
+	sort.Slice(all, func(i, j int) bool {
+		if all[i].area != all[j].area {
+			return all[i].area < all[j].area
+		}
+		return all[i].point.Digest < all[j].point.Digest
+	})
+
+	// Bound at the median latency: roughly half the points are rejected,
+	// so the search has something to do.
+	lats := make([]float64, len(all))
+	for i, e := range all {
+		lats[i] = e.latency
+	}
+	sort.Float64s(lats)
+	bound := lats[len(lats)/2]
+
+	var wantDigest string
+	for _, e := range all {
+		if e.point.Objectives.Finite() && e.latency <= bound {
+			wantDigest = e.point.Digest
+			break
+		}
+	}
+	if wantDigest == "" {
+		t.Fatal("test bound admits nothing; lattice too degenerate")
+	}
+
+	// The admission search runs against the warmed cache — every probe is
+	// a cache hit, so this also exercises the Lookup path end to end.
+	eq, err := New(lat, Options{Workers: 4, ResultsPath: cache, Resume: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eq.Close()
+	got, err := eq.QoSAdmit(QoSConfig{MaxAvgLatency: bound})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Found || got.Point == nil {
+		t.Fatalf("admission found nothing, brute force found %s", wantDigest)
+	}
+	if got.Point.Digest != wantDigest {
+		t.Fatalf("admitted %s (area %.4f), brute-force cheapest is %s",
+			got.Point.Digest, got.Point.Objectives.AreaMM2, wantDigest)
+	}
+	if got.Evaluated > len(all) {
+		t.Fatalf("evaluated %d > lattice size %d", got.Evaluated, len(all))
+	}
+
+	// An unsatisfiable bound exhausts the lattice and reports not-found.
+	none, err := eq.QoSAdmit(QoSConfig{MaxAvgLatency: 1e-9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if none.Found || none.Evaluated != len(all) {
+		t.Fatalf("unsatisfiable bound: %+v, want not-found after %d evaluations", none, len(all))
+	}
+
+	// No bounds at all is a configuration error, not an empty answer.
+	if _, err := eq.QoSAdmit(QoSConfig{}); err == nil {
+		t.Fatal("unbounded admission accepted")
+	}
+}

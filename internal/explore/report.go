@@ -1,0 +1,150 @@
+package explore
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+
+	"intellinoc/internal/experiments"
+)
+
+// ReportVersion tags the frontier report format; bump it whenever the
+// schema or the objective definitions change, so golden files fail
+// loudly instead of drifting.
+const ReportVersion = "intellinoc-explore/v1"
+
+// ReportPoint is one frontier entry in the serialized report.
+type ReportPoint struct {
+	Name       string                   `json:"name"`
+	Digest     string                   `json:"digest"`
+	Coord      experiments.LatticeCoord `json:"coord"`
+	Objectives experiments.Objectives   `json:"objectives"`
+}
+
+func newReportPoint(p Point) ReportPoint {
+	return ReportPoint{Name: p.Name, Digest: p.Digest, Coord: p.Coord, Objectives: p.Objectives}
+}
+
+// Report is the canonical exploration summary. Every field is a pure
+// function of the lattice, the strategy parameters, and the (seeded,
+// deterministic) simulation results — wall-clock times, worker counts,
+// and cache hit/miss splits are deliberately excluded — so the marshaled
+// bytes are identical across -workers settings and across kill/-resume
+// reruns of the same exploration.
+type Report struct {
+	Version string `json:"version"`
+	// Strategies lists the searches that ran, in execution order.
+	Strategies []string `json:"strategies"`
+	// Lattice is the searched space; LatticePoints its cardinality.
+	Lattice       experiments.Lattice `json:"lattice"`
+	LatticePoints int                 `json:"lattice_points"`
+	// Evaluations counts distinct configurations submitted (cached or
+	// executed); Infeasible counts those that evaluated infeasible.
+	Evaluations int `json:"evaluations"`
+	Infeasible  int `json:"infeasible"`
+	// Frontier is the Pareto archive in canonical order.
+	Frontier []ReportPoint `json:"frontier"`
+	// QoS carries the admission search's answer when one ran.
+	QoS *QoSReport `json:"qos,omitempty"`
+}
+
+// QoSReport pairs the admission bounds with their answer.
+type QoSReport struct {
+	Config QoSConfig `json:"config"`
+	Result QoSResult `json:"result"`
+}
+
+// Report snapshots the exploration into its canonical summary.
+func (e *Explorer) Report() Report {
+	frontier := e.archive.Frontier()
+	pts := make([]ReportPoint, 0, len(frontier))
+	for _, p := range frontier {
+		pts = append(pts, newReportPoint(p))
+	}
+	strategies := e.strategies
+	if strategies == nil {
+		strategies = []string{}
+	}
+	return Report{
+		Version:       ReportVersion,
+		Strategies:    strategies,
+		Lattice:       e.lat,
+		LatticePoints: e.lat.Size(),
+		Evaluations:   e.Evaluations(),
+		Infeasible:    e.InfeasibleCount(),
+		Frontier:      pts,
+	}
+}
+
+// MarshalCanonical renders the report as stable, indented JSON with a
+// trailing newline. encoding/json marshals struct fields in declaration
+// order and the report holds no maps, so equal reports are equal bytes —
+// the property the CI smoke job checks with cmp.
+func (r Report) MarshalCanonical() ([]byte, error) {
+	var buf bytes.Buffer
+	enc := json.NewEncoder(&buf)
+	enc.SetEscapeHTML(false)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(r); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// ValidateFrontier checks a (possibly deserialized) report's frontier:
+// it must be non-empty, canonically ordered, and strictly mutually
+// non-dominated with finite objectives. This is the CI gate run against
+// the smoke frontier artifact.
+func (r Report) ValidateFrontier() error {
+	if r.Version != ReportVersion {
+		return fmt.Errorf("explore: report version %q, want %q", r.Version, ReportVersion)
+	}
+	if len(r.Frontier) == 0 {
+		return fmt.Errorf("explore: empty frontier (no feasible point in %d evaluations)", r.Evaluations)
+	}
+	for i, p := range r.Frontier {
+		if !p.Objectives.Finite() {
+			return fmt.Errorf("explore: frontier point %s has non-finite objectives", p.Digest)
+		}
+		if i > 0 {
+			prev := Point{Digest: r.Frontier[i-1].Digest, Objectives: r.Frontier[i-1].Objectives}
+			cur := Point{Digest: p.Digest, Objectives: p.Objectives}
+			if !lessCanonical(prev, cur) {
+				return fmt.Errorf("explore: frontier not in canonical order at index %d (%s)", i, p.Digest)
+			}
+		}
+		for _, q := range r.Frontier[i+1:] {
+			if Dominates(p.Objectives.Vector(), q.Objectives.Vector()) ||
+				Dominates(q.Objectives.Vector(), p.Objectives.Vector()) {
+				return fmt.Errorf("explore: frontier points %s and %s are not mutually non-dominated", p.Digest, q.Digest)
+			}
+		}
+	}
+	return nil
+}
+
+// MarkdownTable renders the frontier as a GitHub-flavored table (the CI
+// artifact's human-readable companion).
+func (r Report) MarkdownTable() string {
+	var buf bytes.Buffer
+	fmt.Fprintf(&buf, "# Exploration frontier\n\n")
+	fmt.Fprintf(&buf, "%d lattice points, %d evaluated, %d infeasible, %d on the frontier.\n\n",
+		r.LatticePoints, r.Evaluations, r.Infeasible, len(r.Frontier))
+	fmt.Fprintf(&buf, "| configuration | latency (cyc) | energy (pJ/flit) | uncorrected err | area (mm²) |\n")
+	fmt.Fprintf(&buf, "|---|---:|---:|---:|---:|\n")
+	for _, p := range r.Frontier {
+		o := p.Objectives
+		fmt.Fprintf(&buf, "| %s | %.2f | %.2f | %.2e | %.3f |\n",
+			p.Name, o.AvgLatencyCycles, o.EnergyPerFlitPJ, o.UncorrectedErrorRate, o.AreaMM2)
+	}
+	if r.QoS != nil {
+		fmt.Fprintf(&buf, "\n## QoS admission\n\n")
+		if r.QoS.Result.Found {
+			fmt.Fprintf(&buf, "Cheapest admitted configuration: `%s` (area %.3f mm², %d points evaluated).\n",
+				r.QoS.Result.Point.Name, r.QoS.Result.Point.Objectives.AreaMM2, r.QoS.Result.Evaluated)
+		} else {
+			fmt.Fprintf(&buf, "No configuration meets the bounds (%d points evaluated).\n", r.QoS.Result.Evaluated)
+		}
+	}
+	return buf.String()
+}

@@ -1,0 +1,26 @@
+package explore
+
+import (
+	"intellinoc/internal/core"
+	"intellinoc/internal/experiments"
+	"intellinoc/internal/traffic"
+)
+
+// SmokeLattice is the tiny fixed design space CI explores: 24 points
+// (1 mesh × 3 techniques × 2 patterns × 2 rates × 2 VC settings) at a
+// short packet budget, small enough to grid-search in seconds yet wide
+// enough to exercise every axis kind (technique, workload, and
+// microarchitecture overrides). The CI explore-smoke job runs it at
+// -workers 1 and -workers 8 and requires byte-identical frontier
+// reports; testdata/golden/explore-smoke.frontier.json pins the result.
+func SmokeLattice() experiments.Lattice {
+	return experiments.Lattice{
+		Meshes:     []int{4},
+		Techniques: []core.Technique{core.TechSECDED, core.TechCP, core.TechIntelliNoC},
+		Patterns:   []traffic.Pattern{traffic.Uniform, traffic.Transpose},
+		Rates:      []float64{0.02, 0.06},
+		VCs:        []int{0, 2},
+		Packets:    400,
+		Seed:       1,
+	}
+}

@@ -1,0 +1,225 @@
+package explore
+
+import (
+	"fmt"
+	"math/rand"
+
+	"intellinoc/internal/experiments"
+)
+
+// --- Exhaustive grid -------------------------------------------------
+
+// GridAsync submits every lattice point at full budget and lowest
+// priority, returning the in-flight batch without waiting. Calling it
+// first lets later, higher-priority strategies (halving promotions, the
+// evolutionary loop) preempt queued grid points while the grid drains in
+// the background; FinishGrid then collects the batch into the archive.
+func (e *Explorer) GridAsync() *pending {
+	e.markStrategy("grid")
+	return e.submit(e.lat.Enumerate(), e.latPackets(), prioGrid)
+}
+
+// FinishGrid collects a GridAsync batch and inserts every feasible point
+// into the archive.
+func (e *Explorer) FinishGrid(p *pending) error {
+	outs, err := e.collect(p)
+	if err != nil {
+		return err
+	}
+	e.insertOutcomes(outs)
+	return nil
+}
+
+// Grid runs the exhaustive strategy synchronously.
+func (e *Explorer) Grid() error {
+	return e.FinishGrid(e.GridAsync())
+}
+
+// latPackets returns the full per-point evaluation budget.
+func (e *Explorer) latPackets() int { return e.lat.FullPackets() }
+
+// insertOutcomes feeds a collected batch into the archive.
+func (e *Explorer) insertOutcomes(outs []outcome) {
+	for _, o := range outs {
+		if o.Feasible {
+			e.archive.Insert(o.Point)
+		}
+	}
+}
+
+// --- Successive halving ----------------------------------------------
+
+// Halving configures the multi-rung budget schedule: every lattice point
+// gets a cheap short simulation, and only the best fraction is promoted
+// to the next (longer) rung. Rung r of R runs Packets / Eta^(R-1-r)
+// packets, so the final rung evaluates at full budget — those digests
+// are identical to the grid's, and a grid running concurrently gets them
+// for free via the pool's dedup.
+type Halving struct {
+	// Rungs is the number of budget levels (default 3).
+	Rungs int
+	// Eta is the promotion divisor: each rung keeps ceil(n/Eta)
+	// survivors (default 2).
+	Eta int
+}
+
+func (h Halving) withDefaults() Halving {
+	if h.Rungs <= 0 {
+		h.Rungs = 3
+	}
+	if h.Eta < 2 {
+		h.Eta = 2
+	}
+	return h
+}
+
+// Halve runs successive halving over the whole lattice. Only final-rung
+// (full-budget) evaluations enter the archive — short-budget objective
+// vectors are noisy approximations used solely for promotion ranking.
+// Promotion is deterministic: survivors are chosen by non-dominated
+// front rank with canonical (objective, digest) order inside each front,
+// never by completion order.
+func (e *Explorer) Halve(h Halving) error {
+	h = h.withDefaults()
+	e.markStrategy("halving")
+	candidates := e.lat.Enumerate()
+	full := e.latPackets()
+	for r := 0; r < h.Rungs && len(candidates) > 0; r++ {
+		budget := full
+		for i := 0; i < h.Rungs-1-r; i++ {
+			budget /= h.Eta
+		}
+		if budget < 1 {
+			budget = 1
+		}
+		outs, err := e.evaluate(candidates, budget, prioHalving+r)
+		if err != nil {
+			return fmt.Errorf("explore: halving rung %d: %w", r, err)
+		}
+		if budget == full {
+			e.insertOutcomes(outs)
+		}
+		if r == h.Rungs-1 {
+			break
+		}
+		pts := make([]Point, 0, len(outs))
+		for _, o := range outs {
+			if o.Feasible {
+				pts = append(pts, o.Point)
+			}
+		}
+		keep := (len(pts) + h.Eta - 1) / h.Eta
+		if keep < 1 {
+			keep = 1
+		}
+		ranked := sortForPromotion(pts)
+		if keep > len(ranked) {
+			keep = len(ranked)
+		}
+		candidates = candidates[:0]
+		for _, p := range ranked[:keep] {
+			candidates = append(candidates, p.Coord)
+		}
+	}
+	return nil
+}
+
+// --- (μ+λ) evolutionary loop -----------------------------------------
+
+// Evolve configures the evolutionary strategy: μ parents drawn from the
+// current Pareto frontier breed λ mutated children per generation; every
+// child is a full-budget evaluation offered to the archive, and the next
+// generation's parents are re-drawn from the (possibly improved)
+// frontier. Mutation steps one lattice axis index by ±1 with wraparound,
+// so children always stay on the lattice (and therefore stay cacheable).
+type Evolve struct {
+	// Mu is the parent count per generation (default 4).
+	Mu int
+	// Lambda is the children bred per generation (default 8).
+	Lambda int
+	// Generations is the loop length (default 3).
+	Generations int
+	// Seed fixes the mutation PRNG; equal seeds reproduce the exact
+	// evaluation sequence.
+	Seed int64
+}
+
+func (ev Evolve) withDefaults() Evolve {
+	if ev.Mu <= 0 {
+		ev.Mu = 4
+	}
+	if ev.Lambda <= 0 {
+		ev.Lambda = 8
+	}
+	if ev.Generations <= 0 {
+		ev.Generations = 3
+	}
+	return ev
+}
+
+// EvolveFrontier runs the (μ+λ) loop. If the archive is empty (the loop
+// runs standalone, not after a grid), it cold-starts by evaluating μ
+// evenly spaced lattice points first. The loop is deterministic for a
+// fixed seed: parents are the first μ points of the canonical frontier
+// order, and the PRNG is seeded explicitly.
+func (e *Explorer) EvolveFrontier(ev Evolve) error {
+	ev = ev.withDefaults()
+	e.markStrategy("evolve")
+	rng := rand.New(rand.NewSource(ev.Seed))
+	full := e.latPackets()
+	all := e.lat.Enumerate()
+	dims := e.lat.Dims()
+
+	if e.archive.Size() == 0 {
+		outs, err := e.evaluate(stride(all, ev.Mu), full, prioEvolve)
+		if err != nil {
+			return fmt.Errorf("explore: evolve seeding: %w", err)
+		}
+		e.insertOutcomes(outs)
+	}
+
+	for gen := 0; gen < ev.Generations; gen++ {
+		frontier := e.archive.Frontier()
+		if len(frontier) == 0 {
+			// Every seed point was infeasible; nothing to breed from.
+			return nil
+		}
+		mu := ev.Mu
+		if mu > len(frontier) {
+			mu = len(frontier)
+		}
+		parents := frontier[:mu]
+		children := make([]experiments.LatticeCoord, 0, ev.Lambda)
+		for i := 0; i < ev.Lambda; i++ {
+			children = append(children, mutate(parents[rng.Intn(mu)].Coord, dims, rng))
+		}
+		outs, err := e.evaluate(uniqueCoords(children), full, prioEvolve+1+gen)
+		if err != nil {
+			return fmt.Errorf("explore: evolve generation %d: %w", gen, err)
+		}
+		e.insertOutcomes(outs)
+	}
+	return nil
+}
+
+// mutate steps one randomly chosen non-degenerate axis by ±1 with
+// wraparound. If every axis has a single element the coordinate is
+// returned unchanged (the lattice is a single point).
+func mutate(c experiments.LatticeCoord, dims [7]int, rng *rand.Rand) experiments.LatticeCoord {
+	var movable []int
+	for axis, d := range dims {
+		if d > 1 {
+			movable = append(movable, axis)
+		}
+	}
+	if len(movable) == 0 {
+		return c
+	}
+	axis := movable[rng.Intn(len(movable))]
+	step := 1
+	if rng.Intn(2) == 0 {
+		step = -1
+	}
+	c[axis] = (c[axis] + step + dims[axis]) % dims[axis]
+	return c
+}

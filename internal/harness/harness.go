@@ -16,6 +16,7 @@ import (
 	"fmt"
 	"runtime"
 	"runtime/debug"
+	"sort"
 	"sync"
 	"time"
 )
@@ -32,6 +33,13 @@ type Job struct {
 	Name string
 	// Seed records the job's PRNG seed in the results stream.
 	Seed int64
+	// Priority orders dispatch: higher-priority jobs are executed first
+	// (ties keep submission order). Run sorts its batch once; Pool keeps
+	// a live priority queue, so a high-priority submission jumps ahead
+	// of queued lower-priority work (e.g. a successive-halving promotion
+	// preempting fresh grid points). Priority never affects results —
+	// only the order work leaves the queue.
+	Priority int
 	// Run produces the job's JSON-marshalable payload.
 	Run func() (any, error)
 }
@@ -64,6 +72,17 @@ type Options struct {
 	// called concurrently from worker goroutines and must be safe for
 	// concurrent use. Results are unaffected by the observer.
 	Observer func(Record)
+	// Lookup, when non-nil, is consulted before executing a job: a hit
+	// serves the recorded result without running (or re-streaming) it.
+	// Hits are reported to Progress as cache hits, not executed jobs, so
+	// a warmed cache does not poison the ETA. Typically backed by
+	// LoadRecords of a previous run's results file.
+	Lookup func(digest string) (Record, bool)
+	// CachedJobs, when positive, tells Progress how many jobs of the
+	// logical batch were already served from a cache before submission
+	// (e.g. resume-skipped specs), so status lines account for them
+	// without counting them in the ETA denominator.
+	CachedJobs int
 	// Ctx, when non-nil, cancels the run: dispatch stops, in-flight
 	// jobs drain (job closures built from it stop at their next poll),
 	// and Run returns an error wrapping ctx.Err(). Records streamed
@@ -93,24 +112,40 @@ func Run(jobs []Job, opts Options) (map[string]json.RawMessage, error) {
 
 	unique := make([]Job, 0, len(jobs))
 	seen := make(map[string]bool, len(jobs))
+	dedup := 0
+	cachedOut := make(map[string]json.RawMessage)
 	for _, j := range jobs {
 		if j.Digest == "" {
 			return nil, fmt.Errorf("harness: job %q has no digest", j.Name)
 		}
 		if seen[j.Digest] {
+			dedup++
 			continue
 		}
 		seen[j.Digest] = true
+		if opts.Lookup != nil {
+			if rec, ok := opts.Lookup(j.Digest); ok {
+				cachedOut[j.Digest] = rec.Payload
+				dedup++
+				continue
+			}
+		}
 		unique = append(unique, j)
 	}
+	// Higher priority first; sort.SliceStable keeps submission order on
+	// ties, so a priority-free batch runs exactly as before.
+	sort.SliceStable(unique, func(i, k int) bool { return unique[i].Priority > unique[k].Priority })
 	if opts.Progress != nil {
 		opts.Progress.begin(len(unique), workers)
+		if n := dedup + opts.CachedJobs; n > 0 {
+			opts.Progress.jobCached(n)
+		}
 	}
 
 	var (
 		mu       sync.Mutex
 		firstErr error
-		out      = make(map[string]json.RawMessage, len(unique))
+		out      = cachedOut
 		abort    = make(chan struct{})
 		closed   bool
 	)

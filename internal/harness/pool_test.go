@@ -1,0 +1,238 @@
+package harness
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestPoolPriorityOrder holds one worker on a blocker job, queues jobs
+// at mixed priorities, and checks they execute highest-priority-first
+// with FIFO ties.
+func TestPoolPriorityOrder(t *testing.T) {
+	release := make(chan struct{})
+	var mu sync.Mutex
+	var order []string
+	run := func(name string) func() (any, error) {
+		return func() (any, error) {
+			mu.Lock()
+			order = append(order, name)
+			mu.Unlock()
+			return name, nil
+		}
+	}
+	p := NewPool(Options{Workers: 1, Retries: -1})
+	blocker := p.Submit(Job{Digest: "blocker", Name: "blocker", Run: func() (any, error) {
+		<-release
+		return "b", nil
+	}})
+	// Queue while the worker is pinned: two low, one high, one mid.
+	var futs []*Future
+	futs = append(futs, p.Submit(Job{Digest: "low1", Name: "low1", Priority: 0, Run: run("low1")}))
+	futs = append(futs, p.Submit(Job{Digest: "low2", Name: "low2", Priority: 0, Run: run("low2")}))
+	futs = append(futs, p.Submit(Job{Digest: "high", Name: "high", Priority: 10, Run: run("high")}))
+	futs = append(futs, p.Submit(Job{Digest: "mid", Name: "mid", Priority: 5, Run: run("mid")}))
+	close(release)
+	if _, err := blocker.Wait(); err != nil {
+		t.Fatalf("blocker: %v", err)
+	}
+	for _, f := range futs {
+		if _, err := f.Wait(); err != nil {
+			t.Fatalf("job: %v", err)
+		}
+	}
+	p.Close()
+	want := []string{"high", "mid", "low1", "low2"}
+	if fmt.Sprint(order) != fmt.Sprint(want) {
+		t.Fatalf("execution order = %v, want %v", order, want)
+	}
+}
+
+// TestPoolDedupAndLookup submits duplicate digests and cache-resident
+// digests and checks neither executes twice, with hits counted as
+// cached in the progress snapshot.
+func TestPoolDedupAndLookup(t *testing.T) {
+	var runs int32
+	var mu sync.Mutex
+	cached := Record{Digest: "warm", Kind: "run", Name: "warm", Payload: json.RawMessage(`"payload"`)}
+	prog := NewProgress(io.Discard, "test")
+	p := NewPool(Options{
+		Workers:  2,
+		Progress: prog,
+		Lookup: func(d string) (Record, bool) {
+			if d == "warm" {
+				return cached, true
+			}
+			return Record{}, false
+		},
+	})
+	job := Job{Digest: "cold", Name: "cold", Run: func() (any, error) {
+		mu.Lock()
+		runs++
+		mu.Unlock()
+		return "x", nil
+	}}
+	f1 := p.Submit(job)
+	f2 := p.Submit(job) // in-flight dedup
+	fw := p.Submit(Job{Digest: "warm", Name: "warm", Run: func() (any, error) {
+		t.Error("cache-resident job executed")
+		return nil, nil
+	}})
+	rec, err := fw.Wait()
+	if err != nil || string(rec.Payload) != `"payload"` {
+		t.Fatalf("warm job: rec=%+v err=%v", rec, err)
+	}
+	if !fw.Cached() {
+		t.Fatal("warm job not marked cached")
+	}
+	if _, err := f1.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f2.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	if f1 != f2 {
+		t.Fatal("duplicate digest produced distinct futures")
+	}
+	p.Close()
+	if runs != 1 {
+		t.Fatalf("cold job ran %d times", runs)
+	}
+	snap := prog.Snapshot()
+	if snap.Cached != 2 { // one dedup + one lookup hit
+		t.Fatalf("cached = %d, want 2", snap.Cached)
+	}
+	if snap.Total != 1 || snap.Done != 1 {
+		t.Fatalf("done/total = %d/%d, want 1/1", snap.Done, snap.Total)
+	}
+}
+
+// TestPoolJobErrorIsolated checks a failing job resolves only its own
+// future; the pool keeps serving other jobs.
+func TestPoolJobErrorIsolated(t *testing.T) {
+	p := NewPool(Options{Workers: 1, Retries: -1})
+	bad := p.Submit(Job{Digest: "bad", Name: "bad", Run: func() (any, error) {
+		return nil, fmt.Errorf("boom")
+	}})
+	good := p.Submit(Job{Digest: "good", Name: "good", Run: func() (any, error) {
+		return 42, nil
+	}})
+	if _, err := bad.Wait(); err == nil || !strings.Contains(err.Error(), "boom") {
+		t.Fatalf("bad job error = %v", err)
+	}
+	rec, err := good.Wait()
+	if err != nil || string(rec.Payload) != "42" {
+		t.Fatalf("good job after failure: rec=%+v err=%v", rec, err)
+	}
+	p.Close()
+}
+
+// TestPoolCancel checks queued futures fail with the context error and
+// Close returns promptly after cancellation.
+func TestPoolCancel(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	started := make(chan struct{})
+	p := NewPool(Options{Workers: 1, Retries: -1, Ctx: ctx})
+	running := p.Submit(Job{Digest: "running", Name: "running", Run: func() (any, error) {
+		close(started)
+		<-ctx.Done()
+		return nil, ctx.Err()
+	}})
+	queued := p.Submit(Job{Digest: "queued", Name: "queued", Run: func() (any, error) {
+		return "never", nil
+	}})
+	<-started
+	cancel()
+	if _, err := queued.Wait(); err == nil || !strings.Contains(err.Error(), "canceled") {
+		t.Fatalf("queued future error = %v", err)
+	}
+	if _, err := running.Wait(); err == nil {
+		t.Fatal("in-flight job should surface its cancellation error")
+	}
+	p.Close()
+	// Submissions after cancellation fail immediately.
+	late := p.Submit(Job{Digest: "late", Name: "late", Run: func() (any, error) { return nil, nil }})
+	if _, err := late.Wait(); err == nil {
+		t.Fatal("post-cancel submit should fail")
+	}
+}
+
+// TestProgressCachedETA is the satellite regression test: with half a
+// batch served from cache, the ETA must be derived from executed jobs
+// only, and the status line must report the hits separately.
+func TestProgressCachedETA(t *testing.T) {
+	var out strings.Builder
+	p := NewProgress(&out, "explore")
+	base := time.Unix(1000, 0)
+	now := base
+	p.now = func() time.Time { return now }
+	p.interval = 0
+
+	const total, cachedN = 8, 8 // 8 to execute, 8 served from cache
+	p.begin(total, 2)
+	p.jobCached(cachedN)
+	// Four executed jobs at 100ms each.
+	for i := 0; i < 4; i++ {
+		now = now.Add(100 * time.Millisecond)
+		p.jobDone(100 * time.Millisecond)
+	}
+	snap := p.Snapshot()
+	if snap.Done != 4 || snap.Total != total || snap.Cached != cachedN {
+		t.Fatalf("snapshot = %+v", snap)
+	}
+	// perJob = 100ms, remaining = 4 executed jobs over 2 workers = 200ms.
+	// Counting the 8 cache hits as full-cost jobs would read 600ms.
+	if want := 200 * time.Millisecond; snap.ETA != want {
+		t.Fatalf("ETA = %v, want %v (cache hits must not inflate the denominator)", snap.ETA, want)
+	}
+	if !strings.Contains(out.String(), "(+8 cached)") {
+		t.Fatalf("status line missing cached column: %q", out.String())
+	}
+}
+
+// TestRunLookupAndPriority checks the batch Run path honors Lookup
+// (serving without executing) and reports hits as cached.
+func TestRunLookupAndPriority(t *testing.T) {
+	var mu sync.Mutex
+	ran := map[string]bool{}
+	mk := func(d string) Job {
+		return Job{Digest: d, Name: d, Run: func() (any, error) {
+			mu.Lock()
+			ran[d] = true
+			mu.Unlock()
+			return d, nil
+		}}
+	}
+	prog := NewProgress(io.Discard, "run")
+	out, err := Run([]Job{mk("a"), mk("b"), mk("a")}, Options{
+		Workers:  1,
+		Progress: prog,
+		Lookup: func(d string) (Record, bool) {
+			if d == "b" {
+				return Record{Digest: "b", Payload: json.RawMessage(`"cached-b"`)}, true
+			}
+			return Record{}, false
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ran["b"] {
+		t.Fatal("lookup-resident job executed")
+	}
+	if string(out["b"]) != `"cached-b"` {
+		t.Fatalf("cached payload = %s", out["b"])
+	}
+	if string(out["a"]) != `"a"` {
+		t.Fatalf("executed payload = %s", out["a"])
+	}
+	snap := prog.Snapshot()
+	if snap.Cached != 2 { // duplicate "a" + lookup-hit "b"
+		t.Fatalf("cached = %d, want 2", snap.Cached)
+	}
+}

@@ -121,6 +121,10 @@ type Config struct {
 	AgingParams   *fault.AgingParams
 }
 
+// MaxVCs reports the compile-time bound on virtual channels per port,
+// so design-space tooling can reject impossible lattices up front.
+func MaxVCs() int { return maxVCs }
+
 // Validate checks the configuration for structural errors.
 func (c *Config) Validate() error {
 	switch {

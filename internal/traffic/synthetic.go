@@ -53,6 +53,21 @@ func (p Pattern) String() string {
 	return "unknown"
 }
 
+// Patterns lists every synthetic pattern in declaration order.
+func Patterns() []Pattern {
+	return []Pattern{Uniform, Transpose, BitComplement, BitReverse, Shuffle, Tornado, Neighbor, Hotspot}
+}
+
+// ParsePattern resolves a name (as printed by String) to a Pattern.
+func ParsePattern(s string) (Pattern, error) {
+	for _, p := range Patterns() {
+		if p.String() == s {
+			return p, nil
+		}
+	}
+	return 0, fmt.Errorf("traffic: unknown pattern %q", s)
+}
+
 // SyntheticConfig parameterizes a synthetic workload.
 type SyntheticConfig struct {
 	Width, Height int
