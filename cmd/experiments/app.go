@@ -29,6 +29,7 @@ type options struct {
 	telemetryDir  string
 	telemetryAddr string
 	shards        int
+	topology      string
 	cpuprofile    string
 	memprofile    string
 }
@@ -51,6 +52,7 @@ func parseArgs(args []string, stderr io.Writer) (options, error) {
 	fs.StringVar(&o.telemetryDir, "telemetry-dir", "", "write a metrics.prom snapshot and a timeline.json Chrome trace of the job schedule to this directory")
 	fs.StringVar(&o.telemetryAddr, "telemetry-addr", "", "serve /metrics, /debug/vars, and /debug/pprof on this address while the suite runs (e.g. localhost:6060)")
 	fs.IntVar(&o.shards, "shards", 0, "step each simulated mesh with this many parallel shards (bit-identical results and digests; 0 = sequential)")
+	fs.StringVar(&o.topology, "topology", "", "fabric family for every run: mesh (default), torus, chiplet[:WxH], routerless (changes results and digests)")
 	fs.StringVar(&o.cpuprofile, "cpuprofile", "", "write a CPU profile of the whole suite to this file")
 	fs.StringVar(&o.memprofile, "memprofile", "", "write a heap profile taken after the suite to this file")
 	if err := fs.Parse(args); err != nil {
@@ -91,7 +93,7 @@ func run(ctx context.Context, o options, stdout, stderr io.Writer) error {
 		sweepBenches = []string{"ferret", "swaptions"}
 	}
 	suite, err := experiments.NewSuite(experiments.SuiteOptions{
-		Sim:          core.SimConfig{Seed: o.seed, Shards: o.shards},
+		Sim:          core.SimConfig{Seed: o.seed, Shards: o.shards, Topology: o.topology},
 		Packets:      nPackets,
 		Quick:        o.quick,
 		Only:         onlyIDs(o.only),

@@ -28,6 +28,7 @@ type options struct {
 	vcs       string
 	bufs      string
 	epsilons  string
+	topos     string
 	packets   int
 	seed      int64
 	maxCycles int64
@@ -75,6 +76,7 @@ func parseArgs(args []string, stderr io.Writer) (options, error) {
 	fs.StringVar(&o.vcs, "vcs", "", "comma-separated VC overrides (0 = technique default)")
 	fs.StringVar(&o.bufs, "bufs", "", "comma-separated buffer-depth overrides (0 = technique default)")
 	fs.StringVar(&o.epsilons, "epsilons", "", "comma-separated RL exploration rates (IntelliNoC only; 0 = default)")
+	fs.StringVar(&o.topos, "topologies", "", "comma-separated fabric families (mesh, torus, chiplet[:WxH], routerless); empty = mesh")
 	fs.IntVar(&o.packets, "packets", 2000, "full per-point packet budget")
 	fs.Int64Var(&o.seed, "seed", 1, "simulation PRNG seed")
 	fs.Int64Var(&o.maxCycles, "max-cycles", 0, "per-run cycle bound (0 = simulator default)")
@@ -143,6 +145,7 @@ func lattice(o options) (experiments.Lattice, error) {
 	if lat.Epsilons, err = parseFloats(o.epsilons); err != nil {
 		return lat, fmt.Errorf("-epsilons: %w", err)
 	}
+	lat.Topologies = splitList(o.topos)
 	for _, name := range splitList(o.techs) {
 		t, err := parseTechnique(name)
 		if err != nil {

@@ -33,6 +33,7 @@ func main() {
 		packets       = flag.Int("packets", 20000, "workload size in packets")
 		width         = flag.Int("width", 8, "mesh width")
 		height        = flag.Int("height", 8, "mesh height")
+		topology      = flag.String("topology", "", "fabric family: mesh (default), torus, chiplet[:WxH], routerless")
 		timestep      = flag.Int("timestep", 1000, "controller time step (cycles)")
 		errRate       = flag.Float64("error-rate", 0, "override base bit error rate (0 = default 4e-5)")
 		forced        = flag.Float64("forced-error-rate", 0, "inject at exactly this rate, ignoring temperature")
@@ -86,7 +87,7 @@ func main() {
 		fatal(err)
 	}
 	sim := intellinoc.SimConfig{
-		Width: *width, Height: *height, TimeStepCycles: *timestep,
+		Width: *width, Height: *height, Topology: *topology, TimeStepCycles: *timestep,
 		BaseErrorRate: *errRate, ForcedErrorRate: *forced,
 		Seed: *seed, VerifyPayloads: *verify,
 		Shards: *shards, // bit-identical at any value; also shards pre-training

@@ -80,6 +80,7 @@ func RunAblation(ab Ablation, sim SimConfig, gen traffic.Generator, policy *Poli
 	cfg.ControlFaultRate = sim.ControlFaultRate
 	cfg.Shards = sim.Shards
 	cfg.SampledWindows = sim.SampledWindows
+	sim.applyMicroarch(&cfg)
 
 	var inner noc.Controller
 	if ab == AblationNoRL {

@@ -12,6 +12,11 @@ import (
 // techniques. Zero fields take the Table 1 defaults.
 type SimConfig struct {
 	Width, Height int
+	// Topology selects the fabric family (see noc.Config.Topology): ""
+	// or "mesh", "torus", "chiplet[:WxH]", "routerless". Like VCOverride
+	// this changes results, so it is digest-visible when set; omitempty
+	// keeps every pre-existing mesh spec's digest byte-identical.
+	Topology string `json:"topology,omitempty"`
 	// TimeStepCycles is the controller decision interval (paper default
 	// 1000; Fig. 17a sweeps it).
 	TimeStepCycles int
@@ -117,6 +122,7 @@ func (c SimConfig) withDefaults() SimConfig {
 // technique-derived network config (shared by Simulate and Pretrain so a
 // pre-trained policy sees the same hardware its evaluation runs use).
 func (c SimConfig) applyMicroarch(cfg *noc.Config) {
+	cfg.Topology = c.Topology
 	if c.VCOverride > 0 {
 		cfg.VCs = c.VCOverride
 	}

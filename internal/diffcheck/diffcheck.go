@@ -18,7 +18,7 @@ import (
 )
 
 // AllChecks lists every check family in execution order.
-var AllChecks = []string{"ff", "shards", "shardsbig", "verify", "invariants", "rl", "snapshot", "harness"}
+var AllChecks = []string{"ff", "shards", "shardsbig", "verify", "topoff", "toposhards", "topoverify", "invariants", "rl", "snapshot", "harness"}
 
 // CorpusEntry is one regression case: a (check, seed) pair that diverged
 // on some historical tree. The committed corpus in testdata/corpus.json
@@ -93,6 +93,12 @@ func RunCheck(check string, seed int64) (*Finding, error) {
 		return checkShardsBig(seed), nil
 	case "verify":
 		return checkVerify(seed), nil
+	case "topoff":
+		return checkTopoFF(seed), nil
+	case "toposhards":
+		return checkTopoShards(seed), nil
+	case "topoverify":
+		return checkTopoVerify(seed), nil
 	case "snapshot":
 		return checkSnapshot(seed), nil
 	case "harness":

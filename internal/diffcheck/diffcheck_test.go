@@ -59,6 +59,41 @@ func TestScenarioForSeedIsDeterministicAndValid(t *testing.T) {
 	}
 }
 
+// TestTopoScenarioForSeedIsDeterministicAndValid mirrors the mesh
+// sampler's test over the topology-family sampler, and additionally
+// pins the seed%5 → family mapping that makes corpus seeds readable.
+func TestTopoScenarioForSeedIsDeterministicAndValid(t *testing.T) {
+	families := map[uint64]string{
+		0: noc.TopologyMesh, 1: noc.TopologyTorus, 2: noc.TopologyChiplet,
+		3: noc.TopologyRouterless, 4: "", // degenerate line mesh
+	}
+	sawLine := false
+	for seed := int64(0); seed < 300; seed++ {
+		sc := TopoScenarioForSeed(seed)
+		if sc.String() != TopoScenarioForSeed(seed).String() {
+			t.Fatalf("seed %d: scenario not deterministic", seed)
+		}
+		if want := families[uint64(seed)%5]; sc.Cfg.Topology != want {
+			t.Fatalf("seed %d: topology %q, want %q", seed, sc.Cfg.Topology, want)
+		}
+		if uint64(seed)%5 == 4 {
+			if sc.Cfg.Width != 1 && sc.Cfg.Height != 1 {
+				t.Fatalf("seed %d: want a 1xN/Nx1 line, got %dx%d", seed, sc.Cfg.Width, sc.Cfg.Height)
+			}
+			sawLine = true
+		}
+		if err := sc.Cfg.Validate(); err != nil {
+			t.Fatalf("seed %d: sampled config invalid: %v\n%s", seed, err, sc)
+		}
+		if _, err := traffic.NewSynthetic(sc.Traf); err != nil {
+			t.Fatalf("seed %d: sampled traffic invalid: %v\n%s", seed, err, sc)
+		}
+	}
+	if !sawLine {
+		t.Fatal("sampler never produced a degenerate line mesh")
+	}
+}
+
 func TestRunCampaignIsCleanAndLogsProgress(t *testing.T) {
 	var log bytes.Buffer
 	findings, err := Run(Options{Checks: []string{"rl", "invariants"}, Campaign: 3, Seed: 99, Log: &log})
@@ -128,6 +163,25 @@ func FuzzDiffConfig(f *testing.F) {
 		}
 		if fd := checkInvariants(seed); fd != nil {
 			t.Fatalf("invariant violation:\n%s", fd)
+		}
+	})
+}
+
+// FuzzTopoDiffConfig fuzzes the topology-family sampler through the
+// cheap pair checks, so torus datelines, chiplet interposers, routerless
+// loops, and degenerate line meshes get the same adversarial coverage as
+// the mesh. Seed % 5 selects the family (see TopoScenarioForSeed).
+func FuzzTopoDiffConfig(f *testing.F) {
+	f.Add(int64(9200000001)) // torus + VCs=3/CB=4 remainder split
+	f.Add(int64(9200000037)) // chiplet 4x4
+	f.Add(int64(9200000048)) // routerless 4x4
+	f.Add(int64(9200000019)) // degenerate 8x1 line
+	f.Fuzz(func(t *testing.T, seed int64) {
+		if fd := checkTopoFF(seed); fd != nil {
+			t.Fatalf("topoff divergence:\n%s", fd)
+		}
+		if fd := checkTopoShards(seed); fd != nil {
+			t.Fatalf("toposhards divergence:\n%s", fd)
 		}
 	})
 }

@@ -175,6 +175,63 @@ func checkVerify(seed int64) *Finding {
 	return nil
 }
 
+// checkTopoFF is checkFF over the topology-family sampler: the idle
+// fast-forward exactness claim must hold on torus datelines, chiplet
+// interposer hops, and routerless loops, not just the mesh.
+func checkTopoFF(seed int64) *Finding {
+	sc := TopoScenarioForSeed(seed)
+	a, err := sc.network(nil)
+	if err != nil {
+		return buildFailure("topoff", sc, err)
+	}
+	b, err := sc.network(func(c *noc.Config) { c.DisableIdleFastForward = true })
+	if err != nil {
+		return buildFailure("topoff", sc, err)
+	}
+	return lockstep("topoff", sc, a, b)
+}
+
+// checkTopoShards verifies the sharded stepper's bit-identity on every
+// topology family. The shard partition is a contiguous router-id split,
+// so torus wraparound links, chiplet interposer rows, and routerless
+// loop segments all cross shard boundaries here.
+func checkTopoShards(seed int64) *Finding {
+	sc := TopoScenarioForSeed(seed)
+	a, err := sc.network(nil)
+	if err != nil {
+		return buildFailure("toposhards", sc, err)
+	}
+	b, err := sc.network(func(c *noc.Config) { c.Shards = 2 + int(uint64(seed)%3) })
+	if err != nil {
+		return buildFailure("toposhards", sc, err)
+	}
+	defer b.Close()
+	return lockstep("toposhards", sc, a, b)
+}
+
+// checkTopoVerify is checkVerify over the topology-family sampler:
+// payload-exact codecs must not perturb fault outcomes on any fabric.
+func checkTopoVerify(seed int64) *Finding {
+	sc := TopoScenarioForSeed(seed)
+	a, err := sc.network(nil)
+	if err != nil {
+		return buildFailure("topoverify", sc, err)
+	}
+	b, err := sc.network(func(c *noc.Config) { c.VerifyPayloads = true })
+	if err != nil {
+		return buildFailure("topoverify", sc, err)
+	}
+	if f := lockstep("topoverify", sc, a, b); f != nil {
+		return f
+	}
+	if d := b.CodecDisagreements(); d > 0 {
+		return &Finding{Check: "topoverify", Seed: sc.Seed, Scenario: sc.String(),
+			Cycle: b.Cycle(), Router: -1, Field: "codecDisagreements",
+			A: "0", B: fmt.Sprintf("%d", d)}
+	}
+	return nil
+}
+
 // checkSnapshot verifies policy snapshot-resume: pre-training a policy,
 // round-tripping it through Save/LoadPolicy, and deploying the loaded
 // copy must reproduce the straight-through run bit for bit.

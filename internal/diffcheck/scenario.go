@@ -114,6 +114,101 @@ func ScenarioForSeed(seed int64) Scenario {
 	return Scenario{Seed: seed, Cfg: cfg, Traf: traf, Mode: mode, MaxCycles: 1_000_000}
 }
 
+// TopoScenarioForSeed derives a topology-family scenario. The family is
+// addressed by the seed itself — seed % 5 selects mesh, torus, chiplet,
+// routerless, or a degenerate 1×N / N×1 line mesh — so corpus seeds are
+// self-documenting about which fabric they lock. The microarch sampler
+// deliberately includes the VCs=3 / ChannelStages=4 combination whose
+// non-divisible credit split used to leak remainder stages.
+func TopoScenarioForSeed(seed int64) Scenario {
+	rng := rand.New(rand.NewSource(seed))
+	pick := func(vals ...int) int { return vals[rng.Intn(len(vals))] }
+
+	cfg := noc.Config{
+		VCs:                   pick(2, 4),
+		BufDepth:              pick(1, 2, 4),
+		HasVAStage:            rng.Intn(4) != 0,
+		FlitBits:              128,
+		TimeStepCycles:        pick(200, 500),
+		ThermalIntervalCycles: 100,
+		MaxPacketRetries:      pick(0, 2, 8),
+		Seed:                  rng.Int63(),
+	}
+	switch uint64(seed) % 5 {
+	case 0:
+		cfg.Topology = noc.TopologyMesh
+		cfg.Width, cfg.Height = 2+rng.Intn(3), 2+rng.Intn(3)
+	case 1:
+		cfg.Topology = noc.TopologyTorus
+		cfg.Width, cfg.Height = 2+rng.Intn(3), 2+rng.Intn(3)
+	case 2:
+		cfg.Topology = noc.TopologyChiplet // default 2x2 tile
+		cfg.Width, cfg.Height = pick(2, 4), pick(2, 4)
+	case 3:
+		cfg.Topology = noc.TopologyRouterless
+		cfg.Width, cfg.Height = 2+rng.Intn(3), 2+rng.Intn(3)
+	case 4: // degenerate line meshes (the 1×N / N×1 audit)
+		if rng.Intn(2) == 0 {
+			cfg.Width, cfg.Height = 1, 4+rng.Intn(5)
+		} else {
+			cfg.Width, cfg.Height = 4+rng.Intn(5), 1
+		}
+	}
+
+	switch rng.Intn(3) {
+	case 1: // non-divisible channel split: VCs=3, CB=4 (remainder stage)
+		cfg.VCs = 3
+		cfg.ChannelStages = 4
+		cfg.DynamicChannelAlloc = true
+		cfg.MFAC = true
+	case 2: // MFAC channels with bypass and gating
+		cfg.ChannelStages = 8
+		cfg.DynamicChannelAlloc = true
+		cfg.MFAC = true
+		cfg.Bypass = true
+		cfg.PowerGating = true
+		cfg.WakeupCycles = 8
+		cfg.IdleGateCycles = pick(16, 64)
+	}
+
+	switch rng.Intn(3) {
+	case 1:
+		cfg.BaseErrorRate = 4e-5
+	case 2:
+		cfg.ForcedErrorRate = []float64{1e-4, 1e-3}[rng.Intn(2)]
+	}
+	if rng.Intn(3) == 0 {
+		cfg.DependencyWindow = 2
+	}
+
+	mode := noc.Mode(-1)
+	if rng.Intn(2) == 0 {
+		modes := []noc.Mode{noc.ModeCRC, noc.ModeSECDED, noc.ModeRelaxed}
+		if cfg.Bypass {
+			modes = append(modes, noc.ModeBypass)
+		}
+		mode = modes[rng.Intn(len(modes))]
+	}
+
+	patterns := []traffic.Pattern{traffic.Uniform, traffic.Hotspot}
+	if cfg.Width >= 2 && cfg.Height >= 2 {
+		patterns = append(patterns, traffic.Neighbor)
+	}
+	traf := traffic.SyntheticConfig{
+		Width: cfg.Width, Height: cfg.Height,
+		Pattern:       patterns[rng.Intn(len(patterns))],
+		InjectionRate: 0.005 + rng.Float64()*0.045,
+		PacketFlits:   pick(1, 4),
+		Packets:       80 + rng.Intn(200),
+		Seed:          rng.Int63(),
+	}
+	if traf.Pattern == traffic.Hotspot {
+		traf.HotspotFraction = 0.5
+	}
+
+	return Scenario{Seed: seed, Cfg: cfg, Traf: traf, Mode: mode, MaxCycles: 1_000_000}
+}
+
 // BigScenarioForSeed derives a large-mesh scenario (32×32 or 64×64) for
 // the shardsbig family — the scales where the SoA slabs, per-shard
 // delivery staging, and pre-drawn control-fault randomness actually pay,
@@ -195,9 +290,13 @@ func (s Scenario) String() string {
 	if s.Mode >= 0 {
 		mode = s.Mode.String()
 	}
+	topo := s.Cfg.Topology
+	if topo == "" {
+		topo = noc.TopologyMesh
+	}
 	return fmt.Sprintf(
-		"seed=%d mesh=%dx%d vc=%d buf=%d cb=%d gate=%v bypass=%v base-err=%g forced-err=%g ctrl-fault=%g depwin=%d mode=%s pattern=%v rate=%.4f flits=%d packets=%d",
-		s.Seed, s.Cfg.Width, s.Cfg.Height, s.Cfg.VCs, s.Cfg.BufDepth, s.Cfg.ChannelStages,
+		"seed=%d topo=%s mesh=%dx%d vc=%d buf=%d cb=%d gate=%v bypass=%v base-err=%g forced-err=%g ctrl-fault=%g depwin=%d mode=%s pattern=%v rate=%.4f flits=%d packets=%d",
+		s.Seed, topo, s.Cfg.Width, s.Cfg.Height, s.Cfg.VCs, s.Cfg.BufDepth, s.Cfg.ChannelStages,
 		s.Cfg.PowerGating, s.Cfg.Bypass, s.Cfg.BaseErrorRate, s.Cfg.ForcedErrorRate,
 		s.Cfg.ControlFaultRate, s.Cfg.DependencyWindow, mode,
 		s.Traf.Pattern, s.Traf.InjectionRate, s.Traf.PacketFlits, s.Traf.Packets)

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"encoding/json"
 	"fmt"
 	"math"
 
@@ -33,6 +34,9 @@ type Lattice struct {
 	// default. Applied only to RL-controlled techniques, so the other
 	// designs deduplicate across this axis instead of re-simulating.
 	Epsilons []float64 `json:"epsilons,omitempty"`
+	// Topologies lists fabric families (noc.Config.Topology specs); ""
+	// keeps the mesh default.
+	Topologies []string `json:"topologies,omitempty"`
 
 	// Packets is the full per-run evaluation budget (short-budget rungs
 	// divide it down; see explore's successive halving).
@@ -44,12 +48,50 @@ type Lattice struct {
 	MaxCycles int64 `json:"max_cycles,omitempty"`
 }
 
-// latticeAxes is the number of addressable axes of a LatticeCoord.
-const latticeAxes = 7
+// latticeAxes is the number of addressable axes of a LatticeCoord;
+// legacyLatticeAxes is the count before the topology axis was added,
+// preserved as the serialized minimum so old coordinates keep their
+// byte-exact JSON form (and old archives stay readable).
+const (
+	latticeAxes       = 8
+	legacyLatticeAxes = 7
+)
+
+// LatticeAxes exports the axis count for search strategies that carry
+// per-axis state (e.g. explore's mutation kernel).
+const LatticeAxes = latticeAxes
 
 // LatticeCoord addresses one lattice point: an index per axis, in the
-// order mesh, technique, pattern, rate, VCs, buffer depth, epsilon.
+// order mesh, technique, pattern, rate, VCs, buffer depth, epsilon,
+// topology.
 type LatticeCoord [latticeAxes]int
+
+// MarshalJSON trims trailing zero axes down to the legacy seven-element
+// form, so coordinates of lattices without the newer axes serialize
+// exactly as they always have (frontier goldens compare byte-for-byte).
+func (c LatticeCoord) MarshalJSON() ([]byte, error) {
+	n := latticeAxes
+	for n > legacyLatticeAxes && c[n-1] == 0 {
+		n--
+	}
+	return json.Marshal(c[:n])
+}
+
+// UnmarshalJSON accepts both the legacy seven-element form and the full
+// axis vector, zero-filling the omitted trailing axes.
+func (c *LatticeCoord) UnmarshalJSON(b []byte) error {
+	var v []int
+	if err := json.Unmarshal(b, &v); err != nil {
+		return err
+	}
+	if len(v) < legacyLatticeAxes || len(v) > latticeAxes {
+		return fmt.Errorf("experiments: lattice coord has %d axes (want %d..%d)",
+			len(v), legacyLatticeAxes, latticeAxes)
+	}
+	*c = LatticeCoord{}
+	copy(c[:], v)
+	return nil
+}
 
 // withDefaults collapses empty axes to their single default element.
 func (l Lattice) withDefaults() Lattice {
@@ -74,6 +116,9 @@ func (l Lattice) withDefaults() Lattice {
 	if len(l.Epsilons) == 0 {
 		l.Epsilons = []float64{0}
 	}
+	if len(l.Topologies) == 0 {
+		l.Topologies = []string{""}
+	}
 	if l.Packets == 0 {
 		l.Packets = 2000
 	}
@@ -94,7 +139,7 @@ func (l Lattice) Dims() [latticeAxes]int {
 	n := l.withDefaults()
 	return [latticeAxes]int{
 		len(n.Meshes), len(n.Techniques), len(n.Patterns), len(n.Rates),
-		len(n.VCs), len(n.BufDepths), len(n.Epsilons),
+		len(n.VCs), len(n.BufDepths), len(n.Epsilons), len(n.Topologies),
 	}
 }
 
@@ -139,6 +184,7 @@ func (l Lattice) Spec(c LatticeCoord, packets int) RunSpec {
 	tech := n.Techniques[c[1]]
 	sim := core.SimConfig{
 		Width: mesh, Height: mesh,
+		Topology:  n.Topologies[c[7]],
 		Seed:      n.Seed,
 		MaxCycles: n.MaxCycles,
 		// Rate sweeps are open-loop by definition (as loadsweep).
@@ -176,6 +222,9 @@ func (l Lattice) Label(c LatticeCoord, packets int) string {
 	if eps := n.Epsilons[c[6]]; eps > 0 && n.Techniques[c[1]] == core.TechIntelliNoC {
 		s += fmt.Sprintf("/eps%g", eps)
 	}
+	if topo := n.Topologies[c[7]]; topo != "" {
+		s += "/" + topo
+	}
 	return s
 }
 
@@ -197,6 +246,11 @@ func (l Lattice) Validate() error {
 	for _, b := range n.BufDepths {
 		if b < 0 {
 			return fmt.Errorf("experiments: negative buffer-depth override %d", b)
+		}
+	}
+	for _, s := range n.Topologies {
+		if err := noc.ValidateTopologySpec(s); err != nil {
+			return fmt.Errorf("experiments: lattice topology: %w", err)
 		}
 	}
 	for _, r := range n.Rates {

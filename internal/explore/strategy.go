@@ -205,7 +205,7 @@ func (e *Explorer) EvolveFrontier(ev Evolve) error {
 // mutate steps one randomly chosen non-degenerate axis by ±1 with
 // wraparound. If every axis has a single element the coordinate is
 // returned unchanged (the lattice is a single point).
-func mutate(c experiments.LatticeCoord, dims [7]int, rng *rand.Rand) experiments.LatticeCoord {
+func mutate(c experiments.LatticeCoord, dims [experiments.LatticeAxes]int, rng *rand.Rand) experiments.LatticeCoord {
 	var movable []int
 	for axis, d := range dims {
 		if d > 1 {

@@ -13,7 +13,15 @@ import (
 // expressed purely as configurations plus a Controller; the preset
 // constructors live in internal/core.
 type Config struct {
-	// Topology.
+	// Topology selects the fabric family: "" or "mesh" (the default),
+	// "torus" (dual-network with wraparound and dateline VCs),
+	// "chiplet" / "chiplet:WxH" (hierarchical chiplet mesh with
+	// network-on-interposer entry nodes; WxH is the cores-per-chiplet
+	// tile, default 2x2), or "routerless" (loop-based NoC). Unlike
+	// Shards this changes results, so it must stay digest-visible in
+	// serialized experiment specs. Width and Height always describe the
+	// core grid; chiplets add interposer routers on top of it.
+	Topology      string
 	Width, Height int
 
 	// Router microarchitecture (Table 1).
@@ -162,11 +170,29 @@ func (c *Config) Validate() error {
 		return fmt.Errorf("noc: sampled windows need positive detail/skip cycle counts, got %d/%d",
 			c.SampledWindows.DetailCycles, c.SampledWindows.SkipCycles)
 	}
+	topo, err := NewTopology(c)
+	if err != nil {
+		return err
+	}
+	if classes := topo.VCClasses(); c.VCs < classes {
+		return fmt.Errorf("noc: topology %s needs %d VCs for dateline deadlock avoidance, got %d",
+			topo.Name(), classes, c.VCs)
+	}
 	return nil
 }
 
-// Nodes returns the node count.
-func (c *Config) Nodes() int { return c.Width * c.Height }
+// Nodes returns the total router count, including any auxiliary routers
+// the topology adds (e.g. chiplet interposer nodes). Falls back to the
+// core count for unparseable topology specs (Validate rejects those).
+func (c *Config) Nodes() int {
+	if t, err := NewTopology(c); err == nil {
+		return t.Nodes()
+	}
+	return c.Width * c.Height
+}
+
+// Cores returns the NIC-bearing router count (the traffic endpoints).
+func (c *Config) Cores() int { return c.Width * c.Height }
 
 // routerPowerConfig derives the leakage structure of one router.
 func (c *Config) routerPowerConfig() power.RouterConfig {

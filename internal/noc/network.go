@@ -101,6 +101,13 @@ type Network struct {
 	nics    []*nic
 	gen     *traffic.Peeker
 
+	// topo is the wiring/routing geometry (see topology.go); vcClasses
+	// caches its dateline class count and nackBound the retransmission
+	// liveness ceiling derived from its diameter.
+	topo      Topology
+	vcClasses int
+	nackBound int64
+
 	// Struct-of-arrays router state: the fields every per-cycle scan
 	// touches, pulled out of the pointer-heavy Router structs into flat
 	// slabs indexed by router id so shard scans walk contiguous memory
@@ -228,15 +235,22 @@ func New(cfg Config, gen traffic.Generator, ctrl Controller) (*Network, error) {
 	if cfg.AgingParams != nil {
 		ap = *cfg.AgingParams
 	}
-	nodes := cfg.Nodes()
+	topo, err := NewTopology(&cfg)
+	if err != nil {
+		return nil, err
+	}
+	nodes := topo.Nodes()
 	n := &Network{
 		cfg:        cfg,
 		ctrl:       ctrl,
+		topo:       topo,
+		vcClasses:  topo.VCClasses(),
+		nackBound:  int64(8 * (topo.Diameter() + 2)),
 		gen:        traffic.NewPeeker(gen),
 		injector:   fault.NewInjector(fault.DefaultTransientModel(cfg.BaseErrorRate), cfg.Seed+1),
 		rng:        rand.New(rand.NewSource(cfg.Seed + 2)),
 		payloadRng: rand.New(rand.NewSource(cfg.Seed + 3)),
-		grid:       thermal.NewGrid(cfg.Width, cfg.Height, tp),
+		grid:       thermal.NewGridExtra(cfg.Width, cfg.Height, topo.Nodes()-topo.Cores(), tp),
 		aging:      ap,
 		wear:       make([]fault.Wear, nodes),
 		pparams:    pp,
@@ -261,8 +275,9 @@ func New(cfg Config, gen traffic.Generator, ctrl Controller) (*Network, error) {
 		winOcc:    make([]uint64, nodes*NumPorts),
 	}
 	if cfg.Shards > 1 {
-		// Row-major router ids make contiguous id ranges row blocks; more
-		// shards than nodes would leave workers with nothing to scan.
+		// Shards partition the dense router-id space into contiguous
+		// ranges (geometry-free — see shard.go); more shards than nodes
+		// would leave workers with nothing to scan.
 		if sc := min(cfg.Shards, nodes); sc > 1 {
 			n.shardCount = sc
 		}
@@ -287,11 +302,12 @@ func New(cfg Config, gen traffic.Generator, ctrl Controller) (*Network, error) {
 
 func (n *Network) buildTopology() {
 	cfg := n.cfg
-	nodes := cfg.Nodes()
+	nodes := n.topo.Nodes()
 	n.routers = make([]*Router, nodes)
 	for id := 0; id < nodes; id++ {
+		x, y := n.topo.Coords(id)
 		r := &Router{
-			id: id, x: id % cfg.Width, y: id / cfg.Width,
+			id: id, x: x, y: y,
 			mode: ModeSECDED, bypassLock: -1,
 			lastScheme: ecc.SchemeSECDED,
 		}
@@ -301,23 +317,25 @@ func (n *Network) buildTopology() {
 		}
 		// Local input port always exists (injection).
 		r.in[PortLocal] = newInputPort(cfg, -1, -1, nil)
-		// Local output port: ejection sink (no channel).
+		// Local output port: ejection sink (no channel) unless the
+		// topology rewires it as a real link below (chiplet interposer
+		// routers spend theirs on the vertical entry-node link).
 		r.out[PortLocal] = newOutputPort(cfg, -1, -1, nil)
 		n.routers[id] = r
 	}
-	// Wire neighbour links; each direction gets its own channel.
+	// Wire links; each direction gets its own channel.
 	for id := 0; id < nodes; id++ {
 		r := n.routers[id]
-		for _, p := range []int{PortEast, PortWest, PortNorth, PortSouth} {
-			nb := n.neighbor(id, p)
+		for p := 0; p < NumPorts; p++ {
+			nb, nbPort := n.topo.Link(id, p)
 			if nb < 0 {
 				continue
 			}
 			// Channel occupancy is governed by per-VC credits, not
 			// a hard FIFO bound (see newOutputPort).
 			ch := newChannel()
-			r.out[p] = newOutputPort(cfg, nb, opposite(p), ch)
-			n.routers[nb].in[opposite(p)] = newInputPort(cfg, id, p, ch)
+			r.out[p] = newOutputPort(cfg, nb, nbPort, ch)
+			n.routers[nb].in[nbPort] = newInputPort(cfg, id, p, ch)
 		}
 	}
 	// Build the per-port delivery predicates once, so the per-cycle
@@ -351,57 +369,32 @@ func newOutputPort(cfg Config, downRouter, downPort int, ch *Channel) *outputPor
 	op := &outputPort{ch: ch, downRouter: downRouter, downPort: downPort,
 		credits: make([]int, cfg.VCs), vcBusy: make([]bool, cfg.VCs)}
 	for v := range op.credits {
-		// Each VC's credit pool covers its downstream router-buffer
-		// slots plus its fair share of the channel-buffer stages.
-		// Partitioning the channel per VC keeps the shared MFAC FIFO
-		// from wedging one VC's wormhole behind another's — the
-		// deadlock-freedom argument of Section 3.1.2 ("we still
-		// maintain the virtual channels").
-		op.credits[v] = cfg.BufDepth + cfg.ChannelStages/cfg.VCs
+		op.credits[v] = vcCredits(&cfg, v)
 	}
 	return op
 }
 
-// neighbor returns the router id adjacent to id through output port p, or
-// -1 at a mesh edge.
-func (n *Network) neighbor(id, p int) int {
-	x, y := id%n.cfg.Width, id/n.cfg.Width
-	switch p {
-	case PortEast:
-		if x+1 < n.cfg.Width {
-			return id + 1
-		}
-	case PortWest:
-		if x > 0 {
-			return id - 1
-		}
-	case PortNorth:
-		if y > 0 {
-			return id - n.cfg.Width
-		}
-	case PortSouth:
-		if y+1 < n.cfg.Height {
-			return id + n.cfg.Width
-		}
+// vcCredits is VC v's credit pool on an output port: its downstream
+// router-buffer slots plus its share of the channel-buffer stages.
+// Partitioning the channel per VC keeps the shared MFAC FIFO from
+// wedging one VC's wormhole behind another's — the deadlock-freedom
+// argument of Section 3.1.2 ("we still maintain the virtual channels").
+// When ChannelStages does not divide evenly, the remainder stages go one
+// apiece to the lowest-numbered VCs, so the per-port total always
+// reconciles with the actual channel capacity
+// (VCs*BufDepth + ChannelStages) instead of silently dropping storage.
+func vcCredits(cfg *Config, v int) int {
+	c := cfg.BufDepth + cfg.ChannelStages/cfg.VCs
+	if v < cfg.ChannelStages%cfg.VCs {
+		c++
 	}
-	return -1
+	return c
 }
 
-// route computes X-Y dimension-order routing: correct X first, then Y.
-func (n *Network) route(r *Router, dst int) int {
-	dx, dy := dst%n.cfg.Width, dst/n.cfg.Width
-	switch {
-	case dx > r.x:
-		return PortEast
-	case dx < r.x:
-		return PortWest
-	case dy < r.y:
-		return PortNorth
-	case dy > r.y:
-		return PortSouth
-	default:
-		return PortLocal
-	}
+// route computes the output port and dateline VC class for flit f at
+// router r, per the configured topology.
+func (n *Network) route(r *Router, f *Flit) (port, vcClass int) {
+	return n.topo.Route(r.id, f.Src, f.Dst)
 }
 
 // Cycle returns the current simulation cycle.
@@ -594,7 +587,7 @@ func (n *Network) idleSpan() int64 {
 		// earliest readyAt; a flit already ready may be deliverable or
 		// credit-blocked — either way this cycle is not provably idle.
 		hasChTraffic := false
-		for p := 1; p < NumPorts; p++ {
+		for p := 0; p < NumPorts; p++ {
 			ip := r.in[p]
 			if ip == nil || ip.ch == nil {
 				continue
@@ -691,7 +684,7 @@ func (n *Network) powerStateStep(r *Router, cy int64, slot *shardSlot) {
 		// CP-style gated routers (no bypass) wake when traffic shows
 		// up at any input channel.
 		if !n.cfg.Bypass {
-			for p := 1; p < NumPorts; p++ {
+			for p := 0; p < NumPorts; p++ {
 				if r.in[p] != nil && r.in[p].ch != nil && r.in[p].ch.anyReady(cy) {
 					n.triggerWake(r, slot)
 					break
@@ -725,7 +718,7 @@ func (n *Network) powerStateStep(r *Router, cy int64, slot *shardSlot) {
 }
 
 func (n *Network) hasChannelTraffic(r *Router, cy int64) bool {
-	for p := 1; p < NumPorts; p++ {
+	for p := 0; p < NumPorts; p++ {
 		if r.in[p] != nil && r.in[p].ch != nil && r.in[p].ch.len() > 0 {
 			return true
 		}
@@ -767,7 +760,7 @@ func (n *Network) flushStatic(r *Router) {
 // cross-router side effects (bufferedFlits, lastProgress, the delivery
 // events) go through slot when non-nil and are committed at the barrier.
 func (n *Network) deliverChannels(r *Router, cy int64, slot *shardSlot) {
-	for p := 1; p < NumPorts; p++ {
+	for p := 0; p < NumPorts; p++ {
 		ip := r.in[p]
 		if ip == nil || ip.ch == nil {
 			continue
@@ -879,8 +872,9 @@ func (n *Network) arbitrateOutput(r *Router, op *outputPort, outP int, cy int64,
 			continue // VA completed this very cycle; SA is next cycle
 		}
 		// Credit-based flow control: the flit needs a reserved slot in
-		// the downstream VC's combined channel+buffer storage.
-		if outP != PortLocal && op.credits[ivc.outVC] <= 0 {
+		// the downstream VC's combined channel+buffer storage. Ejection
+		// sinks (ports with no outgoing channel) are uncredited.
+		if op.ch != nil && op.credits[ivc.outVC] <= 0 {
 			continue
 		}
 		// Grant: pop the flit and traverse. Shifting down (rather than
@@ -910,7 +904,7 @@ func (n *Network) arbitrateOutput(r *Router, op *outputPort, outP int, cy int64,
 			op.vcBusy[outVC] = false
 			ivc.reset()
 		}
-		if outP == PortLocal {
+		if op.ch == nil {
 			n.eject(r, f, cy)
 		} else {
 			f.VC = outVC
@@ -942,7 +936,7 @@ func (n *Network) vaStage(r *Router, cy int64) {
 				continue // RC finished this cycle; VA is next cycle
 			}
 			op := r.out[ivc.route]
-			if free := op.freeVC(); free >= 0 {
+			if free := op.freeVCIn(ivc.vcClass, n.vcClasses); free >= 0 {
 				op.vcBusy[free] = true
 				ivc.outVC = free
 				ivc.vaAt = cy
@@ -970,7 +964,7 @@ func (n *Network) rcStage(r *Router, cy int64, slot *shardSlot) {
 			if !f.Type.IsHead() {
 				continue
 			}
-			ivc.route = n.route(r, f.Dst)
+			ivc.route, ivc.vcClass = n.route(r, f)
 			ivc.routedAt = cy
 			if n.cfg.ControlFaultRate > 0 {
 				var draw float64
@@ -998,7 +992,7 @@ func (n *Network) rcStage(r *Router, cy int64, slot *shardSlot) {
 				// EB-style routers fold VC selection into RC,
 				// eliminating the VA stage.
 				op := r.out[ivc.route]
-				if free := op.freeVC(); free >= 0 {
+				if free := op.freeVCIn(ivc.vcClass, n.vcClasses); free >= 0 {
 					op.vcBusy[free] = true
 					ivc.outVC = free
 					ivc.vaAt = cy
@@ -1067,19 +1061,19 @@ func (n *Network) bypassStep(r *Router, cy int64) {
 // switch could forward flit f right now.
 func (n *Network) bypassCanForward(r *Router, p int, f *Flit) bool {
 	if f.Type.IsHead() {
-		route := n.route(r, f.Dst)
-		if route == PortLocal {
-			// Ejection needs a free local output VC but no credits.
-			return r.out[PortLocal].freeVC() >= 0
-		}
+		route, class := n.route(r, f)
 		op := r.out[route]
-		return op.freeVCWithCredit() >= 0
+		if op.ch == nil {
+			// Ejection needs a free output VC but no credits.
+			return op.freeVCIn(class, n.vcClasses) >= 0
+		}
+		return op.freeVCWithCreditIn(class, n.vcClasses) >= 0
 	}
 	ivc := &r.in[p].vcs[f.VC]
 	if ivc.route < 0 {
 		return false // no BST row: wait for state (should not happen)
 	}
-	return ivc.route == PortLocal || r.out[ivc.route].credits[ivc.outVC] > 0
+	return r.out[ivc.route].ch == nil || r.out[ivc.route].credits[ivc.outVC] > 0
 }
 
 // tryBypassPort attempts to forward one flit arriving at input port p.
@@ -1090,7 +1084,10 @@ func (n *Network) tryBypassPort(r *Router, p int, cy int64) bool {
 	var f *Flit
 	fromNIC := false
 	var chIdx int
-	if p == PortLocal {
+	// The local port is NIC injection only when no topology link claimed
+	// it (chiplet interposers spend theirs on the vertical entry-node
+	// channel, which forwards like any other port).
+	if p == PortLocal && r.in[p].ch == nil {
 		var ok bool
 		f, ok = n.peekNICFlit(r, n.nics[r.id], cy)
 		if !ok || !n.bypassCanForward(r, p, f) {
@@ -1111,17 +1108,18 @@ func (n *Network) tryBypassPort(r *Router, p int, cy int64) bool {
 
 	ivc := &r.in[p].vcs[f.VC]
 	if f.Type.IsHead() {
-		route := n.route(r, f.Dst)
+		route, class := n.route(r, f)
 		op := r.out[route]
 		var free int
-		if route == PortLocal {
-			free = op.freeVC()
+		if op.ch == nil {
+			free = op.freeVCIn(class, n.vcClasses)
 		} else {
-			free = op.freeVCWithCredit()
+			free = op.freeVCWithCreditIn(class, n.vcClasses)
 		}
 		op.vcBusy[free] = true
 		ivc.outVC = free
 		ivc.route = route
+		ivc.vcClass = class
 		ivc.routedAt, ivc.vaAt = cy, cy
 	}
 	route, outVC := ivc.route, ivc.outVC
@@ -1147,7 +1145,7 @@ func (n *Network) tryBypassPort(r *Router, p int, cy int64) bool {
 		r.out[route].vcBusy[outVC] = false
 		ivc.reset()
 	}
-	if route == PortLocal {
+	if r.out[route].ch == nil {
 		n.eject(r, f, cy)
 		return true
 	}
@@ -1378,10 +1376,11 @@ func (n *Network) eject(r *Router, f *Flit, cy int64) {
 		// The NACK must travel back to the source before the packet
 		// can be retransmitted: charge one path traversal's worth of
 		// delay. The elapsed latency is the local estimate, capped at
-		// a mesh-diameter bound so repeated retries cannot compound.
+		// a topology-diameter bound so repeated retries cannot compound
+		// (8*(diameter+2); on a mesh that is the legacy 8*(W+H)).
 		nack := cy - pi.job.injectCycle
-		if bound := int64(8 * (n.cfg.Width + n.cfg.Height)); nack > bound {
-			nack = bound
+		if nack > n.nackBound {
+			nack = n.nackBound
 		}
 		pi.job.notBefore = cy + nack
 		n.emit(Event{Cycle: cy, Kind: EvE2ERetransmit, Router: r.id, PacketID: pi.job.id})
@@ -1748,7 +1747,11 @@ func (n *Network) CheckInvariants() error {
 	if !n.Drained() {
 		return nil // the remaining checks only hold at quiescence
 	}
-	wantCredits := n.cfg.BufDepth + n.cfg.ChannelStages/n.cfg.VCs
+	// At quiescence every credited output port must hold exactly its
+	// initial per-VC credits, and the port total must conserve the full
+	// VCs*BufDepth + ChannelStages storage (remainder stages included —
+	// the ChannelStages%VCs != 0 case used to leak them silently).
+	wantPortCredits := n.cfg.VCs*n.cfg.BufDepth + n.cfg.ChannelStages
 	for id, r := range n.routers {
 		for p := 0; p < NumPorts; p++ {
 			if ip := r.in[p]; ip != nil {
@@ -1765,14 +1768,22 @@ func (n *Network) CheckInvariants() error {
 			if op == nil {
 				continue
 			}
+			portCredits := 0
 			for v := range op.vcBusy {
 				if op.vcBusy[v] {
 					return fmt.Errorf("noc: router %d %s vc%d still allocated after drain", id, PortName(p), v)
 				}
-				if p != PortLocal && op.credits[v] != wantCredits {
-					return fmt.Errorf("noc: router %d %s vc%d credits = %d, want %d",
-						id, PortName(p), v, op.credits[v], wantCredits)
+				if op.ch != nil {
+					if want := vcCredits(&n.cfg, v); op.credits[v] != want {
+						return fmt.Errorf("noc: router %d %s vc%d credits = %d, want %d",
+							id, PortName(p), v, op.credits[v], want)
+					}
+					portCredits += op.credits[v]
 				}
+			}
+			if op.ch != nil && portCredits != wantPortCredits {
+				return fmt.Errorf("noc: router %d %s credit sum = %d, want %d (VCs*BufDepth + ChannelStages)",
+					id, PortName(p), portCredits, wantPortCredits)
 			}
 		}
 		if n.nics[id].pending() {

@@ -118,8 +118,12 @@ func TestXYRouting(t *testing.T) {
 	// south of (1,1).
 	cases[len(cases)-1].want = PortSouth
 	for _, c := range cases {
-		if got := n.route(r5, c.dst); got != c.want {
+		got, class := n.route(r5, &Flit{Src: 5, Dst: c.dst})
+		if got != c.want {
 			t.Errorf("route(5→%d) = %s, want %s", c.dst, PortName(got), PortName(c.want))
+		}
+		if class != -1 {
+			t.Errorf("route(5→%d) class = %d, want -1 on a mesh", c.dst, class)
 		}
 	}
 }

@@ -11,6 +11,9 @@ type inputVC struct {
 	buf []*Flit
 	// route is the output port of the packet at the head (-1 until RC).
 	route int
+	// vcClass is the dateline VC class the topology assigned to the
+	// head packet's next hop (-1 = unrestricted), set alongside route.
+	vcClass int
 	// outVC is the downstream VC granted by VA (-1 until allocated).
 	outVC int
 	// routedAt is the cycle RC completed, enforcing the one-cycle VA
@@ -21,6 +24,7 @@ type inputVC struct {
 
 func (v *inputVC) reset() {
 	v.route, v.outVC = -1, -1
+	v.vcClass = -1
 	v.routedAt, v.vaAt = -1, -1
 }
 
@@ -90,6 +94,39 @@ func (op *outputPort) freeVCWithCredit() int {
 	for i := 0; i < len(op.vcBusy); i++ {
 		v := (op.vaRR + i) % len(op.vcBusy)
 		if !op.vcBusy[v] && op.credits[v] > 0 {
+			op.vaRR = (v + 1) % len(op.vcBusy)
+			return v
+		}
+	}
+	return -1
+}
+
+// freeVCIn is freeVC restricted to the topology's dateline VC class
+// (VC v belongs to class v % classes); class < 0 is the unrestricted
+// path, byte-for-byte the legacy round-robin so mesh results stay
+// bit-identical.
+func (op *outputPort) freeVCIn(class, classes int) int {
+	if class < 0 {
+		return op.freeVC()
+	}
+	for i := 0; i < len(op.vcBusy); i++ {
+		v := (op.vaRR + i) % len(op.vcBusy)
+		if v%classes == class && !op.vcBusy[v] {
+			op.vaRR = (v + 1) % len(op.vcBusy)
+			return v
+		}
+	}
+	return -1
+}
+
+// freeVCWithCreditIn is freeVCWithCredit restricted to a VC class.
+func (op *outputPort) freeVCWithCreditIn(class, classes int) int {
+	if class < 0 {
+		return op.freeVCWithCredit()
+	}
+	for i := 0; i < len(op.vcBusy); i++ {
+		v := (op.vaRR + i) % len(op.vcBusy)
+		if v%classes == class && !op.vcBusy[v] && op.credits[v] > 0 {
 			op.vaRR = (v + 1) % len(op.vcBusy)
 			return v
 		}

@@ -141,9 +141,18 @@ func (n *Network) synthesizeDelivery(pkt traffic.Packet) {
 	}
 	q.seenAny = true
 
-	sx, sy := pkt.Src%n.cfg.Width, pkt.Src/n.cfg.Width
-	dx, dy := pkt.Dst%n.cfg.Width, pkt.Dst/n.cfg.Width
-	hops := absInt(dx-sx) + absInt(dy-sy)
+	// Count the hops the topology's deterministic route would take (on a
+	// mesh this is exactly the Manhattan distance of the X-Y path).
+	maxSteps := 2*n.topo.Nodes() + 2
+	hops := 0
+	for id := pkt.Src; id != pkt.Dst; hops++ {
+		p, _ := n.topo.Route(id, pkt.Src, pkt.Dst)
+		nb, _ := n.topo.Link(id, p)
+		if nb < 0 || hops > maxSteps {
+			panic("noc: topology route does not reach destination")
+		}
+		id = nb
+	}
 	est := n.sampleLat
 	if est < 1 {
 		est = float64(3*(hops+1) + pkt.Flits)
@@ -152,8 +161,8 @@ func (n *Network) synthesizeDelivery(pkt traffic.Packet) {
 	n.pktsDelivered++
 	n.flitsDelivered += flits
 
-	// Walk the X-Y path charging each router as the detailed pipeline
-	// would: buffer write+read and crossbar traversal per flit
+	// Walk the topology's path charging each router as the detailed
+	// pipeline would: buffer write+read and crossbar traversal per flit
 	// everywhere, link and channel stages on forwarding hops, CRC at the
 	// injection and ejection ports.
 	id := pkt.Src
@@ -174,23 +183,7 @@ func (n *Network) synthesizeDelivery(pkt traffic.Packet) {
 		if id == pkt.Dst {
 			break
 		}
-		x, y := id%n.cfg.Width, id/n.cfg.Width
-		switch {
-		case dx > x:
-			id++
-		case dx < x:
-			id--
-		case dy > y:
-			id += n.cfg.Width
-		default:
-			id -= n.cfg.Width
-		}
+		p, _ := n.topo.Route(id, pkt.Src, pkt.Dst)
+		id, _ = n.topo.Link(id, p)
 	}
-}
-
-func absInt(v int) int {
-	if v < 0 {
-		return -v
-	}
-	return v
 }

@@ -8,7 +8,7 @@ import (
 // Sharded stepping: step() decomposed into parallel per-router scan phases
 // and a sequential in-order commit, bit-identical to the sequential path.
 //
-// The mesh cannot be naively partitioned because the sequential schedule
+// The network cannot be naively partitioned because the sequential schedule
 // has same-cycle cross-router visibility in exactly one place: when router
 // i's switch allocation pops a flit, the freed buffer slot's credit
 // returns to the upstream router immediately, and a higher-numbered router
@@ -39,7 +39,10 @@ import (
 // Cross-router side effects of the parallel phases (bufferedFlits,
 // lastProgress, event emission) are accumulated per shard in a shardSlot
 // and committed at the barrier in shard order, which equals router-index
-// order because shards are contiguous row blocks. Event hooks therefore
+// order because shards are contiguous router-id ranges (a geometry-free
+// partition: no phase assumes a shard is a row slab, so the same split
+// serves meshes, tori, chiplet hierarchies, and routerless loops alike).
+// Event hooks therefore
 // fire only from the coordinating goroutine, in the exact sequential
 // order — the single-goroutine guarantee SetEventHook documents.
 
@@ -68,7 +71,7 @@ type shardSlot struct {
 
 // stagedPush is one deferred Channel.push. The commit pass runs entirely
 // on the coordinator, so every ring insertion — often into a channel
-// owned by another shard's row block — used to happen there too. Staging
+// owned by another shard's id range — used to happen there too. Staging
 // the pushes per destination shard and draining them in the parallel
 // accounting phase moves the ring work off the coordinator and keeps the
 // channel cache lines shard-local. The deferral is invisible to the tick:

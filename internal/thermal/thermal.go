@@ -39,10 +39,15 @@ func DefaultParams() Params {
 	}
 }
 
-// Grid is the thermal state of a W×H tile array. Tiles are indexed
-// row-major: tile (x, y) is index y*W+x, matching the NoC's node ids.
+// Grid is the thermal state of a W×H tile array, optionally followed by
+// extra off-mesh tiles (e.g. chiplet interposer routers). Mesh tiles are
+// indexed row-major: tile (x, y) is index y*W+x, matching the NoC's node
+// ids; extra tiles occupy indices >= W*H and couple to ambient through
+// their vertical resistance only (the interposer sits below the core
+// die's lateral spreading plane).
 type Grid struct {
 	w, h    int
+	lateral int // tiles < lateral participate in lateral coupling (= w*h)
 	params  Params
 	temp    []float64
 	scratch []float64 // Euler double-buffer, reused across Step calls
@@ -50,16 +55,23 @@ type Grid struct {
 
 // NewGrid returns a grid with every tile at ambient temperature.
 func NewGrid(w, h int, p Params) *Grid {
-	g := &Grid{w: w, h: h, params: p,
-		temp: make([]float64, w*h), scratch: make([]float64, w*h)}
+	return NewGridExtra(w, h, 0, p)
+}
+
+// NewGridExtra returns a grid with extra vertical-only tiles appended
+// after the W×H mesh plane.
+func NewGridExtra(w, h, extra int, p Params) *Grid {
+	n := w*h + extra
+	g := &Grid{w: w, h: h, lateral: w * h, params: p,
+		temp: make([]float64, n), scratch: make([]float64, n)}
 	for i := range g.temp {
 		g.temp[i] = p.AmbientC
 	}
 	return g
 }
 
-// Nodes returns the number of tiles.
-func (g *Grid) Nodes() int { return g.w * g.h }
+// Nodes returns the number of tiles, including extra off-mesh tiles.
+func (g *Grid) Nodes() int { return len(g.temp) }
 
 // Temp returns tile i's temperature in °C.
 func (g *Grid) Temp(i int) float64 { return g.temp[i] }
@@ -123,18 +135,20 @@ func (g *Grid) Step(power []float64, dt float64) {
 	for s := 0; s < steps; s++ {
 		for i := range g.temp {
 			flux := power[i] + gVert*(p.AmbientC-g.temp[i])
-			x, y := i%g.w, i/g.w
-			if x > 0 {
-				flux += p.GLat * (g.temp[i-1] - g.temp[i])
-			}
-			if x < g.w-1 {
-				flux += p.GLat * (g.temp[i+1] - g.temp[i])
-			}
-			if y > 0 {
-				flux += p.GLat * (g.temp[i-g.w] - g.temp[i])
-			}
-			if y < g.h-1 {
-				flux += p.GLat * (g.temp[i+g.w] - g.temp[i])
+			if i < g.lateral {
+				x, y := i%g.w, i/g.w
+				if x > 0 {
+					flux += p.GLat * (g.temp[i-1] - g.temp[i])
+				}
+				if x < g.w-1 {
+					flux += p.GLat * (g.temp[i+1] - g.temp[i])
+				}
+				if y > 0 {
+					flux += p.GLat * (g.temp[i-g.w] - g.temp[i])
+				}
+				if y < g.h-1 {
+					flux += p.GLat * (g.temp[i+g.w] - g.temp[i])
+				}
 			}
 			next[i] = g.temp[i] + h*flux/p.CNode
 		}
@@ -153,22 +167,24 @@ func (g *Grid) settle(power []float64) {
 		for i := range g.temp {
 			num := power[i] + gVert*p.AmbientC
 			den := gVert
-			x, y := i%g.w, i/g.w
-			add := func(j int) {
-				num += p.GLat * g.temp[j]
-				den += p.GLat
-			}
-			if x > 0 {
-				add(i - 1)
-			}
-			if x < g.w-1 {
-				add(i + 1)
-			}
-			if y > 0 {
-				add(i - g.w)
-			}
-			if y < g.h-1 {
-				add(i + g.w)
+			if i < g.lateral {
+				x, y := i%g.w, i/g.w
+				add := func(j int) {
+					num += p.GLat * g.temp[j]
+					den += p.GLat
+				}
+				if x > 0 {
+					add(i - 1)
+				}
+				if x < g.w-1 {
+					add(i + 1)
+				}
+				if y > 0 {
+					add(i - g.w)
+				}
+				if y < g.h-1 {
+					add(i + g.w)
+				}
 			}
 			t := num / den
 			d := math.Abs(t - g.temp[i])

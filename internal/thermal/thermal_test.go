@@ -180,3 +180,38 @@ func TestSettleCutoffAgreesWithEulerAtBoundary(t *testing.T) {
 		}
 	}
 }
+
+func TestExtraTilesAreVerticalOnly(t *testing.T) {
+	g := NewGridExtra(3, 3, 2, DefaultParams())
+	if g.Nodes() != 11 {
+		t.Fatalf("Nodes() = %d, want 11", g.Nodes())
+	}
+	power := make([]float64, 11)
+	power[9] = 0.3 // first extra tile
+	for i := 0; i < 2000; i++ {
+		g.Step(power, 1e-5)
+	}
+	// An extra tile has no lateral neighbors: it heats to its isolated
+	// steady state and leaks nothing into the mesh plane or the other
+	// extra tile.
+	if want := g.SteadyState(0.3); math.Abs(g.Temp(9)-want) > 0.5 {
+		t.Fatalf("extra tile at %g, want isolated steady state ~%g", g.Temp(9), want)
+	}
+	for i := 0; i < 9; i++ {
+		if g.Temp(i) != DefaultParams().AmbientC {
+			t.Fatalf("mesh tile %d warmed to %g by an extra tile", i, g.Temp(i))
+		}
+	}
+	if g.Temp(10) != DefaultParams().AmbientC {
+		t.Fatalf("idle extra tile warmed to %g", g.Temp(10))
+	}
+}
+
+func TestExtraTilesSettle(t *testing.T) {
+	g := NewGridExtra(2, 2, 1, DefaultParams())
+	power := []float64{0, 0, 0, 0, 0.2}
+	g.settle(power)
+	if want := g.SteadyState(0.2); math.Abs(g.Temp(4)-want) > 1e-6 {
+		t.Fatalf("settled extra tile at %g, want %g", g.Temp(4), want)
+	}
+}
