@@ -2,6 +2,7 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -32,6 +33,7 @@ type options struct {
 	topology      string
 	cpuprofile    string
 	memprofile    string
+	dumpSpecs     string
 }
 
 // parseArgs parses the command line into options. It uses a dedicated
@@ -53,6 +55,7 @@ func parseArgs(args []string, stderr io.Writer) (options, error) {
 	fs.StringVar(&o.telemetryAddr, "telemetry-addr", "", "serve /metrics, /debug/vars, and /debug/pprof on this address while the suite runs (e.g. localhost:6060)")
 	fs.IntVar(&o.shards, "shards", 0, "step each simulated mesh with this many parallel shards (bit-identical results and digests; 0 = sequential)")
 	fs.StringVar(&o.topology, "topology", "", "fabric family for every run: mesh (default), torus, chiplet[:WxH], routerless (changes results and digests)")
+	fs.StringVar(&o.dumpSpecs, "dump-specs", "", "write the suite's unique run specs as JSONL ({name,digest,spec} per line) to this path and exit without simulating — feeds cmd/intellinocd clients")
 	fs.StringVar(&o.cpuprofile, "cpuprofile", "", "write a CPU profile of the whole suite to this file")
 	fs.StringVar(&o.memprofile, "memprofile", "", "write a heap profile taken after the suite to this file")
 	if err := fs.Parse(args); err != nil {
@@ -102,6 +105,14 @@ func run(ctx context.Context, o options, stdout, stderr io.Writer) error {
 	if err != nil {
 		return err
 	}
+	if o.dumpSpecs != "" {
+		n, err := dumpSuiteSpecs(suite, o.dumpSpecs)
+		if err != nil {
+			return fmt.Errorf("dumping specs: %w", err)
+		}
+		fmt.Fprintf(stdout, "wrote %d unique spec(s) to %s\n", n, o.dumpSpecs)
+		return nil
+	}
 
 	var progress io.Writer
 	if o.progress {
@@ -113,11 +124,22 @@ func run(ctx context.Context, o options, stdout, stderr io.Writer) error {
 		tap = newTelemetryTap()
 		observer = tap.observe
 		if o.telemetryAddr != "" {
-			bound, err := tap.serve(o.telemetryAddr, stderr)
+			ops, err := tap.serve(o.telemetryAddr, stderr)
 			if err != nil {
 				return fmt.Errorf("telemetry server: %w", err)
 			}
-			fmt.Fprintf(stderr, "telemetry: serving /metrics, /debug/vars, /debug/pprof on %s\n", bound)
+			// Tear the server down when the suite returns: without this
+			// the listener and serve goroutine leak for the process
+			// lifetime and a late accept error could write to stderr
+			// after the caller has moved on.
+			defer func() {
+				sctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+				defer cancel()
+				if err := ops.Shutdown(sctx); err != nil {
+					fmt.Fprintln(stderr, "telemetry: shutdown:", err)
+				}
+			}()
+			fmt.Fprintf(stderr, "telemetry: serving /metrics, /debug/vars, /debug/pprof on %s\n", ops.Addr)
 		}
 	}
 	start := time.Now()
@@ -161,6 +183,35 @@ func run(ctx context.Context, o options, stdout, stderr io.Writer) error {
 		fmt.Fprintln(stdout, "wrote", o.mdPath)
 	}
 	return nil
+}
+
+// dumpSuiteSpecs writes every unique run spec of the suite as one JSONL
+// line {"name","digest","spec"} — ready to wrap into POST /v1/jobs
+// bodies for cmd/intellinocd (the CI daemon smoke job does exactly
+// that). Digest order follows the plan; duplicates keep the first name.
+func dumpSuiteSpecs(suite *experiments.Suite, path string) (int, error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return 0, err
+	}
+	enc := json.NewEncoder(f)
+	seen := make(map[string]bool)
+	n := 0
+	for _, ex := range suite.Experiments {
+		for _, ls := range ex.Specs {
+			d := ls.Spec.Digest()
+			if seen[d] {
+				continue
+			}
+			seen[d] = true
+			if err := enc.Encode(map[string]any{"name": ls.Name, "digest": d, "spec": ls.Spec}); err != nil {
+				f.Close()
+				return n, err
+			}
+			n++
+		}
+	}
+	return n, f.Close()
 }
 
 // report renders the markdown report. Its bytes depend only on the

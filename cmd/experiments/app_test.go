@@ -1,12 +1,16 @@
 package main
 
 import (
+	"context"
 	"io"
 	"net/http"
 	"os"
 	"path/filepath"
 	"strings"
 	"testing"
+	"time"
+
+	"intellinoc/internal/harness"
 )
 
 func TestParseArgsDefaults(t *testing.T) {
@@ -82,8 +86,10 @@ func TestRunTable2Only(t *testing.T) {
 }
 
 // TestRunWritesTelemetryDir drives a tiny suite with -telemetry-dir and
-// -telemetry-addr and checks the snapshot files and the live /metrics
-// endpoint.
+// -telemetry-addr and checks the snapshot files, and that the server is
+// gone once run returns (the serve goroutine and listener must not
+// outlive the suite; TestTelemetryTapServeShutdown covers the live
+// surface itself).
 func TestRunWritesTelemetryDir(t *testing.T) {
 	dir := t.TempDir()
 	tdir := filepath.Join(dir, "telemetry")
@@ -95,6 +101,24 @@ func TestRunWritesTelemetryDir(t *testing.T) {
 	var out, errBuf strings.Builder
 	if err := run(nil, o, &out, &errBuf); err != nil {
 		t.Fatal(err)
+	}
+
+	// The bound address is reported on stderr; after run returns the
+	// telemetry server must be shut down, not leaked for the process
+	// lifetime.
+	var addr string
+	for _, line := range strings.Split(errBuf.String(), "\n") {
+		if strings.Contains(line, "telemetry: serving") {
+			fields := strings.Fields(line)
+			addr = fields[len(fields)-1]
+		}
+	}
+	if addr == "" {
+		t.Fatalf("stderr missing telemetry server line:\n%s", errBuf.String())
+	}
+	if resp, err := http.Get("http://" + addr + "/metrics"); err == nil {
+		resp.Body.Close()
+		t.Fatal("telemetry server still serving after the suite returned")
 	}
 
 	prom, err := os.ReadFile(filepath.Join(tdir, "metrics.prom"))
@@ -120,19 +144,22 @@ func TestRunWritesTelemetryDir(t *testing.T) {
 			t.Fatalf("timeline.json missing %q:\n%s", want, tl)
 		}
 	}
+}
 
-	// The bound address is reported on stderr; fetch /metrics live.
-	var addr string
-	for _, line := range strings.Split(errBuf.String(), "\n") {
-		if strings.Contains(line, "telemetry: serving") {
-			fields := strings.Fields(line)
-			addr = fields[len(fields)-1]
-		}
+// TestTelemetryTapServeShutdown exercises the tap's HTTP surface
+// directly: /metrics and /debug/vars live while serving, then a clean
+// Shutdown after which the listener refuses connections — the regression
+// test for the tap's old leak-forever go http.Serve.
+func TestTelemetryTapServeShutdown(t *testing.T) {
+	tap := newTelemetryTap()
+	tap.observe(harness.Record{Digest: "d1", Kind: "run", Name: "probe", WallMS: 3})
+
+	var errBuf strings.Builder
+	ops, err := tap.serve("127.0.0.1:0", &errBuf)
+	if err != nil {
+		t.Fatal(err)
 	}
-	if addr == "" {
-		t.Fatalf("stderr missing telemetry server line:\n%s", errBuf.String())
-	}
-	resp, err := http.Get("http://" + addr + "/metrics")
+	resp, err := http.Get("http://" + ops.Addr + "/metrics")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -141,10 +168,10 @@ func TestRunWritesTelemetryDir(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if !strings.Contains(string(body), "experiments_jobs_completed_total") {
-		t.Fatalf("/metrics missing job counter:\n%s", body)
+	if !strings.Contains(string(body), "experiments_jobs_completed_total 1") {
+		t.Fatalf("/metrics missing observed job:\n%s", body)
 	}
-	resp, err = http.Get("http://" + addr + "/debug/vars")
+	resp, err = http.Get("http://" + ops.Addr + "/debug/vars")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -155,6 +182,19 @@ func TestRunWritesTelemetryDir(t *testing.T) {
 	}
 	if !strings.Contains(string(body), "experiments") {
 		t.Fatalf("/debug/vars missing published registry:\n%s", body)
+	}
+
+	sctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := ops.Shutdown(sctx); err != nil {
+		t.Fatal(err)
+	}
+	if resp, err := http.Get("http://" + ops.Addr + "/metrics"); err == nil {
+		resp.Body.Close()
+		t.Fatal("tap server still serving after Shutdown")
+	}
+	if errBuf.Len() > 0 {
+		t.Fatalf("clean shutdown wrote to the error log: %s", errBuf.String())
 	}
 }
 

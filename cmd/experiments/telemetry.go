@@ -1,12 +1,7 @@
 package main
 
 import (
-	"expvar"
-	"fmt"
 	"io"
-	"net"
-	"net/http"
-	"net/http/pprof"
 	"os"
 	"path/filepath"
 	"sync"
@@ -31,8 +26,6 @@ type telemetryTap struct {
 	mu    sync.Mutex
 	spans []telemetry.Span
 }
-
-var publishExpvarOnce sync.Once
 
 func newTelemetryTap() *telemetryTap {
 	reg := telemetry.NewRegistry()
@@ -110,27 +103,15 @@ func (t *telemetryTap) writeDir(dir string) error {
 
 // serve exposes the tap over HTTP while the suite runs: the registry's
 // Prometheus snapshot at /metrics, expvar at /debug/vars, and the pprof
-// profiling endpoints. Returns the bound address (addr may use port 0).
-func (t *telemetryTap) serve(addr string, errlog io.Writer) (string, error) {
-	ln, err := net.Listen("tcp", addr)
-	if err != nil {
-		return "", err
-	}
-	// expvar panics on duplicate names; publish only the process's first
-	// served tap (one tap per process in normal CLI use).
-	publishExpvarOnce.Do(func() { t.reg.PublishExpvar("experiments") })
-	mux := http.NewServeMux()
-	mux.Handle("/metrics", t.reg.Handler())
-	mux.Handle("/debug/vars", expvar.Handler())
-	mux.HandleFunc("/debug/pprof/", pprof.Index)
-	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
-	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
-	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
-	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
-	go func() {
-		if err := http.Serve(ln, mux); err != nil && errlog != nil {
-			fmt.Fprintln(errlog, "experiments: telemetry server:", err)
-		}
-	}()
-	return ln.Addr().String(), nil
+// profiling endpoints (telemetry.OpsHandler — the same surface
+// cmd/intellinocd mounts). The returned server carries the Shutdown hook
+// the caller must invoke when the suite completes, so neither the
+// listener nor the serve goroutine (nor a late write to errlog) outlives
+// the run. addr may use port 0; the bound address is in the result.
+func (t *telemetryTap) serve(addr string, errlog io.Writer) (*telemetry.OpsServer, error) {
+	// Expvar publication is scoped per name and rebinds on re-publish,
+	// so a second tap in the same process serves its own (fresh) values
+	// instead of the first tap's abandoned registry.
+	t.reg.PublishExpvar("experiments")
+	return telemetry.ServeOps(addr, telemetry.OpsHandler(t.reg), errlog)
 }

@@ -1,0 +1,135 @@
+package main
+
+import (
+	"context"
+	"io"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// syncBuffer is a mutex-guarded strings.Builder: run writes to stderr
+// from the daemon goroutine while the test polls it.
+type syncBuffer struct {
+	mu sync.Mutex
+	b  strings.Builder
+}
+
+func (s *syncBuffer) Write(p []byte) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.Write(p)
+}
+
+func (s *syncBuffer) String() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.String()
+}
+
+func TestParseArgsDefaults(t *testing.T) {
+	o, err := parseArgs(nil, io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o.addr != "127.0.0.1:8080" || o.store != "intellinocd-results.jsonl" ||
+		o.workers <= 0 || o.drainTimeout != 30*time.Second {
+		t.Fatalf("unexpected defaults: %+v", o)
+	}
+}
+
+func TestParseArgsRejectsBadInput(t *testing.T) {
+	if _, err := parseArgs([]string{"-nope"}, io.Discard); err == nil {
+		t.Fatal("unknown flag must error")
+	}
+	if _, err := parseArgs([]string{"positional"}, io.Discard); err == nil {
+		t.Fatal("positional args must error")
+	}
+}
+
+func TestLoadTenants(t *testing.T) {
+	if tenants, err := loadTenants(""); err != nil || tenants != nil {
+		t.Fatalf("empty path: %v %v", tenants, err)
+	}
+	path := filepath.Join(t.TempDir(), "tenants.json")
+	if err := os.WriteFile(path, []byte(`{"alice":{"priority":5,"rate_per_sec":10,"burst":20,"max_in_flight":64}}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	tenants, err := loadTenants(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := tenants["alice"]
+	if a.Priority != 5 || a.RatePerSec != 10 || a.Burst != 20 || a.MaxInFlight != 64 {
+		t.Fatalf("parsed limits: %+v", a)
+	}
+	if err := os.WriteFile(path, []byte("not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := loadTenants(path); err == nil {
+		t.Fatal("malformed tenants file must error")
+	}
+	if _, err := loadTenants(filepath.Join(t.TempDir(), "missing.json")); err == nil {
+		t.Fatal("missing tenants file must error")
+	}
+}
+
+// TestRunServesAndDrains drives the daemon shell end to end: bind port
+// 0, hit /healthz over real TCP, then cancel the context (the signal
+// path) and require a clean drain.
+func TestRunServesAndDrains(t *testing.T) {
+	o, err := parseArgs([]string{"-addr", "127.0.0.1:0", "-store", "", "-workers", "1",
+		"-drain-timeout", "5s"}, io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	var stderr syncBuffer
+	errc := make(chan error, 1)
+	go func() { errc <- run(ctx, o, &stderr) }()
+
+	var addr string
+	deadline := time.Now().Add(10 * time.Second)
+	for addr == "" {
+		if time.Now().After(deadline) {
+			t.Fatalf("daemon never reported its address:\n%s", stderr.String())
+		}
+		for _, line := range strings.Split(stderr.String(), "\n") {
+			if strings.Contains(line, "listening on") {
+				fields := strings.Fields(line)
+				addr = fields[len(fields)-1]
+			}
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	resp, err := http.Get("http://" + addr + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil || !strings.Contains(string(body), `"ok"`) {
+		t.Fatalf("healthz: %v %s", err, body)
+	}
+
+	cancel()
+	select {
+	case err := <-errc:
+		if err != nil {
+			t.Fatalf("run: %v\n%s", err, stderr.String())
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatalf("daemon never drained:\n%s", stderr.String())
+	}
+	if !strings.Contains(stderr.String(), "shut down cleanly") {
+		t.Fatalf("missing clean-shutdown line:\n%s", stderr.String())
+	}
+	if resp, err := http.Get("http://" + addr + "/healthz"); err == nil {
+		resp.Body.Close()
+		t.Fatal("daemon still serving after drain")
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"io/fs"
 	"os"
 	"sync"
@@ -98,10 +99,19 @@ func (w *Writer) Close() error {
 	return w.f.Close()
 }
 
+// maxLineBytes bounds a single record line on load. No record this
+// package writes approaches it; a longer line can only be torn-write
+// garbage (e.g. a kill mid-write interleaved with a rogue appender), so
+// it is skipped as corruption rather than buffered or treated as fatal.
+const maxLineBytes = 1 << 24 // 16 MiB
+
 // LoadRecords reads a JSONL results file into a digest-keyed map. A
 // missing file yields an empty map (a fresh run). Unparsable lines —
 // e.g. a partial last line left by a killed process — are skipped and
 // counted, not fatal: resume must tolerate exactly that corruption.
+// That tolerance extends to over-long lines: a line beyond maxLineBytes
+// (a torn tail, or mid-file garbage) counts as one skipped line instead
+// of aborting the load, and its bytes are discarded without buffering.
 // Duplicate digests keep the first occurrence.
 func LoadRecords(path string) (recs map[string]Record, skipped int, err error) {
 	recs = make(map[string]Record)
@@ -113,24 +123,50 @@ func LoadRecords(path string) (recs map[string]Record, skipped int, err error) {
 		return nil, 0, fmt.Errorf("harness: opening results for resume: %w", err)
 	}
 	defer f.Close()
-	sc := bufio.NewScanner(f)
-	sc.Buffer(make([]byte, 0, 1<<20), 1<<24)
-	for sc.Scan() {
-		line := sc.Bytes()
+	br := bufio.NewReaderSize(f, 1<<20)
+	var line []byte
+	overlong := false
+	consume := func() {
+		defer func() { line, overlong = line[:0], false }()
+		if overlong {
+			skipped++
+			return
+		}
 		if len(line) == 0 {
-			continue
+			return
 		}
 		var rec Record
 		if err := json.Unmarshal(line, &rec); err != nil || rec.Digest == "" {
 			skipped++
-			continue
+			return
 		}
 		if _, dup := recs[rec.Digest]; !dup {
 			recs[rec.Digest] = rec
 		}
 	}
-	if err := sc.Err(); err != nil {
-		return nil, 0, fmt.Errorf("harness: reading results for resume: %w", err)
+	for {
+		chunk, rerr := br.ReadSlice('\n')
+		if rerr == nil {
+			chunk = chunk[:len(chunk)-1] // drop the delimiter
+		}
+		if !overlong {
+			line = append(line, chunk...)
+			if len(line) > maxLineBytes {
+				overlong = true
+				line = line[:0]
+			}
+		}
+		switch rerr {
+		case nil:
+			consume()
+		case bufio.ErrBufferFull:
+			// Mid-line: keep accumulating (or, once over-long,
+			// keep discarding until the next newline).
+		case io.EOF:
+			consume()
+			return recs, skipped, nil
+		default:
+			return nil, 0, fmt.Errorf("harness: reading results for resume: %w", rerr)
+		}
 	}
-	return recs, skipped, nil
 }

@@ -1,0 +1,212 @@
+package harness
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func testRecord(i int) Record {
+	return Record{
+		Digest:   fmt.Sprintf("digest-%04d", i),
+		Kind:     "run",
+		Name:     fmt.Sprintf("job-%d", i),
+		Seed:     int64(i),
+		WallMS:   1.5,
+		Attempts: 1,
+		Payload:  json.RawMessage(fmt.Sprintf(`{"value":%d}`, i)),
+	}
+}
+
+func writeRecords(t *testing.T, path string, resume bool, recs ...Record) {
+	t.Helper()
+	w, err := OpenWriter(path, resume)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, rec := range recs {
+		if err := w.Write(rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// A torn tail longer than the line cap must be tolerated as skipped
+// corruption, exactly like a short torn tail — LoadRecords' contract is
+// that resume survives whatever a killed process leaves behind.
+func TestLoadRecordsOverlongTornTail(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "results.jsonl")
+	writeRecords(t, path, false, testRecord(1), testRecord(2))
+
+	// A kill mid-write of a pathologically large record leaves a tail
+	// beyond the 16 MiB cap with no trailing newline.
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tail := `{"digest":"torn","payload":"` + strings.Repeat("x", maxLineBytes)
+	if _, err := f.WriteString(tail); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	recs, skipped, err := LoadRecords(path)
+	if err != nil {
+		t.Fatalf("LoadRecords must tolerate an over-long torn tail, got: %v", err)
+	}
+	if len(recs) != 2 || skipped != 1 {
+		t.Fatalf("got %d records, %d skipped; want 2 records, 1 skipped", len(recs), skipped)
+	}
+	if _, ok := recs["digest-0001"]; !ok {
+		t.Fatal("intact record lost")
+	}
+}
+
+// An over-long line mid-file (newline-terminated garbage) is skipped
+// without losing the valid records on either side of it.
+func TestLoadRecordsOverlongMidFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "results.jsonl")
+	writeRecords(t, path, false, testRecord(1))
+
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteString(strings.Repeat("y", maxLineBytes+7) + "\n"); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	writeRecords(t, path, true, testRecord(2))
+
+	recs, skipped, err := LoadRecords(path)
+	if err != nil {
+		t.Fatalf("LoadRecords must tolerate an over-long mid-file line, got: %v", err)
+	}
+	if len(recs) != 2 || skipped != 1 {
+		t.Fatalf("got %d records, %d skipped; want 2 records, 1 skipped", len(recs), skipped)
+	}
+}
+
+// Lines right at the cap are still records, one byte over is corruption:
+// the boundary must not eat valid data.
+func TestLoadRecordsLineCapBoundary(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "results.jsonl")
+	rec := testRecord(1)
+	// Pad the payload so the marshaled line is exactly maxLineBytes.
+	base, err := json.Marshal(rec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pad := maxLineBytes - len(base) - len(`,"pad":""`) + len(`{"value":1}`) - len(rec.Payload)
+	rec.Payload = json.RawMessage(fmt.Sprintf(`{"value":1,"pad":%q}`, strings.Repeat("p", pad)))
+	line, err := json.Marshal(rec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(line) != maxLineBytes {
+		t.Fatalf("test construction: line is %d bytes, want %d", len(line), maxLineBytes)
+	}
+	if err := os.WriteFile(path, append(line, '\n'), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	recs, skipped, err := LoadRecords(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 1 || skipped != 0 {
+		t.Fatalf("cap-sized line rejected: %d records, %d skipped", len(recs), skipped)
+	}
+	if !bytes.Equal(recs[rec.Digest].Payload, rec.Payload) {
+		t.Fatal("cap-sized payload corrupted")
+	}
+}
+
+// Kill/resume round-trip: truncating the stream mid-record (what a kill
+// leaves) must cost exactly the torn record; OpenWriter(resume) heals
+// the tail and appended records coexist with the survivors.
+func TestWriterKillResumeRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "results.jsonl")
+	writeRecords(t, path, false, testRecord(1), testRecord(2), testRecord(3))
+
+	// Simulate a kill mid-write: chop the file inside the last line.
+	st, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Truncate(path, st.Size()-10); err != nil {
+		t.Fatal(err)
+	}
+
+	recs, skipped, err := LoadRecords(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 2 || skipped != 1 {
+		t.Fatalf("after truncation: %d records, %d skipped; want 2, 1", len(recs), skipped)
+	}
+
+	writeRecords(t, path, true, testRecord(3), testRecord(4))
+	recs, skipped, err = LoadRecords(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 4 || skipped != 1 {
+		t.Fatalf("after resume: %d records, %d skipped; want 4, 1", len(recs), skipped)
+	}
+	for _, want := range []int{1, 2, 3, 4} {
+		rec, ok := recs[fmt.Sprintf("digest-%04d", want)]
+		if !ok {
+			t.Fatalf("record %d missing after resume", want)
+		}
+		if got := string(rec.Payload); got != fmt.Sprintf(`{"value":%d}`, want) {
+			t.Fatalf("record %d payload corrupted: %s", want, got)
+		}
+	}
+}
+
+// Concurrent writers through one Writer must interleave at record
+// granularity: every record intact, nothing skipped.
+func TestConcurrentWritersCrashConsistency(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "results.jsonl")
+	w, err := OpenWriter(path, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const writers, perWriter = 8, 50
+	var wg sync.WaitGroup
+	for g := 0; g < writers; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < perWriter; i++ {
+				if err := w.Write(testRecord(g*perWriter + i)); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	recs, skipped, err := LoadRecords(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != writers*perWriter || skipped != 0 {
+		t.Fatalf("got %d records, %d skipped; want %d, 0", len(recs), skipped, writers*perWriter)
+	}
+}

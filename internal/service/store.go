@@ -1,0 +1,80 @@
+package service
+
+import (
+	"sync"
+
+	"intellinoc/internal/harness"
+)
+
+// Store is the daemon's content-digest result store: an append-only
+// JSONL file in the exact format harness.Writer streams (so cmd/regress
+// can audit it and a crashed daemon resumes from it) plus an in-memory
+// digest index for O(1) cache hits. Identical specs submitted by any
+// number of clients are simulated once; every later submission replays
+// the stored record byte for byte.
+type Store struct {
+	mu      sync.RWMutex
+	recs    map[string]harness.Record
+	writer  *harness.Writer // nil for a memory-only store
+	skipped int
+}
+
+// OpenStore loads the index from path (tolerating the torn or over-long
+// lines a killed daemon leaves — see harness.LoadRecords) and opens the
+// file for appending. An empty path yields a memory-only store that
+// forgets everything on shutdown.
+func OpenStore(path string) (*Store, error) {
+	if path == "" {
+		return &Store{recs: make(map[string]harness.Record)}, nil
+	}
+	recs, skipped, err := harness.LoadRecords(path)
+	if err != nil {
+		return nil, err
+	}
+	w, err := harness.OpenWriter(path, true)
+	if err != nil {
+		return nil, err
+	}
+	return &Store{recs: recs, writer: w, skipped: skipped}, nil
+}
+
+// Get returns the stored record for digest, if any.
+func (s *Store) Get(digest string) (harness.Record, bool) {
+	s.mu.RLock()
+	rec, ok := s.recs[digest]
+	s.mu.RUnlock()
+	return rec, ok
+}
+
+// add indexes one freshly executed record. Persistence is separate: the
+// pool streams records through Writer() before its observer calls add,
+// so a record is on disk by the time it becomes servable from memory.
+func (s *Store) add(rec harness.Record) {
+	s.mu.Lock()
+	if _, dup := s.recs[rec.Digest]; !dup {
+		s.recs[rec.Digest] = rec
+	}
+	s.mu.Unlock()
+}
+
+// Writer exposes the append stream for harness.Options.Stream (nil for a
+// memory-only store).
+func (s *Store) Writer() *harness.Writer { return s.writer }
+
+// Len returns the number of indexed records.
+func (s *Store) Len() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.recs)
+}
+
+// Skipped reports how many corrupt lines the load tolerated.
+func (s *Store) Skipped() int { return s.skipped }
+
+// Close flushes and closes the backing file.
+func (s *Store) Close() error {
+	if s.writer == nil {
+		return nil
+	}
+	return s.writer.Close()
+}

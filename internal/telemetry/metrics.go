@@ -251,23 +251,60 @@ func (r *Registry) Handler() http.Handler {
 	})
 }
 
+// expvarRegs maps each published expvar name to the registry currently
+// backing it. The expvar package cannot unpublish (and panics on a
+// duplicate Publish), so each name is registered with expvar exactly
+// once, as an indirection through this map — re-publishing a name simply
+// re-points it at the new registry.
+var (
+	expvarMu   sync.Mutex
+	expvarRegs = make(map[string]*Registry)
+)
+
 // PublishExpvar exposes the registry under the given expvar name (served
-// at /debug/vars alongside the runtime's memstats). Expvar panics on
-// duplicate names, so publish once per process.
-func (r *Registry) PublishExpvar(name string) {
+// at /debug/vars alongside the runtime's memstats). Publication is
+// scoped per name: distinct names coexist (a daemon and an embedded
+// experiments run do not shadow each other), and re-publishing an
+// already-used name rebinds it to this registry instead of panicking or
+// silently serving the previous (possibly abandoned) registry forever.
+// It reports whether the name was newly registered with expvar; false
+// means an earlier registry held it and was rebound.
+func (r *Registry) PublishExpvar(name string) bool {
+	expvarMu.Lock()
+	_, rebound := expvarRegs[name]
+	expvarRegs[name] = r
+	expvarMu.Unlock()
+	if rebound {
+		return false
+	}
 	expvar.Publish(name, expvar.Func(func() any {
-		out := make(map[string]any)
-		r.mu.Lock()
-		for n, c := range r.counters {
-			out[n] = c.Value()
-		}
-		for n, g := range r.gauges {
-			out[n] = g.Value()
-		}
-		for n, h := range r.hists {
-			out[n] = map[string]any{"p50": h.Percentile(50), "p99": h.Percentile(99)}
-		}
-		r.mu.Unlock()
-		return out
+		expvarMu.Lock()
+		cur := expvarRegs[name]
+		expvarMu.Unlock()
+		return cur.expvarSnapshot()
 	}))
+	return true
+}
+
+// expvarSnapshot renders the registry as the flat map /debug/vars shows.
+func (r *Registry) expvarSnapshot() map[string]any {
+	out := make(map[string]any)
+	r.mu.Lock()
+	for n, c := range r.counters {
+		out[n] = c.Value()
+	}
+	for n, g := range r.gauges {
+		out[n] = g.Value()
+	}
+	hists := make(map[string]*Histogram, len(r.hists))
+	for n, h := range r.hists {
+		hists[n] = h
+	}
+	r.mu.Unlock()
+	// Percentile takes the histogram's own lock; do it outside r.mu to
+	// keep the lock order flat.
+	for n, h := range hists {
+		out[n] = map[string]any{"p50": h.Percentile(50), "p99": h.Percentile(99)}
+	}
+	return out
 }

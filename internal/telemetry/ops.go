@@ -1,0 +1,74 @@
+package telemetry
+
+import (
+	"context"
+	"expvar"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"net/http/pprof"
+)
+
+// OpsHandler builds the standard operational surface for a registry: the
+// Prometheus snapshot at /metrics, expvar at /debug/vars, and the pprof
+// profiling endpoints under /debug/pprof/. Both the experiments
+// telemetry tap and the intellinocd daemon mount this mux, so the ops
+// surface stays identical wherever a registry is served.
+func OpsHandler(reg *Registry) *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.Handle("/metrics", reg.Handler())
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// OpsServer is a started HTTP server with a shutdown hook. Unlike a bare
+// go http.Serve(...), the listener and serve goroutine do not outlive
+// the caller: Shutdown stops the listener, drains in-flight requests,
+// and waits for the serve goroutine to exit, after which nothing can
+// write to the error log.
+type OpsServer struct {
+	// Addr is the bound address ("127.0.0.1:43210" when started on
+	// port 0).
+	Addr string
+
+	srv  *http.Server
+	done chan struct{}
+}
+
+// ServeOps listens on addr (which may use port 0) and serves handler in
+// a background goroutine until Shutdown. Serve errors other than the
+// expected http.ErrServerClosed go to errlog when non-nil.
+func ServeOps(addr string, handler http.Handler, errlog io.Writer) (*OpsServer, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	o := &OpsServer{
+		Addr: ln.Addr().String(),
+		srv:  &http.Server{Handler: handler},
+		done: make(chan struct{}),
+	}
+	go func() {
+		defer close(o.done)
+		if err := o.srv.Serve(ln); err != nil && err != http.ErrServerClosed && errlog != nil {
+			fmt.Fprintln(errlog, "telemetry: ops server:", err)
+		}
+	}()
+	return o, nil
+}
+
+// Shutdown gracefully stops the server: no new connections, in-flight
+// requests drain until ctx expires, and the serve goroutine has exited
+// by the time Shutdown returns (so the errlog passed to ServeOps is
+// safe to reuse or discard afterwards).
+func (o *OpsServer) Shutdown(ctx context.Context) error {
+	err := o.srv.Shutdown(ctx)
+	<-o.done
+	return err
+}

@@ -1,0 +1,88 @@
+package telemetry
+
+import (
+	"context"
+	"expvar"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+)
+
+// Publishing the same expvar name from a second registry must rebind the
+// name to the new registry (not panic, and not keep serving the first,
+// abandoned registry's values forever), while distinct names coexist.
+func TestPublishExpvarScopedPerName(t *testing.T) {
+	reg1 := NewRegistry()
+	reg1.Counter("ops_test_hits_total", "first registry").Add(7)
+	if !reg1.PublishExpvar("ops_test_scope") {
+		t.Fatal("first publication of a fresh name must report true")
+	}
+	v := expvar.Get("ops_test_scope")
+	if v == nil {
+		t.Fatal("expvar name not registered")
+	}
+	if got := v.String(); !strings.Contains(got, `"ops_test_hits_total":7`) {
+		t.Fatalf("expvar serves wrong snapshot: %s", got)
+	}
+
+	// A second tap re-using the name: rebinding makes /debug/vars serve
+	// the live registry instead of an empty or stale one.
+	reg2 := NewRegistry()
+	reg2.Counter("ops_test_hits_total", "second registry").Add(31)
+	if reg2.PublishExpvar("ops_test_scope") {
+		t.Fatal("re-publication must report false (rebound, not newly registered)")
+	}
+	if got := v.String(); !strings.Contains(got, `"ops_test_hits_total":31`) {
+		t.Fatalf("expvar not rebound to the new registry: %s", got)
+	}
+
+	// A different name is its own scope: both registries served at once.
+	reg3 := NewRegistry()
+	reg3.Gauge("ops_test_depth", "third registry").Set(2.5)
+	if !reg3.PublishExpvar("ops_test_other_scope") {
+		t.Fatal("distinct name must register fresh")
+	}
+	if got := expvar.Get("ops_test_other_scope").String(); !strings.Contains(got, `"ops_test_depth":2.5`) {
+		t.Fatalf("second scope serves wrong snapshot: %s", got)
+	}
+	if got := v.String(); !strings.Contains(got, `"ops_test_hits_total":31`) {
+		t.Fatalf("first scope disturbed by second: %s", got)
+	}
+}
+
+// ServeOps must serve the full ops surface and Shutdown must stop both
+// the listener and the serve goroutine.
+func TestServeOpsShutdown(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("ops_test_served_total", "test counter").Inc()
+	srv, err := ServeOps("127.0.0.1:0", OpsHandler(reg), io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, path := range []string{"/metrics", "/debug/vars", "/debug/pprof/"} {
+		resp, err := http.Get("http://" + srv.Addr + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		body, err := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if err != nil || resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s: status %d, err %v", path, resp.StatusCode, err)
+		}
+		if path == "/metrics" && !strings.Contains(string(body), "ops_test_served_total 1") {
+			t.Fatalf("/metrics missing counter:\n%s", body)
+		}
+	}
+	if err := srv.Shutdown(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if resp, err := http.Get("http://" + srv.Addr + "/metrics"); err == nil {
+		resp.Body.Close()
+		t.Fatal("server still accepting connections after Shutdown")
+	}
+	// Shutdown is idempotent-enough to call twice without hanging.
+	if err := srv.Shutdown(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+}
