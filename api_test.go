@@ -16,7 +16,8 @@ func TestPublicAPIEndToEnd(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := Run(TechIntelliNoC, sim, gen, policy)
+	out, err := Simulate(nil, TechIntelliNoC, sim, gen, WithPolicy(policy))
+	res := out.Result
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -36,12 +37,12 @@ func TestPublicAPISynthetic(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := Run(TechCP, SimConfig{Width: 4, Height: 4, Seed: 1}, gen, nil)
+	out, err := Simulate(nil, TechCP, SimConfig{Width: 4, Height: 4, Seed: 1}, gen)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if res.PacketsDelivered != 400 {
-		t.Fatalf("delivered %d/400", res.PacketsDelivered)
+	if out.Result.PacketsDelivered != 400 {
+		t.Fatalf("delivered %d/400", out.Result.PacketsDelivered)
 	}
 }
 
@@ -49,12 +50,19 @@ func TestPublicAPITechniquesAndBenchmarks(t *testing.T) {
 	if len(Techniques()) != 5 {
 		t.Fatal("five techniques expected")
 	}
+	if len(AllTechniques()) != 6 {
+		t.Fatal("six total techniques expected")
+	}
 	if len(ParsecBenchmarks()) != 10 {
 		t.Fatal("ten benchmarks expected")
 	}
 	tech, err := ParseTechnique("IntelliNoC")
 	if err != nil || tech != TechIntelliNoC {
 		t.Fatal("ParseTechnique broken")
+	}
+	tech, err = ParseTechnique("IntelliNoCBuf")
+	if err != nil || tech != TechIntelliNoCBuf {
+		t.Fatal("ParseTechnique must resolve the buffer-RL technique")
 	}
 }
 

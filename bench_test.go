@@ -30,8 +30,34 @@ var benchSubset = []string{"ferret", "swaptions"}
 // eight figure benches measure figure construction against live results
 // without re-running the 2×5 simulation matrix eight times per bench.
 var comparison = sync.OnceValues(func() (*experiments.Comparison, error) {
-	return experiments.RunComparisonSubset(benchSim(), 2500, 0, benchSubset, core.Techniques())
+	specs := experiments.ComparisonSpecs(benchSim(), 2500, benchSubset, core.Techniques())
+	look, err := experiments.ExecuteSpecs(nil, specs, experiments.NewPolicyStore(), 0)
+	if err != nil {
+		return nil, err
+	}
+	return experiments.AssembleComparison(benchSim(), 2500, benchSubset, core.Techniques(), look)
 })
+
+// suiteFigure regenerates one figure through the suite planner (the same
+// path cmd/experiments takes); opts.Packets is the full-suite budget the
+// planner divides per experiment.
+func suiteFigure(b *testing.B, opts experiments.SuiteOptions, id string) experiments.Figure {
+	b.Helper()
+	opts.Sim = benchSim()
+	opts.Only = []string{id}
+	s, err := experiments.NewSuite(opts)
+	if err != nil {
+		b.Fatal(err)
+	}
+	res, err := s.Run(experiments.RunOptions{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if len(res.Figures) != 1 {
+		b.Fatalf("suite produced %d figures for %s", len(res.Figures), id)
+	}
+	return res.Figures[0]
+}
 
 func mustComparison(b *testing.B) *experiments.Comparison {
 	b.Helper()
@@ -124,12 +150,9 @@ func BenchmarkFig16MTTF(b *testing.B) {
 
 func BenchmarkFig17aTimeStep(b *testing.B) {
 	var fig experiments.Figure
-	var err error
 	for i := 0; i < b.N; i++ {
-		fig, err = experiments.Fig17aTimeStep(benchSim(), 1200, []string{"swaptions"})
-		if err != nil {
-			b.Fatal(err)
-		}
+		// The planner halves the budget for fig17 sweeps: 2400 → 1200/run.
+		fig = suiteFigure(b, experiments.SuiteOptions{Packets: 2400, SweepBenches: []string{"swaptions"}}, "fig17a")
 	}
 	// Report the 1k-cycle (paper-tuned) row's execution-time ratio.
 	b.ReportMetric(fig.Rows[2].Values[0], "exec_ratio_1k")
@@ -137,24 +160,16 @@ func BenchmarkFig17aTimeStep(b *testing.B) {
 
 func BenchmarkFig17bErrorRate(b *testing.B) {
 	var fig experiments.Figure
-	var err error
 	for i := 0; i < b.N; i++ {
-		fig, err = experiments.Fig17bErrorRate(benchSim(), 1200, []string{"swaptions"})
-		if err != nil {
-			b.Fatal(err)
-		}
+		fig = suiteFigure(b, experiments.SuiteOptions{Packets: 2400, SweepBenches: []string{"swaptions"}}, "fig17b")
 	}
 	b.ReportMetric(fig.Rows[0].Values[0], "latency_ratio_1e-7")
 }
 
 func BenchmarkFig18aGamma(b *testing.B) {
 	var fig experiments.Figure
-	var err error
 	for i := 0; i < b.N; i++ {
-		fig, err = experiments.Fig18aGamma(benchSim(), 1200)
-		if err != nil {
-			b.Fatal(err)
-		}
+		fig = suiteFigure(b, experiments.SuiteOptions{Packets: 2400}, "fig18a")
 	}
 	// γ=0.9 row (index 4) should carry the best (lowest) EDP.
 	b.ReportMetric(fig.Rows[4].Values[0], "edp_gamma0.9")
@@ -162,12 +177,8 @@ func BenchmarkFig18aGamma(b *testing.B) {
 
 func BenchmarkFig18bEpsilon(b *testing.B) {
 	var fig experiments.Figure
-	var err error
 	for i := 0; i < b.N; i++ {
-		fig, err = experiments.Fig18bEpsilon(benchSim(), 1200)
-		if err != nil {
-			b.Fatal(err)
-		}
+		fig = suiteFigure(b, experiments.SuiteOptions{Packets: 2400}, "fig18b")
 	}
 	// ε=0.05 row (index 2) is the paper's tuned point.
 	b.ReportMetric(fig.Rows[2].Values[0], "edp_eps0.05")
@@ -187,12 +198,9 @@ func BenchmarkTable2Area(b *testing.B) {
 // full IntelliNoC vs each technique removed.
 func BenchmarkAblation(b *testing.B) {
 	var fig experiments.Figure
-	var err error
 	for i := 0; i < b.N; i++ {
-		fig, err = experiments.AblationStudy(benchSim(), 1500, []string{"ferret"})
-		if err != nil {
-			b.Fatal(err)
-		}
+		// The planner thirds the budget for the ablation: 4500 → 1500/run.
+		fig = suiteFigure(b, experiments.SuiteOptions{Packets: 4500, SweepBenches: []string{"ferret"}}, "ablation")
 	}
 	// Report the full design's energy-efficiency gain for orientation.
 	b.ReportMetric(fig.Rows[0].Values[3], "full_efficiency_x")
@@ -202,12 +210,9 @@ func BenchmarkAblation(b *testing.B) {
 // validation curve across all five designs.
 func BenchmarkLoadLatencySweep(b *testing.B) {
 	var fig experiments.Figure
-	var err error
 	for i := 0; i < b.N; i++ {
-		fig, err = experiments.LoadLatencySweep(benchSim(), 1200, []float64{0.05, 0.2})
-		if err != nil {
-			b.Fatal(err)
-		}
+		// The planner quarters the budget for the loadsweep: 4800 → 1200/run.
+		fig = suiteFigure(b, experiments.SuiteOptions{Packets: 4800, LoadRates: []float64{0.05, 0.2}}, "loadsweep")
 	}
 	b.ReportMetric(fig.Rows[0].Values[0], "secded_lat_low_load")
 }

@@ -32,7 +32,7 @@ func parseArgs(args []string, stderr io.Writer) (options, error) {
 	fs := flag.NewFlagSet("diffcheck", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	fs.StringVar(&o.pairs, "pairs", "all",
-		"comma-separated check families (ff,shards,shardsbig,verify,topoff,toposhards,topoverify,invariants,rl,snapshot,harness) or all")
+		"comma-separated check families ("+strings.Join(diffcheck.AllChecks, ",")+") or all")
 	fs.IntVar(&o.campaign, "campaign", 10, "fuzzed scenarios per check family")
 	fs.Int64Var(&o.seed, "seed", 1, "campaign PRNG seed (equal seeds replay the exact campaign)")
 	fs.StringVar(&o.corpus, "corpus", "", "extra regression-corpus JSON to replay (the embedded corpus always runs)")

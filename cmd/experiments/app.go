@@ -31,6 +31,7 @@ type options struct {
 	telemetryAddr string
 	shards        int
 	topology      string
+	policyZoo     string
 	cpuprofile    string
 	memprofile    string
 	dumpSpecs     string
@@ -55,6 +56,7 @@ func parseArgs(args []string, stderr io.Writer) (options, error) {
 	fs.StringVar(&o.telemetryAddr, "telemetry-addr", "", "serve /metrics, /debug/vars, and /debug/pprof on this address while the suite runs (e.g. localhost:6060)")
 	fs.IntVar(&o.shards, "shards", 0, "step each simulated mesh with this many parallel shards (bit-identical results and digests; 0 = sequential)")
 	fs.StringVar(&o.topology, "topology", "", "fabric family for every run: mesh (default), torus, chiplet[:WxH], routerless (changes results and digests)")
+	fs.StringVar(&o.policyZoo, "policy-zoo", "", "policy zoo directory: reuse pre-trained Q-tables across invocations, keyed by policy-spec digest (bit-identical results; empty = train in-process)")
 	fs.StringVar(&o.dumpSpecs, "dump-specs", "", "write the suite's unique run specs as JSONL ({name,digest,spec} per line) to this path and exit without simulating — feeds cmd/intellinocd clients")
 	fs.StringVar(&o.cpuprofile, "cpuprofile", "", "write a CPU profile of the whole suite to this file")
 	fs.StringVar(&o.memprofile, "memprofile", "", "write a heap profile taken after the suite to this file")
@@ -142,6 +144,13 @@ func run(ctx context.Context, o options, stdout, stderr io.Writer) error {
 			fmt.Fprintf(stderr, "telemetry: serving /metrics, /debug/vars, /debug/pprof on %s\n", ops.Addr)
 		}
 	}
+	var zoo *core.PolicyStore
+	if o.policyZoo != "" {
+		zoo, err = core.NewPolicyStore(o.policyZoo)
+		if err != nil {
+			return fmt.Errorf("opening policy zoo: %w", err)
+		}
+	}
 	start := time.Now()
 	res, err := suite.Run(experiments.RunOptions{
 		Workers:     o.workers,
@@ -150,6 +159,7 @@ func run(ctx context.Context, o options, stdout, stderr io.Writer) error {
 		Progress:    progress,
 		Observer:    observer,
 		Ctx:         ctx,
+		PolicyZoo:   zoo,
 	})
 	if err != nil {
 		return err
@@ -166,6 +176,10 @@ func run(ctx context.Context, o options, stdout, stderr io.Writer) error {
 	}
 	if res.MaxQTableEntries > 0 {
 		fmt.Fprintf(stdout, "IntelliNoC max Q-table: %d entries (paper budget: 350)\n\n", res.MaxQTableEntries)
+	}
+	if o.policyZoo != "" {
+		fmt.Fprintf(stdout, "policy zoo: %d loaded, %d trained and stored, %d warm-started\n",
+			res.Zoo.Hits, res.Zoo.Stores, res.Zoo.WarmStarts)
 	}
 	if o.resume {
 		fmt.Fprintf(stdout, "resume: %d jobs reused, %d run", res.JobsCached, res.JobsRun)

@@ -19,13 +19,14 @@ import (
 	"runtime/pprof"
 
 	"intellinoc"
+	"intellinoc/internal/experiments"
 	"intellinoc/internal/telemetry"
 	"intellinoc/internal/traffic"
 )
 
 func main() {
 	var (
-		tech          = flag.String("tech", "IntelliNoC", "technique: SECDED, EB, CP, CPD, IntelliNoC")
+		tech          = flag.String("tech", "IntelliNoC", "technique: SECDED, EB, CP, CPD, IntelliNoC, IntelliNoCBuf")
 		benchmark     = flag.String("benchmark", "", "PARSEC benchmark workload model")
 		pattern       = flag.String("pattern", "", "synthetic pattern: uniform, transpose, bitcomplement, bitreverse, shuffle, tornado, neighbor, hotspot")
 		traceFile     = flag.String("trace", "", "replay a recorded trace file")
@@ -38,11 +39,13 @@ func main() {
 		errRate       = flag.Float64("error-rate", 0, "override base bit error rate (0 = default 4e-5)")
 		forced        = flag.Float64("forced-error-rate", 0, "inject at exactly this rate, ignoring temperature")
 		seed          = flag.Int64("seed", 1, "PRNG seed")
-		pretrain      = flag.Int("pretrain", 2, "IntelliNoC pre-training epochs on blackscholes (0 = train online)")
+		pretrain      = flag.Int("pretrain", 2, "RL pre-training epochs on blackscholes (0 = train online)")
 		verify        = flag.Bool("verify-payloads", false, "carry real payload bytes through the bit-exact ECC codecs")
 		openLoop      = flag.Bool("open-loop", false, "replay the workload open-loop (default is a Netrace-style dependency window of 1)")
 		savePol       = flag.String("save-policy", "", "write the (pre-)trained policy to this file")
 		loadPol       = flag.String("load-policy", "", "load a policy saved earlier instead of pre-training")
+		policyZoo     = flag.String("policy-zoo", "", "policy zoo directory: reuse pre-trained Q-tables across invocations, keyed by pre-training-spec digest")
+		warmStart     = flag.Bool("warm-start", false, "seed pre-training from the nearest compatible policy-zoo entry (requires -policy-zoo)")
 		perRouterFlag = flag.Bool("per-router", false, "print the per-router summary table")
 		heatmap       = flag.Bool("heatmap", false, "print the die temperature grid")
 		chromeTrace   = flag.String("chrome-trace", "", "write a Chrome trace-event JSON timeline of the run to this file (load in Perfetto or chrome://tracing)")
@@ -124,13 +127,41 @@ func main() {
 		}
 		fmt.Printf("loaded policy %s: %d agents, max Q-table %d entries\n",
 			*loadPol, policy.Routers(), policy.MaxTableSize())
-	case technique == intellinoc.TechIntelliNoC && *pretrain > 0:
-		fmt.Printf("pre-training policy on blackscholes (%d epochs)...\n", *pretrain)
-		policy, err = intellinoc.Pretrain(sim, *pretrain, *packets)
+	case technique.RLControlled() && *pretrain > 0:
+		spec := experiments.PolicySpec{Sim: sim, Epochs: *pretrain, PacketsPerEpoch: *packets}
+		if technique != intellinoc.TechIntelliNoC {
+			// "" selects IntelliNoC; naming it explicitly would fork the
+			// digest away from every zoo entry the suite writes.
+			spec.Tech = technique.String()
+		}
+		if *warmStart {
+			if *policyZoo == "" {
+				fatal(errors.New("-warm-start requires -policy-zoo"))
+			}
+			spec.WarmStart = experiments.WarmStartNearest
+		}
+		var zoo *intellinoc.PolicyStore
+		if *policyZoo != "" {
+			if zoo, err = intellinoc.NewPolicyStore(*policyZoo); err != nil {
+				fatal(err)
+			}
+		}
+		store := experiments.NewZooPolicyStore(zoo)
+		fmt.Printf("pre-training %s policy on blackscholes (%d epochs)...\n", technique, *pretrain)
+		policy, err = store.Get(spec)
 		if err != nil {
 			fatal(err)
 		}
-		fmt.Printf("pre-trained: max Q-table %d entries\n", policy.MaxTableSize())
+		switch stats := store.Stats(); {
+		case stats.Hits > 0:
+			fmt.Printf("loaded from policy zoo (digest %s): max Q-table %d entries\n",
+				spec.Digest(), policy.MaxTableSize())
+		case stats.WarmStarts > 0:
+			fmt.Printf("pre-trained (warm-started from zoo neighbor): max Q-table %d entries\n",
+				policy.MaxTableSize())
+		default:
+			fmt.Printf("pre-trained: max Q-table %d entries\n", policy.MaxTableSize())
+		}
 	}
 	if *savePol != "" && policy != nil {
 		f, err := os.Create(*savePol)

@@ -7,6 +7,7 @@
 //	intellinocd -addr :8080 -store results.jsonl
 //	intellinocd -addr 127.0.0.1:0 -workers 8 -rate 10 -quota 64
 //	intellinocd -tenants tenants.json -drain-timeout 1m
+//	intellinocd -policy-zoo zoo/ -store results.jsonl
 //
 // API:
 //
@@ -45,6 +46,7 @@ import (
 type options struct {
 	addr         string
 	store        string
+	policyZoo    string
 	workers      int
 	retries      int
 	shards       int
@@ -66,6 +68,7 @@ func parseArgs(args []string, stderr io.Writer) (options, error) {
 	fs.SetOutput(stderr)
 	fs.StringVar(&o.addr, "addr", "127.0.0.1:8080", "listen address (port 0 picks a free port; the bound address is logged)")
 	fs.StringVar(&o.store, "store", "intellinocd-results.jsonl", "JSONL digest result store (loaded on start, appended per job; empty = memory-only)")
+	fs.StringVar(&o.policyZoo, "policy-zoo", "", "policy zoo directory: persist pre-trained Q-tables across restarts, keyed by policy-spec digest (empty = in-memory only)")
 	fs.IntVar(&o.workers, "workers", runtime.GOMAXPROCS(0), "parallel simulations")
 	fs.IntVar(&o.retries, "retries", 0, "per-job retry count (0 = harness default, negative disables)")
 	fs.IntVar(&o.shards, "shards", 0, "step each simulated mesh with this many parallel shards (digest-neutral; 0 = sequential)")
@@ -111,6 +114,7 @@ func run(ctx context.Context, o options, stderr io.Writer) error {
 	}
 	srv, err := service.New(service.Config{
 		StorePath: o.store,
+		PolicyZoo: o.policyZoo,
 		Workers:   o.workers,
 		Retries:   o.retries,
 		Shards:    o.shards,

@@ -10,8 +10,8 @@
 // Quick start:
 //
 //	gen, _ := intellinoc.ParsecWorkload("canneal", intellinoc.SimConfig{}, 20000)
-//	res, err := intellinoc.Run(intellinoc.TechIntelliNoC, intellinoc.SimConfig{}, gen, nil)
-//	fmt.Println(res.AvgLatency, res.EnergyEfficiency())
+//	out, err := intellinoc.Simulate(ctx, intellinoc.TechIntelliNoC, intellinoc.SimConfig{}, gen)
+//	fmt.Println(out.Result.AvgLatency, out.Result.EnergyEfficiency())
 //
 // The experiment harness that regenerates every table and figure of the
 // paper's evaluation lives in internal/experiments and is exposed through
@@ -31,17 +31,22 @@ import (
 // Technique identifies one of the five compared NoC designs.
 type Technique = core.Technique
 
-// The five designs of the paper's evaluation (Section 6.3).
+// The five designs of the paper's evaluation (Section 6.3), plus the
+// RACE-style buffer-RL extension.
 const (
-	TechSECDED     = core.TechSECDED
-	TechEB         = core.TechEB
-	TechCP         = core.TechCP
-	TechCPD        = core.TechCPD
-	TechIntelliNoC = core.TechIntelliNoC
+	TechSECDED        = core.TechSECDED
+	TechEB            = core.TechEB
+	TechCP            = core.TechCP
+	TechCPD           = core.TechCPD
+	TechIntelliNoC    = core.TechIntelliNoC
+	TechIntelliNoCBuf = core.TechIntelliNoCBuf
 )
 
-// Techniques lists all designs in the paper's figure order.
+// Techniques lists the paper's five designs in figure order.
 func Techniques() []Technique { return core.Techniques() }
+
+// AllTechniques lists every technique, paper designs first.
+func AllTechniques() []Technique { return core.AllTechniques() }
 
 // ParseTechnique resolves a printed technique name.
 func ParseTechnique(s string) (Technique, error) { return core.ParseTechnique(s) }
@@ -123,30 +128,9 @@ func Simulate(ctx context.Context, tech Technique, sim SimConfig, gen Workload, 
 	return core.Simulate(ctx, tech, sim, gen, opts...)
 }
 
-// Run simulates one technique over one workload. For TechIntelliNoC a
-// pre-trained policy may be supplied (nil trains online from scratch).
-//
-// Deprecated: use Simulate. Run(tech, sim, gen, p) is exactly
-// Simulate(nil, tech, sim, gen, WithPolicy(p)) ignoring all but the
-// Result.
-func Run(tech Technique, sim SimConfig, gen Workload, policy *Policy) (Result, error) {
-	out, err := core.Simulate(nil, tech, sim, gen, core.WithPolicy(policy))
-	return out.Result, err
-}
-
 // RouterSummary is one router's slice of a run: temperature, wear, MTTF,
 // energy and forwarded traffic.
 type RouterSummary = noc.RouterSummary
-
-// RunDetailed is Run plus per-router summaries for heatmaps and hotspot
-// analysis.
-//
-// Deprecated: use Simulate with WithRouterSummaries.
-func RunDetailed(tech Technique, sim SimConfig, gen Workload, policy *Policy) (Result, []RouterSummary, error) {
-	out, err := core.Simulate(nil, tech, sim, gen,
-		core.WithPolicy(policy), core.WithRouterSummaries())
-	return out.Result, out.Routers, err
-}
 
 // Pretrain trains an IntelliNoC policy on the blackscholes workload model
 // (the paper's pre-training benchmark).
@@ -154,9 +138,26 @@ func Pretrain(sim SimConfig, epochs, packetsPerEpoch int) (*Policy, error) {
 	return core.Pretrain(sim, epochs, packetsPerEpoch)
 }
 
+// PretrainTechnique is Pretrain generalized over the RL techniques
+// (TechIntelliNoCBuf trains the buffer domain too) and warm starting: a
+// non-nil warm policy seeds training from its tables instead of zero-Q
+// agents.
+func PretrainTechnique(tech Technique, sim SimConfig, epochs, packetsPerEpoch int, warm *Policy) (*Policy, error) {
+	return core.PretrainTechnique(tech, sim, epochs, packetsPerEpoch, warm)
+}
+
 // LoadPolicy reads a pre-trained policy previously written with
-// Policy.Save, so expensive training runs can be reused across sessions.
+// Policy.Save — snapshot format v2 (multi-domain, schema-tagged) or the
+// legacy v1 single-agent files — so expensive training runs can be reused
+// across sessions.
 func LoadPolicy(r io.Reader) (*Policy, error) { return core.LoadPolicy(r) }
+
+// PolicyStore is a digest-keyed directory of pre-trained policies (the
+// policy zoo); see NewPolicyStore.
+type PolicyStore = core.PolicyStore
+
+// NewPolicyStore opens (creating if needed) a policy zoo rooted at dir.
+func NewPolicyStore(dir string) (*PolicyStore, error) { return core.NewPolicyStore(dir) }
 
 // ParsecBenchmarks returns the ten evaluation benchmark names.
 func ParsecBenchmarks() []string { return traffic.ParsecBenchmarks() }

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"math"
 	"math/rand"
 
 	"intellinoc/internal/noc"
@@ -32,18 +33,34 @@ func (CPDController) NextMode(obs noc.Observation) noc.Mode {
 	}
 }
 
+// lastDecision remembers one agent's previous (state, action) pair so the
+// next observation can close the TD update.
+type lastDecision struct {
+	state  rl.State
+	action int
+	valid  bool
+}
+
 // RLController runs one tabular Q-learning agent per router (Section 5):
 // each agent observes its router's 16-feature state, receives the eq. 1
 // reward, applies the eq. 2 temporal-difference update, and ε-greedily
 // picks one of the five operation modes for the next time step.
+//
+// It can additionally carry a second decision domain — the RACE-style
+// buffer agents (EnableBufferAgents) — making it a per-router multi-agent
+// controller: the mode agent picks ECC/channel modes while the buffer
+// agent repartitions MFAC channel stages among VCs. The domains keep
+// disjoint PRNG streams, so a controller without buffer agents is
+// bit-identical to the historical single-agent one.
 type RLController struct {
 	disc   *rl.Discretizer
 	agents []*rl.Agent
-	last   []struct {
-		state  rl.State
-		action int
-		valid  bool
-	}
+	last   []lastDecision
+
+	// Buffer domain (nil/empty unless EnableBufferAgents was called).
+	bufSchema rl.Schema
+	bufAgents []*rl.Agent
+	bufLast   []lastDecision
 	// Frozen disables learning updates (pure exploitation), used when
 	// measuring a pre-trained policy without online adaptation. The
 	// paper keeps online updates on; experiments follow suit.
@@ -76,11 +93,7 @@ func NewRLController(routers int, cfg rl.Config) *RLController {
 	c := &RLController{
 		disc:   rl.DefaultDiscretizer(),
 		agents: make([]*rl.Agent, routers),
-		last: make([]struct {
-			state  rl.State
-			action int
-			valid  bool
-		}, routers),
+		last:   make([]lastDecision, routers),
 	}
 	for i := range c.agents {
 		agentCfg := cfg
@@ -89,6 +102,48 @@ func NewRLController(routers int, cfg rl.Config) *RLController {
 	}
 	return c
 }
+
+// BufferSchema describes the buffer domain's feature space: the five
+// per-port buffer occupancies (the queue state RACE conditions on), the
+// five per-port output-link utilizations (where reallocated stages would
+// be spent), and the window's hop-retransmission count (reliability
+// pressure — retransmitted flits re-occupy channel storage).
+func BufferSchema() rl.Schema {
+	return rl.Schema{
+		Name: "buffer-v1",
+		Lo:   []float64{0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0},
+		Hi:   []float64{0.5, 0.5, 0.5, 0.5, 0.5, 0.25, 0.25, 0.25, 0.25, 0.25, 16},
+	}
+}
+
+// bufferFeatures projects an observation onto BufferSchema's axes.
+func bufferFeatures(obs *noc.Observation, out []float64) []float64 {
+	out = out[:0]
+	out = append(out, obs.Features[5:10]...)  // buffer occupancy per port
+	out = append(out, obs.Features[10:15]...) // output utilization per port
+	out = append(out, float64(obs.WinHopRetransmits))
+	return out
+}
+
+// EnableBufferAgents attaches the RACE-style buffer decision domain: one
+// fresh agent per router choosing among noc.NumBufferActions channel-stage
+// partitions. cfg.Actions is forced to the action-space size; seeds follow
+// the same per-router stride as the mode agents but from cfg.Seed, which
+// callers offset so the two domains draw from disjoint streams.
+func (c *RLController) EnableBufferAgents(cfg rl.Config) {
+	cfg.Actions = noc.NumBufferActions
+	c.bufSchema = BufferSchema()
+	c.bufAgents = make([]*rl.Agent, len(c.agents))
+	c.bufLast = make([]lastDecision, len(c.agents))
+	for i := range c.bufAgents {
+		agentCfg := cfg
+		agentCfg.Seed = cfg.Seed + int64(i)*7919
+		c.bufAgents[i] = rl.NewAgent(agentCfg)
+	}
+}
+
+// HasBufferAgents reports whether the buffer domain is active.
+func (c *RLController) HasBufferAgents() bool { return len(c.bufAgents) > 0 }
 
 // NextMode implements noc.Controller: update-then-act per router.
 func (c *RLController) NextMode(obs noc.Observation) noc.Mode {
@@ -126,39 +181,88 @@ func (c *RLController) NextMode(obs noc.Observation) noc.Mode {
 	return noc.Mode(action)
 }
 
+var _ noc.BufferController = (*RLController)(nil)
+
+// NextBufferAction implements noc.BufferController: the second decision
+// domain, update-then-act like NextMode. Without buffer agents it returns
+// -1 and touches no PRNG, so plain mode-only controllers drive the
+// network bit-identically to pre-buffer-RL builds. The buffer reward is
+// -log(latency) - log1p(hop retransmits): cheap channel storage where it
+// relieves queueing, penalized when reallocation starves a VC into
+// retransmission pressure.
+func (c *RLController) NextBufferAction(obs noc.Observation) int {
+	if len(c.bufAgents) == 0 {
+		return -1
+	}
+	i := obs.Router
+	agent := c.bufAgents[i]
+	var feats [16]float64
+	state := c.bufSchema.Discretize(bufferFeatures(&obs, feats[:0]))
+	action := agent.SelectAction(state)
+	if !c.Frozen && c.bufLast[i].valid {
+		reward := -math.Log(math.Max(obs.AvgLatencyCycles, 1)) - math.Log1p(float64(obs.WinHopRetransmits))
+		if c.OnPolicy {
+			agent.UpdateOnPolicy(c.bufLast[i].state, c.bufLast[i].action, reward, state, action)
+		} else {
+			agent.Update(c.bufLast[i].state, c.bufLast[i].action, reward, state)
+		}
+	}
+	c.bufLast[i].state, c.bufLast[i].action, c.bufLast[i].valid = state, action, true
+	return action
+}
+
 // Clone derives a controller with copies of the learned tables and fresh
 // exploration streams — how a pre-trained policy is deployed to each
 // evaluation run.
 func (c *RLController) Clone(seed int64) *RLController {
 	out := &RLController{
-		disc:            c.disc,
+		disc: c.disc,
+		// Behavioral flags travel with the policy (Frozen included — its
+		// omission used to silently re-enable learning on deployed
+		// frozen policies; pinned by regression test).
+		Frozen:          c.Frozen,
 		OnPolicy:        c.OnPolicy,
 		QTableFaultRate: c.QTableFaultRate,
 		agents:          make([]*rl.Agent, len(c.agents)),
-		last: make([]struct {
-			state  rl.State
-			action int
-			valid  bool
-		}, len(c.agents)),
+		last:            make([]lastDecision, len(c.agents)),
 	}
 	for i, a := range c.agents {
 		out.agents[i] = a.Clone(seed + int64(i)*104729)
 	}
+	if len(c.bufAgents) > 0 {
+		out.bufSchema = c.bufSchema
+		out.bufAgents = make([]*rl.Agent, len(c.bufAgents))
+		out.bufLast = make([]lastDecision, len(c.bufAgents))
+		for i, a := range c.bufAgents {
+			// A distinct prime stride keeps the buffer streams disjoint
+			// from the mode streams at every seed offset.
+			out.bufAgents[i] = a.Clone(seed + 7907 + int64(i)*1299709)
+		}
+	}
 	return out
 }
 
-// SetEpsilon adjusts every agent's exploration probability.
+// SetEpsilon adjusts every agent's exploration probability, across both
+// decision domains.
 func (c *RLController) SetEpsilon(eps float64) {
 	for _, a := range c.agents {
 		a.SetEpsilon(eps)
 	}
+	for _, a := range c.bufAgents {
+		a.SetEpsilon(eps)
+	}
 }
 
-// MaxTableSize returns the largest per-router Q-table, the quantity the
-// paper bounds at 350 entries (Section 7.4).
+// MaxTableSize returns the largest per-router Q-table across both
+// domains, the quantity the paper bounds at 350 entries (Section 7.4).
 func (c *RLController) MaxTableSize() int {
 	m := 0
 	for _, a := range c.agents {
+		if s := a.TableSize(); s > m {
+			m = s
+		}
+	}
+	for _, a := range c.bufAgents {
 		if s := a.TableSize(); s > m {
 			m = s
 		}

@@ -24,6 +24,17 @@ func smallWorkload(t *testing.T, packets int) traffic.Generator {
 	return g
 }
 
+// mustSimulate runs Simulate with an optional policy, failing the test on
+// error — the shorthand the deprecated Run wrapper used to provide.
+func mustSimulate(t *testing.T, tech Technique, sim SimConfig, gen traffic.Generator, policy *Policy) noc.Result {
+	t.Helper()
+	out, err := Simulate(nil, tech, sim, gen, WithPolicy(policy))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return out.Result
+}
+
 func TestTechniqueNamesRoundTrip(t *testing.T) {
 	for _, tech := range Techniques() {
 		got, err := ParseTechnique(tech.String())
@@ -62,8 +73,9 @@ func TestTechniqueConfigsMatchTable1(t *testing.T) {
 }
 
 func TestAllTechniquesRunToCompletion(t *testing.T) {
-	for _, tech := range Techniques() {
-		res, err := Run(tech, smallSim(), smallWorkload(t, 600), nil)
+	for _, tech := range AllTechniques() {
+		out, err := Simulate(nil, tech, smallSim(), smallWorkload(t, 600))
+		res := out.Result
 		if err != nil {
 			t.Fatalf("%v: %v", tech, err)
 		}
@@ -136,6 +148,66 @@ func TestRLControllerCloneIndependence(t *testing.T) {
 	}
 }
 
+// TestCloneCopiesBehavioralFlags is the post-construction-mutation audit
+// regression test: Frozen (which Clone used to drop, silently re-enabling
+// learning on deployed frozen policies) and a SetEpsilon-mutated
+// exploration rate must both survive cloning, across both domains.
+func TestCloneCopiesBehavioralFlags(t *testing.T) {
+	ctrl := NewRLController(2, rl.Config{Actions: noc.NumModes, Alpha: 0.5, Gamma: 0.9, Epsilon: 0.3, Seed: 1})
+	ctrl.EnableBufferAgents(rl.Config{Alpha: 0.5, Gamma: 0.9, Epsilon: 0.3, Seed: 2})
+	ctrl.Frozen = true
+	ctrl.SetEpsilon(0.0125)
+	clone := ctrl.Clone(7)
+	if !clone.Frozen {
+		t.Fatal("Clone dropped Frozen")
+	}
+	if !clone.HasBufferAgents() {
+		t.Fatal("Clone dropped the buffer domain")
+	}
+	for i, a := range clone.agents {
+		if got := a.Config().Epsilon; got != 0.0125 {
+			t.Fatalf("mode agent %d epsilon = %v after clone, want 0.0125", i, got)
+		}
+	}
+	for i, a := range clone.bufAgents {
+		if got := a.Config().Epsilon; got != 0.0125 {
+			t.Fatalf("buffer agent %d epsilon = %v after clone, want 0.0125", i, got)
+		}
+	}
+	// Frozen must actually freeze: repeated decisions leave tables empty
+	// of TD updates beyond the baseline-initialized rows.
+	obs := noc.Observation{Router: 0, AvgLatencyCycles: 5, PowerMilliwatts: 5, AgingFactor: 1}
+	clone.NextMode(obs)
+	clone.NextBufferAction(obs)
+	sizeAfterOne := clone.MaxTableSize()
+	clone.NextMode(obs)
+	clone.NextBufferAction(obs)
+	if clone.MaxTableSize() != sizeAfterOne {
+		t.Fatal("frozen clone still learns")
+	}
+}
+
+// TestBufferControllerDomainIsOptIn pins the bit-identity contract for
+// the five paper techniques: a mode-only RLController answers -1 to
+// NextBufferAction without consuming randomness, so its mode decision
+// stream is unchanged by the probe.
+func TestBufferControllerDomainIsOptIn(t *testing.T) {
+	mk := func() *RLController {
+		return NewRLController(2, rl.Config{Actions: noc.NumModes, Alpha: 0.5, Gamma: 0.9, Epsilon: 0.5, Seed: 3})
+	}
+	probed, plain := mk(), mk()
+	obs := noc.Observation{Router: 1, AvgLatencyCycles: 8, PowerMilliwatts: 4, AgingFactor: 1}
+	for i := 0; i < 40; i++ {
+		if act := probed.NextBufferAction(obs); act != -1 {
+			t.Fatalf("mode-only controller answered buffer action %d", act)
+		}
+		a, b := probed.NextMode(obs), plain.NextMode(obs)
+		if a != b {
+			t.Fatalf("step %d: NextBufferAction probe perturbed mode stream: %v vs %v", i, a, b)
+		}
+	}
+}
+
 func TestIntelliNoCWithPretrainedPolicy(t *testing.T) {
 	sim := smallSim()
 	policy, err := Pretrain(sim, 1, 400)
@@ -149,7 +221,8 @@ func TestIntelliNoCWithPretrainedPolicy(t *testing.T) {
 	if policy.MaxTableSize() > 350 {
 		t.Fatalf("Q-table grew to %d entries, paper budget is 350", policy.MaxTableSize())
 	}
-	res, err := Run(TechIntelliNoC, sim, smallWorkload(t, 600), policy)
+	out, err := Simulate(nil, TechIntelliNoC, sim, smallWorkload(t, 600), WithPolicy(policy))
+	res := out.Result
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -166,7 +239,8 @@ func TestParsecWorkloadHelper(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := Run(TechCP, smallSim(), gen, nil)
+	out, err := Simulate(nil, TechCP, smallSim(), gen)
+	res := out.Result
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -208,7 +282,8 @@ func TestSARSAControlRuns(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := Run(TechIntelliNoC, sim, smallWorkload(t, 500), policy)
+	out, err := Simulate(nil, TechIntelliNoC, sim, smallWorkload(t, 500), WithPolicy(policy))
+	res := out.Result
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -9,16 +9,10 @@ import (
 
 func TestControlFaultsSlowButDontBreak(t *testing.T) {
 	sim := smallSim()
-	clean, err := Run(TechSECDED, sim, smallWorkload(t, 800), nil)
-	if err != nil {
-		t.Fatal(err)
-	}
+	clean := mustSimulate(t, TechSECDED, sim, smallWorkload(t, 800), nil)
 	faulty := sim
 	faulty.ControlFaultRate = 0.05 // 5% of route computations hit
-	res, err := Run(TechSECDED, faulty, smallWorkload(t, 800), nil)
-	if err != nil {
-		t.Fatal(err)
-	}
+	res := mustSimulate(t, TechSECDED, faulty, smallWorkload(t, 800), nil)
 	if res.PacketsDelivered != 800 {
 		t.Fatalf("control faults must never lose packets: %d/800", res.PacketsDelivered)
 	}
@@ -42,10 +36,7 @@ func TestQTableFaultsDegradeGracefully(t *testing.T) {
 	}
 	faulty := sim
 	faulty.QTableFaultRate = 0.2
-	res, err := Run(TechIntelliNoC, faulty, smallWorkload(t, 600), policy)
-	if err != nil {
-		t.Fatal(err)
-	}
+	res := mustSimulate(t, TechIntelliNoC, faulty, smallWorkload(t, 600), policy)
 	if res.PacketsDelivered+res.PacketsFailed != 600 {
 		t.Fatalf("Q-table faults must never lose packets: %+v", res)
 	}

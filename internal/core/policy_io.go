@@ -8,27 +8,74 @@ import (
 	"intellinoc/internal/rl"
 )
 
-// policyFile is the on-disk representation of a pre-trained policy.
+// policyFile is the legacy (v1) on-disk representation: a bare list of
+// mode-agent snapshots. Still readable; no longer written.
 type policyFile struct {
 	Magic   string
 	Version int
 	Agents  []rl.AgentSnapshot
 }
 
+// PolicyDomain is one named decision domain in a v2 policy snapshot: its
+// feature schema plus every router's agent table. The schema travels with
+// the tables so a loaded policy can never be applied to a mismatched
+// feature space.
+type PolicyDomain struct {
+	Name   string
+	Schema rl.Schema
+	Agents []rl.AgentSnapshot
+}
+
+// policyFileV2 is the current on-disk representation: N named domains.
+// A single-agent policy carries just the "mode" domain; TechIntelliNoCBuf
+// policies add "buffer".
+type policyFileV2 struct {
+	Magic   string
+	Version int
+	Domains []PolicyDomain
+}
+
 const (
-	policyMagic   = "intellinoc-policy"
-	policyVersion = 1
+	policyMagic     = "intellinoc-policy"
+	policyVersionV1 = 1
+	policyVersionV2 = 2
+
+	// Domain names in v2 files.
+	domainMode   = "mode"
+	domainBuffer = "buffer"
 )
 
-// Save serializes the policy (every router's Q-table) to w, so an
-// expensive pre-training run can be reused across sessions:
+// modeSchema is the mode domain's feature space expressed as a schema:
+// the 16-feature Fig. 7 layout with the DefaultDiscretizer bounds. It is
+// metadata only — the mode path keeps using the fixed-width Discretizer —
+// but pins the feature contract inside every saved file.
+func modeSchema() rl.Schema {
+	d := rl.DefaultDiscretizer()
+	return rl.Schema{Name: "mode-v1", Lo: d.Lo[:], Hi: d.Hi[:]}
+}
+
+// Save serializes the policy — every domain's schema and per-router
+// Q-tables — to w in snapshot format v2, so an expensive pre-training run
+// can be reused across sessions:
 //
 //	intellinoc -pretrain 5 -save-policy policy.gob ...
 //	intellinoc -load-policy policy.gob ...
+//
+// Files written by older builds (v1, single mode domain) stay readable
+// via LoadPolicy.
 func (p *Policy) Save(w io.Writer) error {
-	file := policyFile{Magic: policyMagic, Version: policyVersion}
+	file := policyFileV2{Magic: policyMagic, Version: policyVersionV2}
+	mode := PolicyDomain{Name: domainMode, Schema: modeSchema()}
 	for _, a := range p.ctrl.agents {
-		file.Agents = append(file.Agents, a.Snapshot())
+		mode.Agents = append(mode.Agents, a.Snapshot())
+	}
+	file.Domains = append(file.Domains, mode)
+	if len(p.ctrl.bufAgents) > 0 {
+		buf := PolicyDomain{Name: domainBuffer, Schema: p.ctrl.bufSchema}
+		for _, a := range p.ctrl.bufAgents {
+			buf.Agents = append(buf.Agents, a.Snapshot())
+		}
+		file.Domains = append(file.Domains, buf)
 	}
 	if err := gob.NewEncoder(w).Encode(file); err != nil {
 		return fmt.Errorf("core: encoding policy: %w", err)
@@ -36,32 +83,45 @@ func (p *Policy) Save(w io.Writer) error {
 	return nil
 }
 
-// LoadPolicy reads a policy previously written by Save. The agent count
-// must match the mesh it is deployed on (64 for the default 8×8).
+// LoadPolicy reads a policy previously written by Save: snapshot v2
+// (multi-domain, schema-tagged) or the legacy v1 single-agent format. The
+// agent count must match the mesh it is deployed on (64 for the default
+// 8×8).
 func LoadPolicy(r io.Reader) (*Policy, error) {
-	var file policyFile
+	// Both formats gob-decode into the v2 shape (field names are
+	// disjoint), so decode once and dispatch on Version.
+	var file struct {
+		Magic   string
+		Version int
+		Agents  []rl.AgentSnapshot // v1
+		Domains []PolicyDomain     // v2
+	}
 	if err := gob.NewDecoder(r).Decode(&file); err != nil {
 		return nil, fmt.Errorf("core: decoding policy: %w", err)
 	}
 	if file.Magic != policyMagic {
 		return nil, fmt.Errorf("core: not an intellinoc policy file")
 	}
-	if file.Version != policyVersion {
+	switch file.Version {
+	case policyVersionV1:
+		return restoreV1(file.Agents)
+	case policyVersionV2:
+		return restoreV2(file.Domains)
+	default:
 		return nil, fmt.Errorf("core: unsupported policy version %d", file.Version)
 	}
-	if len(file.Agents) == 0 {
+}
+
+func restoreV1(agents []rl.AgentSnapshot) (*Policy, error) {
+	if len(agents) == 0 {
 		return nil, fmt.Errorf("core: policy file has no agents")
 	}
 	ctrl := &RLController{
 		disc:   rl.DefaultDiscretizer(),
-		agents: make([]*rl.Agent, len(file.Agents)),
-		last: make([]struct {
-			state  rl.State
-			action int
-			valid  bool
-		}, len(file.Agents)),
+		agents: make([]*rl.Agent, len(agents)),
+		last:   make([]lastDecision, len(agents)),
 	}
-	for i, snap := range file.Agents {
+	for i, snap := range agents {
 		a, err := rl.RestoreAgent(snap)
 		if err != nil {
 			return nil, fmt.Errorf("core: agent %d: %w", i, err)
@@ -69,6 +129,55 @@ func LoadPolicy(r io.Reader) (*Policy, error) {
 		ctrl.agents[i] = a
 	}
 	return &Policy{ctrl: ctrl}, nil
+}
+
+func restoreV2(domains []PolicyDomain) (*Policy, error) {
+	var mode, buffer *PolicyDomain
+	for i := range domains {
+		switch d := &domains[i]; d.Name {
+		case domainMode:
+			mode = d
+		case domainBuffer:
+			buffer = d
+		default:
+			return nil, fmt.Errorf("core: policy file has unknown domain %q", d.Name)
+		}
+	}
+	if mode == nil || len(mode.Agents) == 0 {
+		return nil, fmt.Errorf("core: policy file has no mode agents")
+	}
+	want := modeSchema()
+	if !mode.Schema.Equal(&want) {
+		return nil, fmt.Errorf("core: policy mode schema %q does not match this build's %q", mode.Schema.Name, want.Name)
+	}
+	p, err := restoreV1(mode.Agents)
+	if err != nil {
+		return nil, err
+	}
+	if buffer != nil {
+		if err := buffer.Schema.Validate(); err != nil {
+			return nil, fmt.Errorf("core: policy buffer domain: %w", err)
+		}
+		bufWant := BufferSchema()
+		if !buffer.Schema.Equal(&bufWant) {
+			return nil, fmt.Errorf("core: policy buffer schema %q does not match this build's %q", buffer.Schema.Name, bufWant.Name)
+		}
+		if len(buffer.Agents) != len(mode.Agents) {
+			return nil, fmt.Errorf("core: policy has %d buffer agents for %d routers", len(buffer.Agents), len(mode.Agents))
+		}
+		ctrl := p.ctrl
+		ctrl.bufSchema = buffer.Schema
+		ctrl.bufAgents = make([]*rl.Agent, len(buffer.Agents))
+		ctrl.bufLast = make([]lastDecision, len(buffer.Agents))
+		for i, snap := range buffer.Agents {
+			a, err := rl.RestoreAgent(snap)
+			if err != nil {
+				return nil, fmt.Errorf("core: buffer agent %d: %w", i, err)
+			}
+			ctrl.bufAgents[i] = a
+		}
+	}
+	return p, nil
 }
 
 // Routers returns the number of per-router agents in the policy.

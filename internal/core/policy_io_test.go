@@ -2,6 +2,7 @@ package core
 
 import (
 	"bytes"
+	"encoding/gob"
 	"testing"
 )
 
@@ -27,17 +28,127 @@ func TestPolicySaveLoadRoundTrip(t *testing.T) {
 	}
 	// A run driven by the loaded policy must reproduce the run driven
 	// by the original (same seeds, same greedy tables).
-	a, err := Run(TechIntelliNoC, sim, smallWorkload(t, 500), policy)
-	if err != nil {
-		t.Fatal(err)
-	}
-	b, err := Run(TechIntelliNoC, sim, smallWorkload(t, 500), loaded)
-	if err != nil {
-		t.Fatal(err)
-	}
+	a := mustSimulate(t, TechIntelliNoC, sim, smallWorkload(t, 500), policy)
+	b := mustSimulate(t, TechIntelliNoC, sim, smallWorkload(t, 500), loaded)
 	if a.Cycles != b.Cycles || a.AvgLatency != b.AvgLatency {
 		t.Fatalf("loaded policy diverges: %d/%.2f vs %d/%.2f",
 			a.Cycles, a.AvgLatency, b.Cycles, b.AvgLatency)
+	}
+}
+
+// TestPolicySaveLoadRoundTripTwoDomains pins snapshot format v2: a
+// TechIntelliNoCBuf policy (mode + buffer agents) must round-trip with
+// both domains intact and drive a bit-identical evaluation run.
+func TestPolicySaveLoadRoundTripTwoDomains(t *testing.T) {
+	sim := smallSim()
+	policy, err := PretrainTechnique(TechIntelliNoCBuf, sim, 1, 500, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !policy.HasBufferDomain() {
+		t.Fatal("buffer-technique pretraining must produce buffer agents")
+	}
+	var buf bytes.Buffer
+	if err := policy.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadPolicy(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !loaded.HasBufferDomain() {
+		t.Fatal("buffer domain lost in round-trip")
+	}
+	if loaded.MaxTableSize() != policy.MaxTableSize() {
+		t.Fatalf("table size changed: %d vs %d", loaded.MaxTableSize(), policy.MaxTableSize())
+	}
+	a := mustSimulate(t, TechIntelliNoCBuf, sim, smallWorkload(t, 500), policy)
+	b := mustSimulate(t, TechIntelliNoCBuf, sim, smallWorkload(t, 500), loaded)
+	if a != b {
+		t.Fatalf("loaded two-domain policy diverges:\n%+v\nvs\n%+v", a, b)
+	}
+}
+
+// TestLoadPolicyReadsV1 pins back-compat: files in the legacy v1 layout
+// (a bare snapshot list, as written by pre-zoo builds) must keep loading
+// and behave identically to the v2 encoding of the same tables.
+func TestLoadPolicyReadsV1(t *testing.T) {
+	sim := smallSim()
+	policy, err := Pretrain(sim, 1, 400)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Re-encode the trained tables exactly as the v1 writer did.
+	v1 := policyFile{Magic: policyMagic, Version: policyVersionV1}
+	for _, a := range policy.ctrl.agents {
+		v1.Agents = append(v1.Agents, a.Snapshot())
+	}
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(v1); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadPolicy(&buf)
+	if err != nil {
+		t.Fatalf("v1 policy no longer loads: %v", err)
+	}
+	if loaded.Routers() != policy.Routers() || loaded.MaxTableSize() != policy.MaxTableSize() {
+		t.Fatalf("v1 load lost state: %d/%d vs %d/%d",
+			loaded.Routers(), loaded.MaxTableSize(), policy.Routers(), policy.MaxTableSize())
+	}
+	a := mustSimulate(t, TechIntelliNoC, sim, smallWorkload(t, 500), policy)
+	b := mustSimulate(t, TechIntelliNoC, sim, smallWorkload(t, 500), loaded)
+	if a != b {
+		t.Fatalf("v1-loaded policy diverges:\n%+v\nvs\n%+v", a, b)
+	}
+}
+
+func TestPolicyStoreSaveLoadKeys(t *testing.T) {
+	dir := t.TempDir()
+	store, err := NewPolicyStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim := smallSim()
+	policy, err := Pretrain(sim, 1, 300)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const key = "0123456789abcdef0123456789abcdef"
+	type meta struct {
+		Label string `json:"label"`
+	}
+	if store.Has(key) {
+		t.Fatal("empty store claims key")
+	}
+	if err := store.Save(key, policy, meta{Label: "train"}); err != nil {
+		t.Fatal(err)
+	}
+	if !store.Has(key) {
+		t.Fatal("saved key not found")
+	}
+	loaded, err := store.Load(key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.MaxTableSize() != policy.MaxTableSize() {
+		t.Fatal("stored policy lost state")
+	}
+	var m meta
+	if err := store.LoadMeta(key, &m); err != nil || m.Label != "train" {
+		t.Fatalf("meta round-trip failed: %+v, %v", m, err)
+	}
+	keys, err := store.Keys()
+	if err != nil || len(keys) != 1 || keys[0] != key {
+		t.Fatalf("Keys = %v, %v", keys, err)
+	}
+	// Hostile keys must be rejected, not resolved as paths.
+	for _, bad := range []string{"../escape00", "short", "UPPERCASE0", "has/slash0"} {
+		if err := store.Save(bad, policy, nil); err == nil {
+			t.Fatalf("hostile key %q accepted", bad)
+		}
+		if store.Has(bad) {
+			t.Fatalf("hostile key %q reported present", bad)
+		}
 	}
 }
 

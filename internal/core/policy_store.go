@@ -1,0 +1,158 @@
+package core
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// PolicyStore is the policy zoo's persistence layer: a directory of
+// digest-keyed snapshot-v2 policy files, each with a JSON sidecar carrying
+// caller-defined metadata (the serialized training spec, for
+// nearest-scenario lookup). Writes are temp+rename so a crashed writer
+// never leaves a half-written policy under a valid key, and the store is
+// safe for concurrent use within one process. Keys are opaque digests —
+// lowercase hex, as produced by the experiment spec digester — and are
+// validated so a hostile key cannot traverse outside the directory.
+type PolicyStore struct {
+	dir string
+	mu  sync.Mutex
+}
+
+// NewPolicyStore opens (creating if needed) a zoo rooted at dir.
+func NewPolicyStore(dir string) (*PolicyStore, error) {
+	if dir == "" {
+		return nil, fmt.Errorf("core: policy store needs a directory")
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("core: creating policy store: %w", err)
+	}
+	return &PolicyStore{dir: dir}, nil
+}
+
+// Dir returns the store's root directory.
+func (s *PolicyStore) Dir() string { return s.dir }
+
+// validKey accepts lowercase-hex digest keys (8–64 chars), rejecting
+// anything that could escape the store directory.
+func validKey(key string) error {
+	if len(key) < 8 || len(key) > 64 {
+		return fmt.Errorf("core: policy key %q has invalid length", key)
+	}
+	for _, c := range key {
+		if (c < '0' || c > '9') && (c < 'a' || c > 'f') {
+			return fmt.Errorf("core: policy key %q is not a lowercase hex digest", key)
+		}
+	}
+	return nil
+}
+
+func (s *PolicyStore) policyPath(key string) string {
+	return filepath.Join(s.dir, key+".policy")
+}
+
+func (s *PolicyStore) metaPath(key string) string {
+	return filepath.Join(s.dir, key+".json")
+}
+
+// Save persists a policy under key, with meta (any JSON-marshalable
+// value, typically the training spec) in the sidecar. The policy file
+// lands before the sidecar, and both via temp+rename, so a key listed by
+// Keys always has a complete, loadable policy.
+func (s *PolicyStore) Save(key string, p *Policy, meta any) error {
+	if err := validKey(key); err != nil {
+		return err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	tmp, err := os.CreateTemp(s.dir, "policy-*.tmp")
+	if err != nil {
+		return fmt.Errorf("core: policy store: %w", err)
+	}
+	defer os.Remove(tmp.Name())
+	if err := p.Save(tmp); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		return fmt.Errorf("core: policy store: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), s.policyPath(key)); err != nil {
+		return fmt.Errorf("core: policy store: %w", err)
+	}
+	raw, err := json.Marshal(meta)
+	if err != nil {
+		return fmt.Errorf("core: policy store meta: %w", err)
+	}
+	mtmp := s.policyPath(key) + ".metatmp"
+	if err := os.WriteFile(mtmp, raw, 0o644); err != nil {
+		return fmt.Errorf("core: policy store meta: %w", err)
+	}
+	if err := os.Rename(mtmp, s.metaPath(key)); err != nil {
+		os.Remove(mtmp)
+		return fmt.Errorf("core: policy store meta: %w", err)
+	}
+	return nil
+}
+
+// Has reports whether key holds a stored policy.
+func (s *PolicyStore) Has(key string) bool {
+	if validKey(key) != nil {
+		return false
+	}
+	_, err := os.Stat(s.policyPath(key))
+	return err == nil
+}
+
+// Load reads the policy stored under key.
+func (s *PolicyStore) Load(key string) (*Policy, error) {
+	if err := validKey(key); err != nil {
+		return nil, err
+	}
+	f, err := os.Open(s.policyPath(key))
+	if err != nil {
+		return nil, fmt.Errorf("core: policy store: %w", err)
+	}
+	defer f.Close()
+	return LoadPolicy(f)
+}
+
+// LoadMeta unmarshals key's sidecar metadata into out.
+func (s *PolicyStore) LoadMeta(key string, out any) error {
+	if err := validKey(key); err != nil {
+		return err
+	}
+	raw, err := os.ReadFile(s.metaPath(key))
+	if err != nil {
+		return fmt.Errorf("core: policy store meta: %w", err)
+	}
+	if err := json.Unmarshal(raw, out); err != nil {
+		return fmt.Errorf("core: policy store meta %s: %w", key, err)
+	}
+	return nil
+}
+
+// Keys lists every stored policy key in sorted order.
+func (s *PolicyStore) Keys() ([]string, error) {
+	entries, err := os.ReadDir(s.dir)
+	if err != nil {
+		return nil, fmt.Errorf("core: policy store: %w", err)
+	}
+	var keys []string
+	for _, e := range entries {
+		name := e.Name()
+		if !strings.HasSuffix(name, ".policy") {
+			continue
+		}
+		key := strings.TrimSuffix(name, ".policy")
+		if validKey(key) == nil {
+			keys = append(keys, key)
+		}
+	}
+	sort.Strings(keys)
+	return keys, nil
+}

@@ -138,63 +138,43 @@ func (c SimConfig) rlConfig() rl.Config {
 		DefaultAction: int(noc.ModeCRC)}
 }
 
+// bufRLConfig derives the buffer domain's Q-learning configuration: same
+// hyper-parameters, a distinct seed offset so the two domains' exploration
+// streams never overlap, and the even split as the default action.
+func (c SimConfig) bufRLConfig() rl.Config {
+	return rl.Config{Actions: noc.NumBufferActions, Alpha: c.Alpha, Gamma: c.Gamma,
+		Epsilon: c.Epsilon, Seed: c.Seed + 59,
+		DefaultAction: noc.BufActionEven}
+}
+
 // Policy is a pre-trained per-router control policy (the paper pre-trains
-// on blackscholes before evaluating the other benchmarks).
+// on blackscholes before evaluating the other benchmarks). It may carry
+// one decision domain (mode selection) or two (mode + RACE-style buffer
+// allocation, TechIntelliNoCBuf).
 type Policy struct {
 	ctrl *RLController
 }
 
-// MaxTableSize exposes the largest learned Q-table.
+// MaxTableSize exposes the largest learned Q-table across all domains.
 func (p *Policy) MaxTableSize() int { return p.ctrl.MaxTableSize() }
 
-// Run simulates one technique over one workload and returns the result.
-// For TechIntelliNoC, policy may carry a pre-trained policy; nil trains
-// from scratch during the run.
-//
-// Deprecated: use Simulate, which adds context cancellation and
-// functional options. Run(tech, sim, gen, p) is exactly
-// Simulate(nil, tech, sim, gen, WithPolicy(p)).
-func Run(tech Technique, sim SimConfig, gen traffic.Generator, policy *Policy) (noc.Result, error) {
-	out, err := Simulate(nil, tech, sim, gen, WithPolicy(policy))
-	return out.Result, err
-}
-
-// RunDetailed is Run plus per-router summaries (temperatures, wear, MTTF,
-// energy, traffic) for heatmaps and hotspot analysis.
-//
-// Deprecated: use Simulate with WithRouterSummaries.
-func RunDetailed(tech Technique, sim SimConfig, gen traffic.Generator, policy *Policy) (noc.Result, []noc.RouterSummary, error) {
-	out, err := Simulate(nil, tech, sim, gen, WithPolicy(policy), WithRouterSummaries())
-	return out.Result, out.Routers, err
-}
-
-// RunInstrumented is RunDetailed with an instrumentation callback invoked
-// after the network and controller are built but before the first cycle,
-// so telemetry (flight recorder, trace exporter, metrics) can attach hooks
-// to the exact instances that run. The controller passed to instrument is
-// the deployed one — for a pre-trained policy that is the post-Clone
-// controller, not the policy's. A nil instrument is exactly RunDetailed;
-// an instrument that installs no hooks leaves results bit-identical.
-//
-// Deprecated: use Simulate with WithInstrument (or WithObserver for
-// attach-only telemetry).
-func RunInstrumented(tech Technique, sim SimConfig, gen traffic.Generator, policy *Policy, instrument func(*noc.Network, noc.Controller)) (noc.Result, []noc.RouterSummary, error) {
-	out, err := Simulate(nil, tech, sim, gen,
-		WithPolicy(policy), WithRouterSummaries(), WithInstrument(instrument))
-	return out.Result, out.Routers, err
-}
+// HasBufferDomain reports whether the policy carries buffer agents.
+func (p *Policy) HasBufferDomain() bool { return p.ctrl.HasBufferAgents() }
 
 func controllerFor(tech Technique, sim SimConfig, cfg noc.Config, policy *Policy) (noc.Controller, noc.Mode) {
 	switch tech {
 	case TechCPD:
 		return CPDController{}, noc.ModeSECDED
-	case TechIntelliNoC:
+	case TechIntelliNoC, TechIntelliNoCBuf:
 		var ctrl *RLController
 		if policy != nil {
 			ctrl = policy.ctrl.Clone(sim.Seed + 17)
 			ctrl.SetEpsilon(sim.withDefaults().Epsilon)
 		} else {
 			ctrl = NewRLController(cfg.Nodes(), sim.rlConfig())
+		}
+		if tech == TechIntelliNoCBuf && !ctrl.HasBufferAgents() {
+			ctrl.EnableBufferAgents(sim.withDefaults().bufRLConfig())
 		}
 		ctrl.QTableFaultRate = sim.QTableFaultRate
 		ctrl.OnPolicy = sim.OnPolicySARSA
@@ -210,8 +190,20 @@ func controllerFor(tech Technique, sim SimConfig, cfg noc.Config, policy *Policy
 // (the paper's tuning/pre-training benchmark) for the given number of
 // epochs and returns it for reuse across evaluation runs.
 func Pretrain(sim SimConfig, epochs, packetsPerEpoch int) (*Policy, error) {
+	return PretrainTechnique(TechIntelliNoC, sim, epochs, packetsPerEpoch, nil)
+}
+
+// PretrainTechnique is Pretrain generalized over the RL techniques and
+// warm starting: tech selects the agent domains (TechIntelliNoCBuf adds
+// the buffer agents), and a non-nil warm policy seeds training from its
+// tables instead of zero-Q agents (the policy zoo's nearest-scenario
+// transfer). The warm policy must carry matching domains.
+func PretrainTechnique(tech Technique, sim SimConfig, epochs, packetsPerEpoch int, warm *Policy) (*Policy, error) {
+	if tech != TechIntelliNoC && tech != TechIntelliNoCBuf {
+		return nil, fmt.Errorf("core: technique %s has no trainable policy", tech)
+	}
 	sim = sim.withDefaults()
-	cfg := TechIntelliNoC.NetworkConfig(sim.Width, sim.Height)
+	cfg := tech.NetworkConfig(sim.Width, sim.Height)
 	cfg.TimeStepCycles = sim.TimeStepCycles
 	cfg.BaseErrorRate = sim.BaseErrorRate
 	cfg.ForcedErrorRate = sim.ForcedErrorRate
@@ -222,7 +214,24 @@ func Pretrain(sim SimConfig, epochs, packetsPerEpoch int) (*Policy, error) {
 	cfg.SampledWindows = sim.SampledWindows
 	sim.applyMicroarch(&cfg)
 
-	ctrl := NewRLController(cfg.Nodes(), sim.rlConfig())
+	var ctrl *RLController
+	if warm != nil {
+		if tech == TechIntelliNoCBuf && !warm.HasBufferDomain() {
+			return nil, fmt.Errorf("core: warm-start policy lacks the buffer domain %s trains", tech)
+		}
+		if tech == TechIntelliNoC && warm.HasBufferDomain() {
+			return nil, fmt.Errorf("core: warm-start policy carries a buffer domain %s does not train", tech)
+		}
+		// The same clone path deployment uses: fresh exploration streams
+		// seeded from this scenario, learned tables carried over.
+		ctrl = warm.ctrl.Clone(sim.Seed + 17)
+		ctrl.SetEpsilon(sim.Epsilon)
+	} else {
+		ctrl = NewRLController(cfg.Nodes(), sim.rlConfig())
+	}
+	if tech == TechIntelliNoCBuf && !ctrl.HasBufferAgents() {
+		ctrl.EnableBufferAgents(sim.bufRLConfig())
+	}
 	ctrl.OnPolicy = sim.OnPolicySARSA
 	for e := 0; e < epochs; e++ {
 		gen, err := traffic.NewParsec("blackscholes", sim.Width, sim.Height,

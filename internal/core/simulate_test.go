@@ -85,18 +85,15 @@ func TestSimulateOptionCombinations(t *testing.T) {
 	}
 }
 
-// TestSimulateMatchesDeprecatedWrappers pins the compatibility contract:
-// the deprecated trio must stay byte-identical to the Simulate calls
-// they forward to.
-func TestSimulateMatchesDeprecatedWrappers(t *testing.T) {
+// TestSimulateRepeatable pins the determinism contract the deprecated
+// Run/RunDetailed wrappers used to anchor: identical Simulate calls (with
+// and without router summaries) produce byte-identical results and
+// summaries.
+func TestSimulateRepeatable(t *testing.T) {
 	sim := simulateSim()
 	const packets = 400
 
-	runRes, err := Run(TechCPD, sim, simulateGen(t, sim, packets), nil)
-	if err != nil {
-		t.Fatal(err)
-	}
-	detRes, detSum, err := RunDetailed(TechCPD, sim, simulateGen(t, sim, packets), nil)
+	plain, err := Simulate(nil, TechCPD, sim, simulateGen(t, sim, packets))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -104,15 +101,19 @@ func TestSimulateMatchesDeprecatedWrappers(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if runRes != out.Result || detRes != out.Result {
-		t.Fatalf("wrapper results diverge: Run %+v RunDetailed %+v Simulate %+v", runRes, detRes, out.Result)
+	again, err := Simulate(nil, TechCPD, sim, simulateGen(t, sim, packets), WithRouterSummaries())
+	if err != nil {
+		t.Fatal(err)
 	}
-	if len(detSum) != len(out.Routers) {
-		t.Fatalf("summary lengths diverge: %d vs %d", len(detSum), len(out.Routers))
+	if plain.Result != out.Result || again.Result != out.Result {
+		t.Fatalf("repeated results diverge: %+v vs %+v vs %+v", plain.Result, out.Result, again.Result)
 	}
-	for i := range detSum {
-		if detSum[i] != out.Routers[i] {
-			t.Fatalf("summary %d diverges: %+v vs %+v", i, detSum[i], out.Routers[i])
+	if len(again.Routers) != len(out.Routers) {
+		t.Fatalf("summary lengths diverge: %d vs %d", len(again.Routers), len(out.Routers))
+	}
+	for i := range again.Routers {
+		if again.Routers[i] != out.Routers[i] {
+			t.Fatalf("summary %d diverges: %+v vs %+v", i, again.Routers[i], out.Routers[i])
 		}
 	}
 }

@@ -30,11 +30,23 @@ const (
 	TechCPD
 	// TechIntelliNoC is the paper's full design.
 	TechIntelliNoC
+	// TechIntelliNoCBuf is IntelliNoC plus the RACE-style buffer agent:
+	// the same hardware, with a second per-router Q-table repartitioning
+	// each port's MFAC channel stages among VCs every time step.
+	TechIntelliNoCBuf
 )
 
-// Techniques lists all designs in the paper's figure order.
+// Techniques lists the paper's five evaluated designs in figure order.
+// The figure suites, the scenario-lattice defaults, and the golden-digest
+// corpus are all defined over exactly this set; extensions beyond the
+// paper live in AllTechniques.
 func Techniques() []Technique {
 	return []Technique{TechSECDED, TechEB, TechCP, TechCPD, TechIntelliNoC}
+}
+
+// AllTechniques lists every technique, paper designs first.
+func AllTechniques() []Technique {
+	return append(Techniques(), TechIntelliNoCBuf)
 }
 
 // String names the technique as the figures do.
@@ -50,13 +62,22 @@ func (t Technique) String() string {
 		return "CPD"
 	case TechIntelliNoC:
 		return "IntelliNoC"
+	case TechIntelliNoCBuf:
+		return "IntelliNoCBuf"
 	}
 	return "unknown"
 }
 
+// RLControlled reports whether the technique deploys Q-learning agents
+// (and therefore supports pre-training, policy deployment, and the
+// epsilon axis of the explore lattice).
+func (t Technique) RLControlled() bool {
+	return t == TechIntelliNoC || t == TechIntelliNoCBuf
+}
+
 // ParseTechnique resolves a name (as printed by String) to a Technique.
 func ParseTechnique(s string) (Technique, error) {
-	for _, t := range Techniques() {
+	for _, t := range AllTechniques() {
 		if t.String() == s {
 			return t, nil
 		}
@@ -93,7 +114,7 @@ func (t Technique) NetworkConfig(width, height int) noc.Config {
 		cfg.PowerGating = true
 		cfg.IdleGateCycles = 64
 		cfg.WakeupCycles = 8
-	case TechIntelliNoC:
+	case TechIntelliNoC, TechIntelliNoCBuf:
 		cfg.VCs, cfg.BufDepth = 4, 2 // 2RB-4VC-8CB
 		cfg.ChannelStages = 8
 		cfg.DynamicChannelAlloc = true
@@ -117,7 +138,7 @@ func (t Technique) AreaConfig() power.AreaConfig {
 	case TechCP, TechCPD:
 		return power.AreaConfig{BufSlotsPerPort: 8, ChanStages: 8, PowerGating: true,
 			AdaptiveECC: t == TechCPD}
-	case TechIntelliNoC:
+	case TechIntelliNoC, TechIntelliNoCBuf:
 		return power.AreaConfig{BufSlotsPerPort: 8, ChanStages: 8, MFAC: true,
 			AdaptiveECC: true, PowerGating: true, RLTable: true}
 	}

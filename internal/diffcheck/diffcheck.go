@@ -18,7 +18,7 @@ import (
 )
 
 // AllChecks lists every check family in execution order.
-var AllChecks = []string{"ff", "shards", "shardsbig", "verify", "topoff", "toposhards", "topoverify", "invariants", "rl", "snapshot", "harness"}
+var AllChecks = []string{"ff", "shards", "shardsbig", "verify", "topoff", "toposhards", "topoverify", "invariants", "rl", "snapshot", "policyzoo", "harness"}
 
 // CorpusEntry is one regression case: a (check, seed) pair that diverged
 // on some historical tree. The committed corpus in testdata/corpus.json
@@ -61,8 +61,8 @@ type Options struct {
 	Checks []string
 	// Campaign is the number of fuzzed scenarios per cheap check family
 	// (ff, verify, invariants, rl). The expensive end-to-end families
-	// are capped: snapshot runs at most 4 seeds and harness at most 2,
-	// however large the campaign.
+	// are capped: snapshot runs at most 4 seeds, policyzoo and harness
+	// at most 2, however large the campaign.
 	Campaign int
 	// Seed derives every campaign scenario; equal options replay the
 	// exact same campaign.
@@ -101,6 +101,8 @@ func RunCheck(check string, seed int64) (*Finding, error) {
 		return checkTopoVerify(seed), nil
 	case "snapshot":
 		return checkSnapshot(seed), nil
+	case "policyzoo":
+		return checkPolicyZoo(seed), nil
 	case "harness":
 		return checkHarness(seed), nil
 	case "invariants":
@@ -117,6 +119,12 @@ func campaignSize(check string, campaign int) int {
 	case "snapshot":
 		if campaign > 4 {
 			return 4
+		}
+	case "policyzoo":
+		// Each seed trains, persists, reloads, and re-runs both RL
+		// techniques end to end.
+		if campaign > 2 {
+			return 2
 		}
 	case "harness":
 		if campaign > 2 {

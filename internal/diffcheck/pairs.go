@@ -362,3 +362,75 @@ func checkHarness(seed int64) *Finding {
 	}
 	return nil
 }
+
+// checkPolicyZoo verifies the policy-zoo reproducibility contract for
+// both RL techniques: a policy trained cold through a zoo-backed store
+// persists to disk, a fresh store over the same directory (a restarted
+// process) serves it back by exact spec digest, and the dependent run is
+// bit-identical either way. The IntelliNoCBuf leg additionally
+// round-trips the two-domain snapshot (format v2) through the zoo files.
+func checkPolicyZoo(seed int64) *Finding {
+	fail := func(field string, err error) *Finding {
+		return &Finding{Check: "policyzoo", Seed: seed, Cycle: -1, Router: -1,
+			Field: field, B: err.Error()}
+	}
+	dir, err := os.MkdirTemp("", "diffcheck-policyzoo-")
+	if err != nil {
+		return fail("tempdir", err)
+	}
+	defer os.RemoveAll(dir)
+	zoo, err := core.NewPolicyStore(dir)
+	if err != nil {
+		return fail("zoo-open", err)
+	}
+
+	sim := core.SimConfig{Width: 4, Height: 4, TimeStepCycles: 500, Seed: seed}
+	for _, tech := range []core.Technique{core.TechIntelliNoC, core.TechIntelliNoCBuf} {
+		pol := experiments.PolicySpec{Sim: sim, Epochs: 1, PacketsPerEpoch: 120}
+		if tech != core.TechIntelliNoC {
+			pol.Tech = tech.String()
+		}
+		run := experiments.RunSpec{
+			Tech: tech, Sim: sim,
+			Workload: experiments.WorkloadSpec{
+				Kind: experiments.WorkloadParsec, Bench: "swaptions", SeedDelta: 271,
+			},
+			Packets: 200,
+			Policy:  &pol,
+		}
+		scenario := fmt.Sprintf("pretrain(%s,4x4,1,120) + swaptions/200, cold-trained vs zoo-loaded", tech)
+
+		cold := experiments.NewZooPolicyStore(zoo)
+		resA, err := run.Execute(cold)
+		if err != nil {
+			return fail(tech.String()+"/run-cold", err)
+		}
+		if resA.PacketsDelivered == 0 {
+			return &Finding{Check: "policyzoo", Seed: seed, Scenario: scenario,
+				Cycle: -1, Router: -1, Field: "vacuous",
+				B: "cold-trained run delivered no packets"}
+		}
+		if st := cold.Stats(); st.Stores != 1 || st.Hits != 0 {
+			return &Finding{Check: "policyzoo", Seed: seed, Scenario: scenario,
+				Cycle: -1, Router: -1, Field: "zoo-stats-cold",
+				A: "stores=1 hits=0", B: fmt.Sprintf("stores=%d hits=%d", st.Stores, st.Hits)}
+		}
+
+		reloaded := experiments.NewZooPolicyStore(zoo)
+		resB, err := run.Execute(reloaded)
+		if err != nil {
+			return fail(tech.String()+"/run-zoo", err)
+		}
+		if st := reloaded.Stats(); st.Hits != 1 || st.Stores != 0 {
+			return &Finding{Check: "policyzoo", Seed: seed, Scenario: scenario,
+				Cycle: -1, Router: -1, Field: "zoo-stats-hit",
+				A: "hits=1 stores=0", B: fmt.Sprintf("hits=%d stores=%d", st.Hits, st.Stores)}
+		}
+
+		if field, av, bv, equal := diffResult(resA, resB); !equal {
+			return &Finding{Check: "policyzoo", Seed: seed, Scenario: scenario,
+				Cycle: -1, Router: -1, Field: "Result." + field, A: av, B: bv}
+		}
+	}
+	return nil
+}

@@ -74,16 +74,3 @@ func assembleAblation(sim core.SimConfig, packets int, benchmarks []string, look
 	}
 	return fig, nil
 }
-
-// AblationStudy quantifies each IntelliNoC technique's contribution by
-// removing one at a time (an extension beyond the paper's figures,
-// indexed in DESIGN.md). Metrics are normalized to the SECDED baseline on
-// the same workloads, so the "full" row reproduces the headline deltas
-// and each ablated row shows what is lost without that technique.
-func AblationStudy(sim core.SimConfig, packets int, benchmarks []string) (Figure, error) {
-	look, err := runSpecs(ablationSpecs(sim, packets, benchmarks), NewPolicyStore(), 0)
-	if err != nil {
-		return Figure{}, err
-	}
-	return assembleAblation(sim, packets, benchmarks, look)
-}

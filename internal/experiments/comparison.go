@@ -4,7 +4,6 @@ import (
 	"intellinoc/internal/core"
 	"intellinoc/internal/noc"
 	"intellinoc/internal/power"
-	"intellinoc/internal/traffic"
 )
 
 // Comparison holds the 10-benchmark × 5-technique result matrix that
@@ -14,7 +13,6 @@ type Comparison struct {
 	Packets    int
 	Benchmarks []string
 	Results    map[string]map[core.Technique]noc.Result
-	Policy     *core.Policy
 }
 
 // comparisonPolicySpec is the matrix's shared pre-training pass: the
@@ -33,8 +31,11 @@ func comparisonRunSpec(sim core.SimConfig, packets int, bench string, tech core.
 	return s
 }
 
-// comparisonSpecs decomposes the matrix into independent run specs.
-func comparisonSpecs(sim core.SimConfig, packets int, benchmarks []string, techs []core.Technique) []LabeledSpec {
+// ComparisonSpecs decomposes the comparison matrix into independent run
+// specs, one per (benchmark, technique) cell, sharing a single
+// pre-training pass across the RL cells. Execute them with ExecuteSpecs
+// (or the suite) and rebuild the matrix with AssembleComparison.
+func ComparisonSpecs(sim core.SimConfig, packets int, benchmarks []string, techs []core.Technique) []LabeledSpec {
 	var pol *PolicySpec
 	for _, t := range techs {
 		if t == core.TechIntelliNoC {
@@ -54,8 +55,10 @@ func comparisonSpecs(sim core.SimConfig, packets int, benchmarks []string, techs
 	return specs
 }
 
-// assembleComparison rebuilds the result matrix from completed runs.
-func assembleComparison(sim core.SimConfig, packets int, benchmarks []string, techs []core.Technique, look Lookup) (*Comparison, error) {
+// AssembleComparison rebuilds the result matrix from completed runs (the
+// pure half of the pipeline: it only reads the lookup, so any execution
+// path — suite, ExecuteSpecs, daemon stream — can feed it).
+func AssembleComparison(sim core.SimConfig, packets int, benchmarks []string, techs []core.Technique, look Lookup) (*Comparison, error) {
 	cmp := &Comparison{
 		Sim: sim, Packets: packets, Benchmarks: benchmarks,
 		Results: make(map[string]map[core.Technique]noc.Result),
@@ -78,30 +81,6 @@ func assembleComparison(sim core.SimConfig, packets int, benchmarks []string, te
 		}
 		cmp.Results[b] = m
 	}
-	return cmp, nil
-}
-
-// RunComparison executes the full matrix, pre-training the IntelliNoC
-// policy on blackscholes first (Section 6.3) and fanning runs out over
-// workers goroutines (0 selects GOMAXPROCS).
-func RunComparison(sim core.SimConfig, packets, workers int) (*Comparison, error) {
-	return RunComparisonSubset(sim, packets, workers, traffic.ParsecBenchmarks(), core.Techniques())
-}
-
-// RunComparisonSubset is RunComparison restricted to chosen benchmarks and
-// techniques (the bench targets use reduced subsets). It runs on the
-// harness worker pool; results are independent of the worker count.
-func RunComparisonSubset(sim core.SimConfig, packets, workers int, benchmarks []string, techs []core.Technique) (*Comparison, error) {
-	store := NewPolicyStore()
-	look, err := runSpecs(comparisonSpecs(sim, packets, benchmarks, techs), store, workers)
-	if err != nil {
-		return nil, err
-	}
-	cmp, err := assembleComparison(sim, packets, benchmarks, techs, look)
-	if err != nil {
-		return nil, err
-	}
-	cmp.Policy = store.Cached(comparisonPolicySpec(sim, packets))
 	return cmp, nil
 }
 

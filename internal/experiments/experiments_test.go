@@ -56,10 +56,22 @@ func TestTable2AreaMatchesPaper(t *testing.T) {
 	}
 }
 
-func TestRunComparisonSubsetSmoke(t *testing.T) {
-	cmp, err := RunComparisonSubset(tinySim(), 400, 2,
-		[]string{"swaptions", "ferret"},
-		[]core.Technique{core.TechSECDED, core.TechCP, core.TechIntelliNoC})
+// execFigure runs one spec list through the public pipeline and hands
+// back the lookup — the pattern every deleted Run*/Fig* wrapper inlined.
+func execFigure(t *testing.T, specs []LabeledSpec) Lookup {
+	t.Helper()
+	look, err := ExecuteSpecs(nil, specs, NewPolicyStore(), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return look
+}
+
+func TestComparisonPipelineSmoke(t *testing.T) {
+	benches := []string{"swaptions", "ferret"}
+	techs := []core.Technique{core.TechSECDED, core.TechCP, core.TechIntelliNoC}
+	look := execFigure(t, ComparisonSpecs(tinySim(), 400, benches, techs))
+	cmp, err := AssembleComparison(tinySim(), 400, benches, techs, look)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -105,7 +117,8 @@ func TestSweepsSmoke(t *testing.T) {
 		t.Skip("sweeps are slow")
 	}
 	sim := tinySim()
-	fig, err := Fig18bEpsilon(sim, 300)
+	sw := epsilonSweep()
+	fig, err := sw.assemble(sim, 300, execFigure(t, sw.specs(sim, 300)))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -124,7 +137,8 @@ func TestExtensionFiguresSmoke(t *testing.T) {
 		t.Skip("extension sweeps are slow")
 	}
 	sim := tinySim()
-	fig, err := ControlFaultSweep(sim, 300, "swaptions")
+	fig, err := assembleControlFaults(sim, 300, "swaptions",
+		execFigure(t, controlFaultSpecs(sim, 300, "swaptions")))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -140,7 +154,8 @@ func TestExtensionFiguresSmoke(t *testing.T) {
 			fig.Rows[3].Values[2], fig.Rows[1].Values[2])
 	}
 
-	sarsa, err := QLearningVsSARSA(sim, 300, []string{"swaptions"})
+	sarsa, err := assembleSARSA(sim, 300, []string{"swaptions"},
+		execFigure(t, sarsaSpecs(sim, 300, []string{"swaptions"})))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -153,7 +168,8 @@ func TestExtensionFiguresSmoke(t *testing.T) {
 		}
 	}
 
-	abl, err := AblationStudy(sim, 300, []string{"swaptions"})
+	abl, err := assembleAblation(sim, 300, []string{"swaptions"},
+		execFigure(t, ablationSpecs(sim, 300, []string{"swaptions"})))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -161,7 +177,9 @@ func TestExtensionFiguresSmoke(t *testing.T) {
 		t.Fatalf("ablation rows = %d", len(abl.Rows))
 	}
 
-	load, err := LoadLatencySweep(sim, 400, []float64{0.05, 0.2})
+	loadRates := []float64{0.05, 0.2}
+	load, err := assembleLoadSweep(sim, 400, loadRates,
+		execFigure(t, loadSweepSpecs(sim, 400, loadRates)))
 	if err != nil {
 		t.Fatal(err)
 	}

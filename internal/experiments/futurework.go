@@ -67,17 +67,3 @@ func assembleControlFaults(sim core.SimConfig, packets int, bench string, look L
 	}
 	return fig, nil
 }
-
-// ControlFaultSweep implements the paper's stated future work ("In future
-// work, we will consider faults in the control circuit, routing table,
-// state-action table"): it sweeps parity-detected routing-table upset
-// rates and Q-table soft-error rates on IntelliNoC and reports the impact
-// relative to the fault-free run — measuring how gracefully the control
-// plane degrades.
-func ControlFaultSweep(sim core.SimConfig, packets int, bench string) (Figure, error) {
-	look, err := runSpecs(controlFaultSpecs(sim, packets, bench), NewPolicyStore(), 0)
-	if err != nil {
-		return Figure{}, err
-	}
-	return assembleControlFaults(sim, packets, bench, look)
-}

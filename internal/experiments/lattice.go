@@ -192,7 +192,7 @@ func (l Lattice) Spec(c LatticeCoord, packets int) RunSpec {
 		VCOverride:       n.VCs[c[4]],
 		BufDepthOverride: n.BufDepths[c[5]],
 	}
-	if tech == core.TechIntelliNoC {
+	if tech.RLControlled() {
 		sim.Epsilon = n.Epsilons[c[6]]
 	}
 	return RunSpec{
@@ -219,7 +219,7 @@ func (l Lattice) Label(c LatticeCoord, packets int) string {
 	if bd := n.BufDepths[c[5]]; bd > 0 {
 		s += fmt.Sprintf("/bd%d", bd)
 	}
-	if eps := n.Epsilons[c[6]]; eps > 0 && n.Techniques[c[1]] == core.TechIntelliNoC {
+	if eps := n.Epsilons[c[6]]; eps > 0 && n.Techniques[c[1]].RLControlled() {
 		s += fmt.Sprintf("/eps%g", eps)
 	}
 	if topo := n.Topologies[c[7]]; topo != "" {

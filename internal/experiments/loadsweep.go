@@ -77,16 +77,3 @@ func assembleLoadSweep(sim core.SimConfig, packets int, rates []float64, look Lo
 	}
 	return fig, nil
 }
-
-// LoadLatencySweep produces the classic NoC load-latency curve for the
-// five designs under uniform-random traffic — not a paper figure, but the
-// standard sanity check for any NoC simulator: latency should sit flat in
-// the low-load region and blow up at each design's saturation point, with
-// the channel-buffered designs saturating later than the baseline.
-func LoadLatencySweep(sim core.SimConfig, packets int, rates []float64) (Figure, error) {
-	look, err := runSpecs(loadSweepSpecs(sim, packets, rates), NewPolicyStore(), 0)
-	if err != nil {
-		return Figure{}, err
-	}
-	return assembleLoadSweep(sim, packets, rates, look)
-}

@@ -1,0 +1,186 @@
+package experiments
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"intellinoc/internal/core"
+)
+
+// TestPolicySpecDigestBackCompat pins the zoo fields' omitempty contract:
+// a pre-zoo spec (no Tech, no WarmStart) must serialize — and therefore
+// digest — exactly as it always has, or every golden result and cached
+// harness record would silently invalidate.
+func TestPolicySpecDigestBackCompat(t *testing.T) {
+	spec := PolicySpec{Sim: tinySim(), Epochs: 2, PacketsPerEpoch: 400}
+	raw, err := json.Marshal(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, field := range []string{"tech", "warm_start"} {
+		if strings.Contains(string(raw), field) {
+			t.Fatalf("empty %q leaked into the canonical JSON (digest drift): %s", field, raw)
+		}
+	}
+	// The fields must be digest-visible when set.
+	warm := spec
+	warm.WarmStart = WarmStartNearest
+	if warm.Digest() == spec.Digest() {
+		t.Fatal("warm_start is invisible to the digest")
+	}
+	buf := spec
+	buf.Tech = core.TechIntelliNoCBuf.String()
+	if buf.Digest() == spec.Digest() {
+		t.Fatal("tech is invisible to the digest")
+	}
+}
+
+func TestPolicySpecValidate(t *testing.T) {
+	good := PolicySpec{Sim: tinySim(), Epochs: 1, PacketsPerEpoch: 100}
+	if err := good.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	good.Tech = core.TechIntelliNoCBuf.String()
+	if err := good.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	for _, bad := range []PolicySpec{
+		{Sim: tinySim(), Tech: "SECDED"},
+		{Sim: tinySim(), Tech: "NoSuchDesign"},
+		{Sim: tinySim(), WarmStart: "closest"},
+	} {
+		if err := bad.Validate(); err == nil {
+			t.Fatalf("spec %+v must be rejected", bad)
+		}
+	}
+}
+
+// TestZooExactHitBitIdentical is the acceptance gate for the zoo: a run
+// whose policy was loaded from the zoo (exact digest hit in a fresh
+// process, simulated here by a fresh store over the same directory) must
+// be bit-identical to the run that trained the policy cold.
+func TestZooExactHitBitIdentical(t *testing.T) {
+	zoo, err := core.NewPolicyStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	pol := PolicySpec{Sim: tinySim(), Epochs: 1, PacketsPerEpoch: 300, Tech: core.TechIntelliNoCBuf.String()}
+	run := RunSpec{
+		Tech: core.TechIntelliNoCBuf, Sim: tinySim(),
+		Workload: parsecWorkload("swaptions"), Packets: 400, Policy: &pol,
+	}
+
+	cold := NewZooPolicyStore(zoo)
+	resCold, err := run.Execute(cold)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s := cold.Stats(); s.Stores != 1 || s.Hits != 0 {
+		t.Fatalf("cold pass stats = %+v, want 1 store / 0 hits", s)
+	}
+
+	warmed := NewZooPolicyStore(zoo) // fresh memoizer, same zoo on disk
+	resHit, err := run.Execute(warmed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s := warmed.Stats(); s.Hits != 1 || s.Stores != 0 {
+		t.Fatalf("hit pass stats = %+v, want 1 hit / 0 stores", s)
+	}
+	if resCold != resHit {
+		t.Fatalf("zoo-loaded policy diverges from cold-trained:\n%+v\nvs\n%+v", resCold, resHit)
+	}
+
+	// The sidecar must carry the spec for Nearest.
+	var m ZooMeta
+	if err := zoo.LoadMeta(pol.Digest(), &m); err != nil {
+		t.Fatal(err)
+	}
+	if m.Spec.Digest() != pol.Digest() || m.MaxTableSize <= 0 {
+		t.Fatalf("zoo meta mangled: %+v", m)
+	}
+}
+
+// TestNearestPrefersCloserScenario pins the warm-start neighbor choice:
+// hard axes must match, soft-axis distance ranks the rest.
+func TestNearestPrefersCloserScenario(t *testing.T) {
+	zoo, err := core.NewPolicyStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := NewZooPolicyStore(zoo)
+	base := PolicySpec{Sim: tinySim(), Epochs: 1, PacketsPerEpoch: 200}
+
+	near := base
+	near.Sim.Seed = base.Sim.Seed + 1 // seed-only mismatch: distance 0.125
+	far := base
+	far.Sim.TimeStepCycles = 5 * tinySim().TimeStepCycles
+	wrongMesh := base
+	wrongMesh.Sim.Width, wrongMesh.Sim.Height = 8, 8
+	wrongTech := base
+	wrongTech.Tech = core.TechIntelliNoCBuf.String()
+
+	for _, spec := range []PolicySpec{near, far, wrongMesh, wrongTech} {
+		if _, err := st.Get(spec); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	key, meta, ok := st.Nearest(base)
+	if !ok {
+		t.Fatal("no neighbor found")
+	}
+	if key != near.Digest() {
+		t.Fatalf("Nearest picked %s (%+v), want the seed-only neighbor %s", key, meta.Spec, near.Digest())
+	}
+
+	// A warm-started training pass must consume the neighbor and count it.
+	warm := base
+	warm.WarmStart = WarmStartNearest
+	if _, err := st.Get(warm); err != nil {
+		t.Fatal(err)
+	}
+	if s := st.Stats(); s.WarmStarts != 1 {
+		t.Fatalf("stats = %+v, want 1 warm start", s)
+	}
+
+	// Incompatible-only zoos yield no neighbor.
+	onlyWrong, err := core.NewPolicyStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	st2 := NewZooPolicyStore(onlyWrong)
+	if _, err := st2.Get(wrongMesh); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, ok := st2.Nearest(base); ok {
+		t.Fatal("mesh-incompatible entry offered as a warm-start neighbor")
+	}
+}
+
+// TestLatticeEpsilonAxisCoversBufferTechnique pins the lattice extension:
+// the epsilon axis applies to both RL techniques and to nothing else.
+func TestLatticeEpsilonAxisCoversBufferTechnique(t *testing.T) {
+	l := Lattice{
+		Techniques: []core.Technique{core.TechSECDED, core.TechIntelliNoC, core.TechIntelliNoCBuf},
+		Epsilons:   []float64{0, 0.2},
+		Packets:    100,
+	}
+	dims := l.Dims()
+	var c LatticeCoord
+	for ti := 0; ti < dims[1]; ti++ {
+		c[1] = ti
+		c[6] = 0
+		a := l.Spec(c, 100)
+		c[6] = 1
+		b := l.Spec(c, 100)
+		varies := a.Digest() != b.Digest()
+		if want := l.withDefaults().Techniques[ti].RLControlled(); varies != want {
+			t.Fatalf("%s: epsilon axis varies=%v, want %v", a.Tech, varies, want)
+		}
+		if want := l.withDefaults().Techniques[ti].RLControlled(); want && b.Sim.Epsilon != 0.2 {
+			t.Fatalf("%s: epsilon not applied: %+v", b.Tech, b.Sim)
+		}
+	}
+}

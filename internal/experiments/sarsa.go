@@ -60,15 +60,3 @@ func assembleSARSA(sim core.SimConfig, packets int, benchmarks []string, look Lo
 	}
 	return fig.WithAverageRow(), nil
 }
-
-// QLearningVsSARSA compares the paper's off-policy Q-learning control
-// against on-policy SARSA on the same workloads — an extension probing
-// whether the choice of TD algorithm matters for NoC mode control. Both
-// are pre-trained identically and evaluated with online updates on.
-func QLearningVsSARSA(sim core.SimConfig, packets int, benchmarks []string) (Figure, error) {
-	look, err := runSpecs(sarsaSpecs(sim, packets, benchmarks), NewPolicyStore(), 0)
-	if err != nil {
-		return Figure{}, err
-	}
-	return assembleSARSA(sim, packets, benchmarks, look)
-}

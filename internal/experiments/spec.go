@@ -6,6 +6,7 @@ import (
 	"encoding/hex"
 	"encoding/json"
 	"fmt"
+	"math"
 	"sync"
 
 	"intellinoc/internal/core"
@@ -63,7 +64,7 @@ func (w WorkloadSpec) generator(sim core.SimConfig, packets int) (traffic.Genera
 	}
 }
 
-// PolicySpec describes an IntelliNoC pre-training pass (core.Pretrain)
+// PolicySpec describes an RL pre-training pass (core.PretrainTechnique)
 // deterministically. Runs that share a PolicySpec share the trained
 // policy, exactly as the pre-harness code shared one pre-trained policy
 // across a comparison matrix.
@@ -71,10 +72,46 @@ type PolicySpec struct {
 	Sim             core.SimConfig `json:"sim"`
 	Epochs          int            `json:"epochs"`
 	PacketsPerEpoch int            `json:"packets_per_epoch"`
+	// Tech names the RL technique to train ("" selects IntelliNoC, the
+	// pre-zoo behavior; omitempty keeps those specs' digests byte-exact).
+	Tech string `json:"tech,omitempty"`
+	// WarmStart opts training into a zoo warm start (WarmStartNearest).
+	// Warm-started tables depend on what the zoo happens to hold, so the
+	// field is digest-visible — a warm-started policy can never be
+	// deduplicated against a cold-trained one — and the daemon rejects
+	// it (job results there must be reproducible from the spec alone).
+	WarmStart string `json:"warm_start,omitempty"`
 }
+
+// WarmStartNearest asks the policy store to seed training from the
+// nearest-scenario zoo entry instead of zero-initialized Q-tables.
+const WarmStartNearest = "nearest"
 
 // Digest content-hashes the pre-training configuration.
 func (p PolicySpec) Digest() string { return digestOf("pretrain", p) }
+
+// Technique resolves the spec's technique name ("" = IntelliNoC).
+func (p PolicySpec) Technique() (core.Technique, error) {
+	if p.Tech == "" {
+		return core.TechIntelliNoC, nil
+	}
+	return core.ParseTechnique(p.Tech)
+}
+
+// Validate rejects specs no store could train.
+func (p PolicySpec) Validate() error {
+	tech, err := p.Technique()
+	if err != nil {
+		return err
+	}
+	if !tech.RLControlled() {
+		return fmt.Errorf("experiments: technique %s has no RL agents to pre-train", tech)
+	}
+	if p.WarmStart != "" && p.WarmStart != WarmStartNearest {
+		return fmt.Errorf("experiments: unknown warm-start mode %q (only %q)", p.WarmStart, WarmStartNearest)
+	}
+	return nil
+}
 
 // PretrainInfo is the JSONL payload of a pre-training job.
 type PretrainInfo struct {
@@ -155,9 +192,18 @@ func digestOf(kind string, v any) string {
 // Get calls for the same spec block until the single training pass
 // finishes, so a policy shared by many runs is trained exactly once per
 // process regardless of worker count.
+//
+// A store may additionally be backed by an on-disk policy zoo
+// (core.PolicyStore): trained policies are persisted under their spec
+// digest, exact-digest hits load instead of retraining (the loaded
+// policy deploys through the same clone path, so dependent runs are
+// bit-identical to cold-trained ones), and WarmStartNearest specs seed
+// training from the closest compatible zoo entry.
 type PolicyStore struct {
 	mu      sync.Mutex
 	entries map[string]*policyEntry
+	zoo     *core.PolicyStore
+	stats   ZooStats
 }
 
 type policyEntry struct {
@@ -166,9 +212,41 @@ type policyEntry struct {
 	err    error
 }
 
-// NewPolicyStore builds an empty store.
+// ZooStats counts a store's zoo traffic.
+type ZooStats struct {
+	// Hits counts exact-digest zoo loads that replaced a training pass.
+	Hits uint64 `json:"hits"`
+	// Stores counts freshly-trained policies persisted to the zoo.
+	Stores uint64 `json:"stores"`
+	// WarmStarts counts training passes seeded from a neighbor entry.
+	WarmStarts uint64 `json:"warm_starts"`
+}
+
+// ZooMeta is the JSON sidecar of a zoo entry: everything Nearest needs
+// without decoding the (much larger) policy blob.
+type ZooMeta struct {
+	Spec         PolicySpec `json:"spec"`
+	MaxTableSize int        `json:"max_table_size"`
+}
+
+// NewPolicyStore builds an empty in-memory store.
 func NewPolicyStore() *PolicyStore {
 	return &PolicyStore{entries: make(map[string]*policyEntry)}
+}
+
+// NewZooPolicyStore builds a store backed by an on-disk policy zoo (nil
+// degrades to a plain in-memory store).
+func NewZooPolicyStore(zoo *core.PolicyStore) *PolicyStore {
+	st := NewPolicyStore()
+	st.zoo = zoo
+	return st
+}
+
+// Stats returns a snapshot of the zoo counters.
+func (st *PolicyStore) Stats() ZooStats {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return st.stats
 }
 
 // Get returns the policy for spec, training it on first use.
@@ -181,12 +259,131 @@ func (st *PolicyStore) Get(spec PolicySpec) (*core.Policy, error) {
 	}
 	st.mu.Unlock()
 	e.once.Do(func() {
-		e.policy, e.err = core.Pretrain(spec.Sim, spec.Epochs, spec.PacketsPerEpoch)
+		e.policy, e.err = st.train(spec)
 	})
 	if e.err != nil {
 		return nil, fmt.Errorf("experiments: pre-training: %w", e.err)
 	}
 	return e.policy, nil
+}
+
+// train resolves one spec: zoo hit, else (optionally warm-started)
+// training, persisting the fresh policy back to the zoo.
+func (st *PolicyStore) train(spec PolicySpec) (*core.Policy, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	tech, _ := spec.Technique()
+	key := spec.Digest()
+	if st.zoo != nil && st.zoo.Has(key) {
+		if p, err := st.zoo.Load(key); err == nil {
+			st.count(func(z *ZooStats) { z.Hits++ })
+			return p, nil
+		}
+		// An unreadable entry is treated as a miss: retrain and let the
+		// Save below overwrite it.
+	}
+	var warm *core.Policy
+	if spec.WarmStart == WarmStartNearest {
+		if wkey, _, ok := st.Nearest(spec); ok {
+			if wp, err := st.zoo.Load(wkey); err == nil {
+				warm = wp
+				st.count(func(z *ZooStats) { z.WarmStarts++ })
+			}
+		}
+	}
+	p, err := core.PretrainTechnique(tech, spec.Sim, spec.Epochs, spec.PacketsPerEpoch, warm)
+	if err != nil {
+		return nil, err
+	}
+	if st.zoo != nil {
+		// The zoo is a cache: a failed write (full disk, permissions)
+		// must not fail the run that trained the policy.
+		if err := st.zoo.Save(key, p, ZooMeta{Spec: spec, MaxTableSize: p.MaxTableSize()}); err == nil {
+			st.count(func(z *ZooStats) { z.Stores++ })
+		}
+	}
+	return p, nil
+}
+
+func (st *PolicyStore) count(f func(*ZooStats)) {
+	st.mu.Lock()
+	f(&st.stats)
+	st.mu.Unlock()
+}
+
+// Nearest scans the zoo for the entry closest to spec on the
+// pre-training design lattice. Hard axes — technique, mesh shape,
+// topology — must match exactly (a warm start across them would hand
+// agents tables trained under different geometry); the remaining knobs
+// contribute a weighted distance. Ties break to the lexicographically
+// smaller key, so the choice is deterministic for a given zoo state.
+// The exact-digest entry for spec itself is excluded: that is a hit,
+// not a neighbor.
+func (st *PolicyStore) Nearest(spec PolicySpec) (key string, meta ZooMeta, ok bool) {
+	if st.zoo == nil {
+		return "", ZooMeta{}, false
+	}
+	keys, err := st.zoo.Keys()
+	if err != nil {
+		return "", ZooMeta{}, false
+	}
+	self := spec.Digest()
+	best := math.Inf(1)
+	for _, k := range keys {
+		if k == self {
+			continue
+		}
+		var m ZooMeta
+		if err := st.zoo.LoadMeta(k, &m); err != nil {
+			continue
+		}
+		d, compatible := specDistance(spec, m.Spec)
+		if !compatible {
+			continue
+		}
+		if d < best || (d == best && (!ok || k < key)) {
+			best, key, meta, ok = d, k, m, true
+		}
+	}
+	return key, meta, ok
+}
+
+// specDistance scores how far a candidate pre-training spec is from the
+// wanted one, mirroring the axes the explore lattice sweeps. The bool is
+// false when the candidate is incompatible (different technique, mesh,
+// or topology).
+func specDistance(want, have PolicySpec) (float64, bool) {
+	if want.Tech != have.Tech {
+		return 0, false
+	}
+	ws, hs := want.Sim, have.Sim
+	if simWidth(ws) != simWidth(hs) || simHeight(ws) != simHeight(hs) || ws.Topology != hs.Topology {
+		return 0, false
+	}
+	rel := func(a, b float64) float64 {
+		den := math.Max(math.Max(math.Abs(a), math.Abs(b)), 1)
+		return math.Abs(a-b) / den
+	}
+	d := 0.0
+	// Microarchitecture overrides shape the traffic the agents observe.
+	d += 4 * rel(float64(ws.VCOverride), float64(hs.VCOverride))
+	d += 4 * rel(float64(ws.BufDepthOverride), float64(hs.BufDepthOverride))
+	// Control cadence and RL hyper-parameters.
+	d += 2 * rel(float64(ws.TimeStepCycles), float64(hs.TimeStepCycles))
+	d += 2 * rel(ws.Epsilon, hs.Epsilon)
+	d += 2 * rel(ws.Gamma, hs.Gamma)
+	d += rel(ws.Alpha, hs.Alpha)
+	// Fault environment.
+	d += 2 * rel(ws.ForcedErrorRate, hs.ForcedErrorRate)
+	// Training budget.
+	d += rel(float64(want.Epochs), float64(have.Epochs))
+	d += rel(float64(want.PacketsPerEpoch), float64(have.PacketsPerEpoch))
+	// Seed is the weakest signal: any same-scenario table beats none.
+	if ws.Seed != hs.Seed {
+		d += 0.125
+	}
+	return d, true
 }
 
 // Cached returns the already-trained policy for spec, or nil if Get was

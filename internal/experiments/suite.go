@@ -52,6 +52,9 @@ type SuiteOptions struct {
 	SweepBenches []string
 	// Techniques overrides the compared designs; nil selects all five.
 	Techniques []core.Technique
+	// LoadRates overrides the loadsweep injection-rate ladder (tests and
+	// benches use reduced ladders); nil selects the default six rates.
+	LoadRates []float64
 }
 
 // Suite is the decomposed experiment plan: every selected experiment's
@@ -142,9 +145,9 @@ func (s *Suite) build() {
 		}
 		s.Experiments = append(s.Experiments, Experiment{
 			IDs:   comparisonIDs,
-			Specs: comparisonSpecs(sim, packets, benchmarks, techs),
+			Specs: ComparisonSpecs(sim, packets, benchmarks, techs),
 			Assemble: func(look Lookup) ([]Figure, error) {
-				cmp, err := assembleComparison(sim, packets, benchmarks, techs, look)
+				cmp, err := AssembleComparison(sim, packets, benchmarks, techs, look)
 				if err != nil {
 					return nil, err
 				}
@@ -200,8 +203,9 @@ func (s *Suite) build() {
 			func(look Lookup) (Figure, error) { return assembleAblation(sim, packets/3, benches, look) })
 	}
 	if s.want("loadsweep") {
-		one("loadsweep", loadSweepSpecs(sim, packets/4, nil),
-			func(look Lookup) (Figure, error) { return assembleLoadSweep(sim, packets/4, nil, look) })
+		rates := s.opts.LoadRates
+		one("loadsweep", loadSweepSpecs(sim, packets/4, rates),
+			func(look Lookup) (Figure, error) { return assembleLoadSweep(sim, packets/4, rates, look) })
 	}
 	if s.want("ext-ctrlfaults") {
 		one("ext-ctrlfaults", controlFaultSpecs(sim, packets/3, "ferret"),
@@ -240,6 +244,11 @@ type RunOptions struct {
 	// remain in ResultsPath, so a -resume rerun picks up where the
 	// canceled one stopped.
 	Ctx context.Context
+	// PolicyZoo, when non-nil, backs the suite's policy store with an
+	// on-disk zoo: pre-training passes whose digest is already in the
+	// zoo load instead of retraining (bit-identical downstream results),
+	// and fresh passes are persisted for future suites and daemons.
+	PolicyZoo *core.PolicyStore
 }
 
 // SuiteResult is the outcome of a suite run.
@@ -254,6 +263,8 @@ type SuiteResult struct {
 	// SkippedLines counts unparsable results-file lines tolerated during
 	// resume (e.g. a partial line left by a kill).
 	SkippedLines int
+	// Zoo counts policy-zoo traffic (all zero without RunOptions.PolicyZoo).
+	Zoo ZooStats
 }
 
 // Run executes the plan: deduplicate specs across experiments, resume
@@ -322,7 +333,7 @@ func (s *Suite) Run(opts RunOptions) (*SuiteResult, error) {
 		}
 	}
 
-	store := NewPolicyStore()
+	store := NewZooPolicyStore(opts.PolicyZoo)
 	results := make(map[string]json.RawMessage, len(ordered))
 	for d, rec := range cache {
 		results[d] = rec.Payload
@@ -412,6 +423,7 @@ func (s *Suite) Run(opts RunOptions) (*SuiteResult, error) {
 	if s.comparisonPolicy != nil {
 		res.MaxQTableEntries = policyTableSize(*s.comparisonPolicy, store, results)
 	}
+	res.Zoo = store.Stats()
 	return res, nil
 }
 
@@ -430,19 +442,22 @@ func policyTableSize(spec PolicySpec, store *PolicyStore, results map[string]jso
 	return 0
 }
 
-// runSpecs executes labeled specs inline (no results stream) and returns
-// a lookup over their results. It is the legacy-API path: the exported
-// Fig* helpers and RunComparisonSubset are thin wrappers over it.
-func runSpecs(specs []LabeledSpec, store *PolicyStore, workers int) (Lookup, error) {
+// ExecuteSpecs executes labeled specs inline on the harness pool (no
+// results stream, no resume) and returns a lookup over their results.
+// It is the direct-execution path for callers that assemble their own
+// figures — benches, tests, and tooling — replacing the deleted
+// per-figure wrapper functions. A nil ctx runs to completion; workers
+// <= 0 selects GOMAXPROCS.
+func ExecuteSpecs(ctx context.Context, specs []LabeledSpec, store *PolicyStore, workers int) (Lookup, error) {
 	jobs := make([]harness.Job, 0, len(specs))
 	for _, ls := range specs {
 		spec := ls.Spec
 		jobs = append(jobs, harness.Job{
 			Digest: spec.Digest(), Kind: "run", Name: ls.Name, Seed: spec.Sim.Seed,
-			Run: func() (any, error) { return spec.Execute(store) },
+			Run: func() (any, error) { return spec.ExecuteContext(ctx, store) },
 		})
 	}
-	out, err := harness.Run(jobs, harness.Options{Workers: workers})
+	out, err := harness.Run(jobs, harness.Options{Workers: workers, Ctx: ctx})
 	if err != nil {
 		return nil, err
 	}

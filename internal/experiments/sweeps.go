@@ -78,17 +78,6 @@ func assembleFig17a(sim core.SimConfig, packets int, benchmarks []string, look L
 	return fig, nil
 }
 
-// Fig17aTimeStep reproduces Fig. 17(a): IntelliNoC's execution time,
-// end-to-end latency and energy across RL time-step lengths, normalized
-// to the SECDED baseline on the same workloads.
-func Fig17aTimeStep(sim core.SimConfig, packets int, benchmarks []string) (Figure, error) {
-	look, err := runSpecs(fig17aSpecs(sim, packets, benchmarks), NewPolicyStore(), 0)
-	if err != nil {
-		return Figure{}, err
-	}
-	return assembleFig17a(sim, packets, benchmarks, look)
-}
-
 // fig17bRates maps the paper's per-bit error-rate labels to the rates we
 // inject. The sweep is defined on per-bit rates; at our shorter trace
 // lengths the same rates are exercised, scaled up 100x so the shorter
@@ -149,18 +138,6 @@ func assembleFig17b(sim core.SimConfig, packets int, benchmarks []string, look L
 		fig.Rows = append(fig.Rows, Row{Label: rc.label, Values: []float64{latR / nb, enR / nb}})
 	}
 	return fig, nil
-}
-
-// Fig17bErrorRate reproduces Fig. 17(b): artificially injected bit error
-// rates from 1e-7 to 1e-10; IntelliNoC's latency and energy relative to
-// the SECDED baseline at the same rate. The paper's shape: the advantage
-// grows as errors become more frequent.
-func Fig17bErrorRate(sim core.SimConfig, packets int, benchmarks []string) (Figure, error) {
-	look, err := runSpecs(fig17bSpecs(sim, packets, benchmarks), NewPolicyStore(), 0)
-	if err != nil {
-		return Figure{}, err
-	}
-	return assembleFig17b(sim, packets, benchmarks, look)
 }
 
 // rlSweep is a hyper-parameter sweep on blackscholes: EDP and
@@ -242,27 +219,6 @@ func (sw rlSweep) assemble(sim core.SimConfig, packets int, look Lookup) (Figure
 		})
 	}
 	return fig, nil
-}
-
-func (sw rlSweep) run(sim core.SimConfig, packets int) (Figure, error) {
-	look, err := runSpecs(sw.specs(sim, packets), NewPolicyStore(), 0)
-	if err != nil {
-		return Figure{}, err
-	}
-	return sw.assemble(sim, packets, look)
-}
-
-// Fig18aGamma reproduces Fig. 18(a): the discount-rate sweep on
-// blackscholes — energy-delay product and retransmission rate of
-// IntelliNoC normalized to the SECDED baseline.
-func Fig18aGamma(sim core.SimConfig, packets int) (Figure, error) {
-	return gammaSweep().run(sim, packets)
-}
-
-// Fig18bEpsilon reproduces Fig. 18(b): the exploration-probability sweep
-// on blackscholes.
-func Fig18bEpsilon(sim core.SimConfig, packets int) (Figure, error) {
-	return epsilonSweep().run(sim, packets)
 }
 
 // Table2Area reproduces Table 2: per-router component areas and %change.

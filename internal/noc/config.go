@@ -227,6 +227,10 @@ type Observation struct {
 	// ErrorHistogram counts link transmissions by sampled error bits:
 	// [0]=clean, [1]=1-bit, [2]=2-bit, [3]=3 or more.
 	ErrorHistogram [4]uint64
+	// WinHopRetransmits counts per-hop retransmissions at this router
+	// during the window — the congestion/reliability pressure signal the
+	// RACE-style buffer agent learns from.
+	WinHopRetransmits uint64
 }
 
 // Controller selects each router's operation mode at every time step.
@@ -237,6 +241,41 @@ type Controller interface {
 	// NextMode returns the mode the router should apply for the coming
 	// time step, given the observation of the one that just ended.
 	NextMode(obs Observation) Mode
+}
+
+// Buffer-allocation actions (RACE-style): at each time-step boundary a
+// BufferController may repartition every credited output port's
+// channel-buffer stages among its VCs. Router-buffer slots (BufDepth per
+// VC) are never reassigned, so each VC always keeps >= BufDepth credits
+// of private storage and the wormhole deadlock-freedom argument of
+// Section 3.1.2 is untouched — only the MFAC channel stages move.
+const (
+	// BufActionEven restores the static vcCredits split (the behavior of
+	// every non-buffer-RL technique).
+	BufActionEven = iota
+	// BufActionDemand apportions channel stages proportionally to each
+	// VC's window flit traffic (largest-remainder; ties to lower VCs).
+	BufActionDemand
+	// BufActionConcentrate gives all channel stages to the single
+	// busiest VC (tie → lowest), starving idle VCs down to their
+	// router-buffer floor.
+	BufActionConcentrate
+	// BufActionReserve splits channel stages evenly across only the VCs
+	// that moved traffic this window (none moved → even over all).
+	BufActionReserve
+	// NumBufferActions is the buffer agent's action-space size.
+	NumBufferActions
+)
+
+// BufferController is the optional second decision domain a Controller
+// may implement: per-router buffer allocation actions on top of mode
+// selection. NextBufferAction returns one of the BufAction* constants, or
+// a negative value for "no opinion" — the network then leaves the static
+// split untouched, consuming no randomness, so controllers without a
+// buffer domain stay bit-identical to pre-buffer-RL builds.
+type BufferController interface {
+	Controller
+	NextBufferAction(obs Observation) int
 }
 
 // StaticController always answers the same mode, with gating decisions

@@ -96,6 +96,8 @@ const (
 	fOutSaRR
 	fOutVaRR
 	fOutWinFlitsOut
+	fOutShare
+	fOutWinVCFlits
 	numStateFields
 )
 
@@ -173,6 +175,8 @@ var stateFieldNames = [numStateFields]string{
 	fOutSaRR:         "out.saRR",
 	fOutVaRR:         "out.vaRR",
 	fOutWinFlitsOut:  "out.winFlitsOut",
+	fOutShare:        "out.share",
+	fOutWinVCFlits:   "out.winVCFlits",
 }
 
 // String names the field for divergence reports.
@@ -330,6 +334,8 @@ func (n *Network) visitState(emit func(f stateField, router, a, b int, v uint64)
 				for v := range op.credits {
 					emit(fOutCredit, id, p, v, uint64(int64(op.credits[v])))
 					emit(fOutVCBusy, id, p, v, u64b(op.vcBusy[v]))
+					emit(fOutShare, id, p, v, uint64(int64(op.share[v])))
+					emit(fOutWinVCFlits, id, p, v, op.winVCFlits[v])
 				}
 				emit(fOutSaRR, id, p, 0, uint64(int64(op.saRR)))
 				emit(fOutVaRR, id, p, 0, uint64(int64(op.vaRR)))

@@ -96,6 +96,10 @@ func (q *nic) pending() bool { return q.cur != nil || len(q.queue) > 0 }
 type Network struct {
 	cfg  Config
 	ctrl Controller
+	// bufCtrl is ctrl's optional buffer-allocation domain (probed once at
+	// construction). Nil for plain controllers; a negative NextBufferAction
+	// answer is equivalent.
+	bufCtrl BufferController
 
 	routers []*Router
 	nics    []*nic
@@ -274,6 +278,9 @@ func New(cfg Config, gen traffic.Generator, ctrl Controller) (*Network, error) {
 		portOcc:   make([]int32, nodes*NumPorts),
 		winOcc:    make([]uint64, nodes*NumPorts),
 	}
+	if bc, ok := ctrl.(BufferController); ok {
+		n.bufCtrl = bc
+	}
 	if cfg.Shards > 1 {
 		// Shards partition the dense router-id space into contiguous
 		// ranges (geometry-free — see shard.go); more shards than nodes
@@ -367,9 +374,11 @@ func newInputPort(cfg Config, upRouter, upPort int, ch *Channel) *inputPort {
 
 func newOutputPort(cfg Config, downRouter, downPort int, ch *Channel) *outputPort {
 	op := &outputPort{ch: ch, downRouter: downRouter, downPort: downPort,
-		credits: make([]int, cfg.VCs), vcBusy: make([]bool, cfg.VCs)}
+		credits: make([]int, cfg.VCs), share: make([]int, cfg.VCs),
+		vcBusy: make([]bool, cfg.VCs), winVCFlits: make([]uint64, cfg.VCs)}
 	for v := range op.credits {
 		op.credits[v] = vcCredits(&cfg, v)
+		op.share[v] = op.credits[v]
 	}
 	return op
 }
@@ -909,6 +918,7 @@ func (n *Network) arbitrateOutput(r *Router, op *outputPort, outP int, cy int64,
 		} else {
 			f.VC = outVC
 			op.credits[outVC]--
+			op.winVCFlits[outVC]++
 			n.emitFlit(cy, EvTraverse, r.id, f)
 			n.sendOnLink(r, op, f, cy, false)
 		}
@@ -1151,6 +1161,7 @@ func (n *Network) tryBypassPort(r *Router, p int, cy int64) bool {
 	}
 	f.VC = outVC
 	r.out[route].credits[outVC]--
+	r.out[route].winVCFlits[outVC]++
 	n.emitFlit(cy, EvBypass, r.id, f)
 	n.sendOnLink(r, r.out[route], f, cy, true)
 	return true
@@ -1651,6 +1662,7 @@ func (n *Network) controlStep() {
 		obs.PowerMilliwatts = (n.meters[i].TotalJoules() - r.winEnergyStart) / winSeconds * 1e3
 		obs.AgingFactor = n.aging.AgingFactor(n.wear[i])
 		obs.ErrorHistogram = r.winErrHist
+		obs.WinHopRetransmits = r.winHopRetrans
 
 		n.modeBreakdown.AddCycles(int(r.mode), win)
 		windowMode := r.mode
@@ -1659,6 +1671,16 @@ func (n *Network) controlStep() {
 			n.meters[i].Record(power.EventCounts{RLSteps: 1})
 		}
 		n.applyMode(r, mode)
+		if n.bufCtrl != nil {
+			if act := n.bufCtrl.NextBufferAction(obs); act >= 0 {
+				n.applyBufferAction(r, act)
+				if n.cfg.RLTable {
+					// The buffer agent is a second Q-table lookup+update
+					// per window (RACE runs its own table).
+					n.meters[i].Record(power.EventCounts{RLSteps: 1})
+				}
+			}
+		}
 		if n.epochHook != nil {
 			_, _, dVth := n.aging.DeltaVth(n.wear[i])
 			n.epochHook(EpochSample{
@@ -1687,10 +1709,118 @@ func (n *Network) controlStep() {
 			if r.in[p] != nil {
 				r.in[p].winFlitsIn = 0
 			}
-			if r.out[p] != nil {
-				r.out[p].winFlitsOut = 0
+			if op := r.out[p]; op != nil {
+				op.winFlitsOut = 0
+				for v := range op.winVCFlits {
+					op.winVCFlits[v] = 0
+				}
 			}
 		}
+	}
+}
+
+// applyBufferAction repartitions every credited output port of r per the
+// chosen BufAction*: each VC's capacity becomes BufDepth (its private
+// router-buffer floor, never reassigned) plus its allotted share of the
+// ChannelStages, and outstanding credits shift by the capacity delta.
+// Credits may go transiently negative when a VC's share shrinks below its
+// in-flight storage — every consumption check is `credits > 0`, so that
+// only pauses the VC until enough flits drain. Runs on the coordinator at
+// the time-step boundary (controlStep), so it is shard-safe.
+func (n *Network) applyBufferAction(r *Router, act int) {
+	vcs := n.cfg.VCs
+	stages := n.cfg.ChannelStages
+	for p := 0; p < NumPorts; p++ {
+		op := r.out[p]
+		if op == nil || op.ch == nil {
+			continue // ejection sinks are uncredited
+		}
+		var alloc [maxVCs]int
+		switch act {
+		case BufActionDemand:
+			apportionByDemand(alloc[:vcs], op.winVCFlits, stages)
+		case BufActionConcentrate:
+			best := 0
+			for v := 1; v < vcs; v++ {
+				if op.winVCFlits[v] > op.winVCFlits[best] {
+					best = v
+				}
+			}
+			alloc[best] = stages
+		case BufActionReserve:
+			active := 0
+			for v := 0; v < vcs; v++ {
+				if op.winVCFlits[v] > 0 {
+					active++
+				}
+			}
+			if active == 0 {
+				evenSplit(alloc[:vcs], stages)
+			} else {
+				i := 0
+				for v := 0; v < vcs; v++ {
+					if op.winVCFlits[v] > 0 {
+						alloc[v] = stages / active
+						if i < stages%active {
+							alloc[v]++
+						}
+						i++
+					}
+				}
+			}
+		default: // BufActionEven and anything unrecognized
+			evenSplit(alloc[:vcs], stages)
+		}
+		for v := 0; v < vcs; v++ {
+			newShare := n.cfg.BufDepth + alloc[v]
+			op.credits[v] += newShare - op.share[v]
+			op.share[v] = newShare
+		}
+	}
+}
+
+// evenSplit is the static vcCredits stage distribution: stages/vcs each,
+// remainder one apiece to the lowest-numbered VCs.
+func evenSplit(alloc []int, stages int) {
+	vcs := len(alloc)
+	for v := range alloc {
+		alloc[v] = stages / vcs
+		if v < stages%vcs {
+			alloc[v]++
+		}
+	}
+}
+
+// apportionByDemand distributes stages proportionally to each VC's window
+// flit count by the largest-remainder method, ties to lower VCs. Zero
+// total demand falls back to the even split.
+func apportionByDemand(alloc []int, demand []uint64, stages int) {
+	var total uint64
+	for _, d := range demand {
+		total += d
+	}
+	if total == 0 {
+		evenSplit(alloc, stages)
+		return
+	}
+	assigned := 0
+	var rem [maxVCs]uint64 // scaled remainders, comparable exactly in integers
+	for v := range alloc {
+		q := uint64(stages) * demand[v]
+		alloc[v] = int(q / total)
+		rem[v] = q % total
+		assigned += alloc[v]
+	}
+	for assigned < stages {
+		best := -1
+		for v := range alloc {
+			if best < 0 || rem[v] > rem[best] {
+				best = v
+			}
+		}
+		alloc[best]++
+		rem[best] = 0
+		assigned++
 	}
 }
 
@@ -1748,9 +1878,12 @@ func (n *Network) CheckInvariants() error {
 		return nil // the remaining checks only hold at quiescence
 	}
 	// At quiescence every credited output port must hold exactly its
-	// initial per-VC credits, and the port total must conserve the full
-	// VCs*BufDepth + ChannelStages storage (remainder stages included —
-	// the ChannelStages%VCs != 0 case used to leak them silently).
+	// current per-VC capacity (op.share — the static vcCredits split
+	// unless a buffer agent repartitioned it), and the port total must
+	// conserve the full VCs*BufDepth + ChannelStages storage (remainder
+	// stages included — the ChannelStages%VCs != 0 case used to leak them
+	// silently; buffer actions move stages between VCs but never create
+	// or destroy them).
 	wantPortCredits := n.cfg.VCs*n.cfg.BufDepth + n.cfg.ChannelStages
 	for id, r := range n.routers {
 		for p := 0; p < NumPorts; p++ {
@@ -1774,7 +1907,7 @@ func (n *Network) CheckInvariants() error {
 					return fmt.Errorf("noc: router %d %s vc%d still allocated after drain", id, PortName(p), v)
 				}
 				if op.ch != nil {
-					if want := vcCredits(&n.cfg, v); op.credits[v] != want {
+					if want := op.share[v]; op.credits[v] != want {
 						return fmt.Errorf("noc: router %d %s vc%d credits = %d, want %d",
 							id, PortName(p), v, op.credits[v], want)
 					}

@@ -67,6 +67,11 @@ type outputPort struct {
 	// (baseline wires). With channel buffers, channel occupancy itself
 	// is the back-pressure and credits are unused.
 	credits []int
+	// share is each VC's current credit capacity: the static vcCredits
+	// split until a BufferController repartitions the channel stages
+	// (applyBufferAction). credits always reconverge to share at
+	// quiescence; CheckInvariants enforces it.
+	share []int
 	// vcBusy marks downstream VCs currently allocated to a packet of
 	// this router (released when the tail flit departs).
 	vcBusy []bool
@@ -74,6 +79,9 @@ type outputPort struct {
 	vaRR   int // VC-allocation round-robin pointer
 
 	winFlitsOut uint64
+	// winVCFlits counts window transmissions per VC — the per-VC demand
+	// signal BufActionDemand/Concentrate/Reserve reallocate by.
+	winVCFlits []uint64
 }
 
 func (op *outputPort) freeVC() int {

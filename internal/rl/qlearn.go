@@ -235,6 +235,12 @@ func (a *Agent) Clone(seed int64) *Agent {
 // pre-training to deployment, and by the Fig. 18b sweep).
 func (a *Agent) SetEpsilon(eps float64) { a.cfg.Epsilon = eps }
 
+// Config returns the agent's effective configuration, including any
+// post-construction mutations (SetEpsilon). Clone and Snapshot both copy
+// this struct, so mutated values survive policy transfer — pinned by
+// regression test.
+func (a *Agent) Config() Config { return a.cfg }
+
 // Reward computes the paper's eq. 1: r = -log(latency) -log(power)
 // -log(aging). Inputs are clamped to be >1 as the paper requires (latency
 // in cycles, power in milliwatts, aging factor dimensionless) so the

@@ -1,0 +1,87 @@
+package rl
+
+import "fmt"
+
+// MaxSchemaFeatures bounds variable-length schemas so the packed base-5
+// state index stays well inside uint64 (5^27 < 2^63).
+const MaxSchemaFeatures = 27
+
+// Schema is a named, variable-length feature discretizer. It is the
+// generalization of the fixed-width Discretizer used by the mode agent:
+// policy domains with fewer (or more) observables than the canonical 16
+// mode features describe their feature space with a Schema, and the
+// schema travels with policy snapshots (format v2) so a loaded table is
+// never applied to mismatched features.
+type Schema struct {
+	Name string    `json:"name"`
+	Lo   []float64 `json:"lo"`
+	Hi   []float64 `json:"hi"`
+}
+
+// Validate checks the schema is self-consistent: non-empty, matched
+// bounds lengths, Lo < Hi per feature, and within MaxSchemaFeatures.
+func (s *Schema) Validate() error {
+	if s.Name == "" {
+		return fmt.Errorf("rl: schema missing name")
+	}
+	if len(s.Lo) == 0 || len(s.Lo) != len(s.Hi) {
+		return fmt.Errorf("rl: schema %q has mismatched bounds (%d lo, %d hi)", s.Name, len(s.Lo), len(s.Hi))
+	}
+	if len(s.Lo) > MaxSchemaFeatures {
+		return fmt.Errorf("rl: schema %q has %d features, max %d", s.Name, len(s.Lo), MaxSchemaFeatures)
+	}
+	for i := range s.Lo {
+		if !(s.Lo[i] < s.Hi[i]) {
+			return fmt.Errorf("rl: schema %q feature %d has lo %v >= hi %v", s.Name, i, s.Lo[i], s.Hi[i])
+		}
+	}
+	return nil
+}
+
+// Features returns the feature-vector length the schema expects.
+func (s *Schema) Features() int { return len(s.Lo) }
+
+// Equal reports whether two schemas describe the same feature space.
+func (s *Schema) Equal(o *Schema) bool {
+	if s.Name != o.Name || len(s.Lo) != len(o.Lo) || len(s.Hi) != len(o.Hi) {
+		return false
+	}
+	for i := range s.Lo {
+		if s.Lo[i] != o.Lo[i] || s.Hi[i] != o.Hi[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Discretize maps a feature vector to a packed base-NumBins state index,
+// clamping each feature into the edge bins outside [Lo, Hi]. It mirrors
+// Discretizer.Discretize (same positional encoding, same bin rule) but
+// over the schema's own width. Panics if the vector length does not match
+// the schema — a schema/feature mismatch is a programming error, not a
+// runtime condition.
+func (s *Schema) Discretize(features []float64) State {
+	if len(features) != len(s.Lo) {
+		panic(fmt.Sprintf("rl: schema %q expects %d features, got %d", s.Name, len(s.Lo), len(features)))
+	}
+	var key State
+	for i := len(features) - 1; i >= 0; i-- {
+		key = key*NumBins + State(s.bin(i, features[i]))
+	}
+	return key
+}
+
+func (s *Schema) bin(i int, v float64) int {
+	lo, hi := s.Lo[i], s.Hi[i]
+	if v <= lo {
+		return 0
+	}
+	if v >= hi {
+		return NumBins - 1
+	}
+	b := int((v - lo) / (hi - lo) * NumBins)
+	if b >= NumBins {
+		b = NumBins - 1
+	}
+	return b
+}

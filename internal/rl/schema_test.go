@@ -1,0 +1,115 @@
+package rl
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestSchemaValidate(t *testing.T) {
+	good := Schema{Name: "buffer", Lo: []float64{0, 0}, Hi: []float64{1, 2}}
+	if err := good.Validate(); err != nil {
+		t.Fatalf("valid schema rejected: %v", err)
+	}
+	cases := []struct {
+		name string
+		s    Schema
+		want string
+	}{
+		{"no name", Schema{Lo: []float64{0}, Hi: []float64{1}}, "missing name"},
+		{"empty", Schema{Name: "x"}, "mismatched bounds"},
+		{"mismatch", Schema{Name: "x", Lo: []float64{0, 0}, Hi: []float64{1}}, "mismatched bounds"},
+		{"inverted", Schema{Name: "x", Lo: []float64{1}, Hi: []float64{1}}, "lo 1 >= hi 1"},
+		{"too wide", Schema{Name: "x", Lo: make([]float64, MaxSchemaFeatures+1), Hi: func() []float64 {
+			h := make([]float64, MaxSchemaFeatures+1)
+			for i := range h {
+				h[i] = 1
+			}
+			return h
+		}()}, "max 27"},
+	}
+	for _, c := range cases {
+		err := c.s.Validate()
+		if err == nil || !strings.Contains(err.Error(), c.want) {
+			t.Errorf("%s: got %v, want error containing %q", c.name, err, c.want)
+		}
+	}
+}
+
+// TestSchemaMatchesDiscretizer pins the schema encoder to the fixed-width
+// Discretizer: a 16-feature schema with the default bounds must produce
+// the exact same state keys, so the mode domain could be re-expressed as
+// a schema without changing any table.
+func TestSchemaMatchesDiscretizer(t *testing.T) {
+	d := DefaultDiscretizer()
+	s := Schema{Name: "mode16", Lo: d.Lo[:], Hi: d.Hi[:]}
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	f := make([]float64, NumFeatures)
+	for trial := 0; trial < 200; trial++ {
+		for i := range f {
+			// Deterministic pseudo-values spanning below/inside/above range.
+			f[i] = float64((trial*31+i*17)%130)/100.0 - 0.1
+		}
+		f[15] = 40 + float64((trial*7)%60)
+		if got, want := s.Discretize(f), d.Discretize(f); got != want {
+			t.Fatalf("trial %d: schema key %d != discretizer key %d", trial, got, want)
+		}
+	}
+}
+
+func TestSchemaEqual(t *testing.T) {
+	a := Schema{Name: "b", Lo: []float64{0, 1}, Hi: []float64{1, 2}}
+	b := Schema{Name: "b", Lo: []float64{0, 1}, Hi: []float64{1, 2}}
+	if !a.Equal(&b) {
+		t.Fatal("identical schemas compare unequal")
+	}
+	c := b
+	c.Name = "c"
+	if a.Equal(&c) {
+		t.Fatal("renamed schema compares equal")
+	}
+	d := Schema{Name: "b", Lo: []float64{0, 1}, Hi: []float64{1, 3}}
+	if a.Equal(&d) {
+		t.Fatal("rebounded schema compares equal")
+	}
+}
+
+func TestSchemaDiscretizePanicsOnBadLength(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on wrong feature count")
+		}
+	}()
+	s := Schema{Name: "x", Lo: []float64{0, 0}, Hi: []float64{1, 1}}
+	s.Discretize([]float64{0.5})
+}
+
+// TestCloneAndSnapshotPreserveSetEpsilon is the regression test for the
+// post-construction mutation audit: an epsilon changed via SetEpsilon
+// after NewAgent must survive both Clone and a Snapshot/RestoreAgent
+// round-trip, or deployed (frozen-ish) policies would silently revert to
+// their training exploration rate.
+func TestCloneAndSnapshotPreserveSetEpsilon(t *testing.T) {
+	a := NewAgent(Config{Actions: 3, Alpha: 0.1, Gamma: 0.9, Epsilon: 0.4, Seed: 7})
+	a.SelectAction(1)
+	a.Update(1, 0, 0.5, 2)
+	a.SetEpsilon(0.025)
+
+	cl := a.Clone(99)
+	if got := cl.Config().Epsilon; got != 0.025 {
+		t.Fatalf("Clone lost SetEpsilon: epsilon %v, want 0.025", got)
+	}
+
+	snap := a.Snapshot()
+	if snap.Config.Epsilon != 0.025 {
+		t.Fatalf("Snapshot lost SetEpsilon: epsilon %v, want 0.025", snap.Config.Epsilon)
+	}
+	restored, err := RestoreAgent(snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := restored.Config().Epsilon; got != 0.025 {
+		t.Fatalf("RestoreAgent lost SetEpsilon: epsilon %v, want 0.025", got)
+	}
+}

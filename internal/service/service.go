@@ -20,6 +20,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"intellinoc/internal/core"
 	"intellinoc/internal/experiments"
 	"intellinoc/internal/harness"
 	"intellinoc/internal/telemetry"
@@ -29,6 +30,13 @@ import (
 type Config struct {
 	// StorePath is the JSONL digest store ("" = memory-only).
 	StorePath string
+	// PolicyZoo is the on-disk policy zoo directory ("" = in-memory
+	// policies only). With a zoo, pre-trained Q-tables persist across
+	// daemon restarts: a job whose policy spec digest is already in the
+	// zoo skips pre-training entirely, and the loaded policy deploys
+	// through the same clone path as a cold-trained one, so results are
+	// bit-identical either way.
+	PolicyZoo string
 	// Workers bounds the simulation pool; <= 0 selects GOMAXPROCS.
 	Workers int
 	// Retries is passed to the harness pool (0 selects its default).
@@ -87,6 +95,8 @@ type Server struct {
 	mStored      *telemetry.Gauge
 	mInFlight    *telemetry.Gauge
 	mWallMS      *telemetry.Histogram
+	mZooHits     *telemetry.Gauge
+	mZooStores   *telemetry.Gauge
 }
 
 // submission is one accepted batch: ordered entries, streamed by index.
@@ -139,13 +149,22 @@ func New(cfg Config) (*Server, error) {
 	if err != nil {
 		return nil, fmt.Errorf("service: opening result store: %w", err)
 	}
+	policies := experiments.NewPolicyStore()
+	if cfg.PolicyZoo != "" {
+		zoo, err := core.NewPolicyStore(cfg.PolicyZoo)
+		if err != nil {
+			_ = store.Close()
+			return nil, fmt.Errorf("service: opening policy zoo: %w", err)
+		}
+		policies = experiments.NewZooPolicyStore(zoo)
+	}
 	ctx, cancel := context.WithCancel(context.Background())
 	s := &Server{
 		cfg:      cfg,
 		reg:      reg,
 		now:      now,
 		store:    store,
-		policies: experiments.NewPolicyStore(),
+		policies: policies,
 		ctx:      ctx,
 		cancel:   cancel,
 		tenants:  make(map[string]*tenant),
@@ -162,6 +181,8 @@ func New(cfg Config) (*Server, error) {
 		mInFlight:    reg.Gauge("intellinocd_inflight_jobs", "Specs queued or executing right now."),
 		mWallMS: reg.Histogram("intellinocd_job_wall_ms", "Per-executed-job wall time in milliseconds.",
 			[]float64{10, 100, 500, 1000, 5000, 15000, 60000, 300000}),
+		mZooHits:   reg.Gauge("intellinocd_policy_zoo_hits", "Pre-training passes served from the policy zoo by exact spec digest."),
+		mZooStores: reg.Gauge("intellinocd_policy_zoo_stores", "Freshly-trained policies persisted to the policy zoo."),
 	}
 	s.mStored.Set(float64(store.Len()))
 	s.pool = harness.NewPool(harness.Options{
@@ -176,6 +197,10 @@ func New(cfg Config) (*Server, error) {
 			s.mExecuted.Inc()
 			s.mWallMS.Observe(rec.WallMS)
 			s.mStored.Set(float64(store.Len()))
+			// Any pre-training this record triggered has finished by now.
+			zs := s.policies.Stats()
+			s.mZooHits.Set(float64(zs.Hits))
+			s.mZooStores.Set(float64(zs.Stores))
 		},
 		Ctx: ctx,
 	})
@@ -281,6 +306,16 @@ func (s *Server) validateSpec(spec experiments.RunSpec) error {
 		return fmt.Errorf("unknown workload kind %q", spec.Workload.Kind)
 	}
 	if p := spec.Policy; p != nil {
+		if p.WarmStart != "" {
+			// Warm-started tables depend on whatever the zoo holds at
+			// training time, so the result is not a pure function of the
+			// spec; caching it under a content digest would poison every
+			// future exact lookup (same reasoning as sampled windows).
+			return fmt.Errorf("warm-started pre-training is not allowed in the service (results depend on zoo contents; unset policy.warm_start)")
+		}
+		if err := p.Validate(); err != nil {
+			return fmt.Errorf("policy: %v", err)
+		}
 		if p.Epochs < 0 || p.Epochs > 1000 || p.PacketsPerEpoch < 0 || p.PacketsPerEpoch > s.cfg.MaxPackets {
 			return fmt.Errorf("policy pre-training budget out of range")
 		}
@@ -595,6 +630,7 @@ func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
 		"status":         status,
 		"stored_records": s.store.Len(),
 		"inflight_jobs":  s.inFlight.Load(),
+		"policy_zoo":     s.policies.Stats(),
 	})
 }
 

@@ -532,3 +532,57 @@ func TestDrainDeadlineCancelsInFlight(t *testing.T) {
 		t.Fatalf("failed = %v, want 1", got)
 	}
 }
+
+// TestPolicyZooSurvivesRestart is the daemon half of the zoo acceptance
+// criterion: after a restart with an empty result store but the same
+// policy zoo, re-running an RL job skips pre-training (exact digest hit)
+// and the result is byte-identical to the cold-trained pass. It also
+// pins the admission rule that non-reproducible warm starts never reach
+// the pool.
+func TestPolicyZooSurvivesRestart(t *testing.T) {
+	zoo := t.TempDir()
+	pol := experiments.PolicySpec{
+		Sim:    core.SimConfig{Seed: 7, Width: 4, Height: 4},
+		Epochs: 1, PacketsPerEpoch: 200,
+		Tech: core.TechIntelliNoCBuf.String(),
+	}
+	spec := testSpec(7, 200)
+	spec.Tech = core.TechIntelliNoCBuf
+	spec.Policy = &pol
+
+	run := func() harness.Record {
+		s := newTestServer(t, Config{Workers: 1, PolicyZoo: zoo})
+		h := s.Handler()
+		resp := submit(t, h, "zoe", submitJob{Spec: spec})
+		recs := streamRecords(t, stream(t, h, resp.ID, -1))
+		if len(recs) != 1 {
+			t.Fatalf("got %d records, want 1", len(recs))
+		}
+		waitIdle(t, s)
+		if hits, stores := metric(t, h, "intellinocd_policy_zoo_hits"), metric(t, h, "intellinocd_policy_zoo_stores"); hits+stores != 1 {
+			t.Fatalf("zoo gauges hits=%v stores=%v, want exactly one of them 1", hits, stores)
+		}
+		if err := s.Close(); err != nil {
+			t.Fatal(err)
+		}
+		return recs[0]
+	}
+
+	cold := run()   // trains, persists to the zoo
+	reused := run() // fresh daemon, fresh store: pre-training served from the zoo
+	if cold.Digest != reused.Digest || !bytes.Equal(cold.Payload, reused.Payload) {
+		t.Fatalf("zoo-loaded policy run diverges from cold-trained:\n%s\nvs\n%s", cold.Payload, reused.Payload)
+	}
+
+	// Warm-started training is zoo-state-dependent; the daemon must
+	// reject it before the digest store can be poisoned.
+	s := newTestServer(t, Config{Workers: 1, PolicyZoo: zoo})
+	warm := spec
+	wpol := pol
+	wpol.WarmStart = experiments.WarmStartNearest
+	warm.Policy = &wpol
+	rr := do(t, s.Handler(), "POST", "/v1/jobs", "zoe", submitRequest{Jobs: []submitJob{{Spec: warm}}})
+	if rr.Code != http.StatusBadRequest || !strings.Contains(rr.Body.String(), "warm") {
+		t.Fatalf("warm-start submit: status %d body %s", rr.Code, rr.Body.String())
+	}
+}
